@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints its experiment table (the rows recorded in
+``EXPERIMENTS.md``) and also writes it under ``benchmarks/results/`` so
+runs leave a diffable artefact.  Run with ``pytest benchmarks/
+--benchmark-only -s`` to see the tables inline.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Mapping, Sequence
+
+from repro.analysis import format_records
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Root seed for every benchmark (fully reproducible tables).
+BENCH_SEED = 20160217  # the paper's arXiv date
+
+
+def emit(title: str, records: Sequence[Mapping[str, object]], filename: str) -> str:
+    """Format ``records`` as a table, print it and save it to results/."""
+    text = format_records(records, title=title)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf8")
+    return text

@@ -1,0 +1,92 @@
+"""E16 — ablation: why the join rule's gap constant is exactly 1.
+
+The algorithm admits a vertex to the block iff ``m₁ − m₂ > θ`` with
+``θ = 1`` — the per-hop decay of a shifted value.  Claim 3's argument
+("every vertex on a shortest path to the center also chose it") consumes
+exactly one unit of gap per hop, so:
+
+* ``θ < 1`` — the closure argument fails; blocks fracture into
+  disconnected center-classes and components stop being center-pure;
+* ``θ = 1`` — the paper's algorithm: connected, center-pure, 2k−2;
+* ``θ > 1`` — still sound (a larger gap only strengthens Claim 3's
+  inequality) but joins become rarer: more phases, more colours.
+
+The sweep measures, per θ: fraction of phases whose block has a
+mixed-center component, total colours, and phases to exhaustion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.carving import carve_block
+from repro.core.shifts import sample_phase_radii
+from repro.graphs import connected_components, erdos_renyi, grid_graph
+
+from _common import BENCH_SEED, emit
+
+
+def run_threshold(graph, theta: float, beta: float, seed: int, max_phases: int = 500):
+    """Carve to exhaustion with gap threshold ``theta``; return metrics."""
+    active = set(graph.vertices())
+    phases = 0
+    mixed_components = 0
+    total_components = 0
+    while active and phases < max_phases:
+        phases += 1
+        radii = sample_phase_radii(seed, phases, active, beta)
+        outcome = carve_block(graph, active, radii, gap_threshold=theta)
+        for component in connected_components(
+            graph, active=outcome.block, universe=sorted(outcome.block)
+        ):
+            total_components += 1
+            if len({outcome.center_of[v] for v in component}) > 1:
+                mixed_components += 1
+        active -= outcome.block
+    return {
+        "phases": phases,
+        "exhausted": not active,
+        "mixed_components": mixed_components,
+        "total_components": total_components,
+    }
+
+
+def collect_rows() -> list[dict[str, object]]:
+    rows = []
+    beta = 1.2
+    for name, graph in (
+        ("er-120", erdos_renyi(120, 0.05, seed=BENCH_SEED)),
+        ("grid-100", grid_graph(10, 10)),
+    ):
+        for theta in (0.25, 0.5, 1.0, 1.5):
+            metrics = run_threshold(graph, theta, beta, BENCH_SEED)
+            rows.append(
+                {
+                    "graph": name,
+                    "theta": theta,
+                    "phases(=colors)": metrics["phases"],
+                    "exhausted": metrics["exhausted"],
+                    "mixed_center_comps": metrics["mixed_components"],
+                    "components": metrics["total_components"],
+                    "sound": theta >= 1.0,
+                }
+            )
+    return rows
+
+
+def test_ablation_table(benchmark):
+    graph = erdos_renyi(120, 0.05, seed=BENCH_SEED)
+    result = benchmark(run_threshold, graph, 1.0, 1.2, BENCH_SEED)
+    assert result["exhausted"]
+    rows = collect_rows()
+    emit("E16: ablation — join-rule gap threshold theta (paper: 1.0)", rows, "e16_ablation.txt")
+    # At theta >= 1 every component is center-pure (Claim 3); below 1 the
+    # guarantee breaks visibly somewhere in the sweep.
+    for row in rows:
+        if row["theta"] >= 1.0:
+            assert row["mixed_center_comps"] == 0
+    assert any(row["mixed_center_comps"] > 0 for row in rows if row["theta"] < 1.0)
+    # Larger theta joins more slowly: phases weakly increase in theta per graph.
+    for name in ("er-120", "grid-100"):
+        series = [r["phases(=colors)"] for r in rows if r["graph"] == name]
+        assert series[-1] >= series[1]  # theta=1.5 needs >= theta=0.5 phases

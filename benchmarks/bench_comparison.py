@@ -1,0 +1,89 @@
+"""E4 — the §1.2 comparison: prior work vs this paper at k = ln n.
+
+Two tables:
+
+* closed-form bounds (unit constants) for AGLP89 / PS92 / LS93 / EN16 —
+  the qualitative shape of §1.2's history;
+* measured head-to-head of the two polylogarithmic algorithms, LS93
+  (weak) and EN16 (strong), at identical ``k = ⌈ln n⌉``: diameters,
+  colours, distributed rounds.  The paper's point: same parameters, but
+  EN's diameter is *strong* (finite on the induced clusters) where LS's
+  is only weak.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import comparison_rows, report
+from repro.baselines import linial_saks
+from repro.baselines.distributed_ls import decompose_distributed as ls_distributed
+from repro.core import elkin_neiman
+from repro.core.distributed_en import decompose_distributed as en_distributed
+from repro.graphs import erdos_renyi, random_connected
+
+from _common import BENCH_SEED, emit
+
+
+def closed_form_rows() -> list[dict[str, object]]:
+    rows = []
+    for n in (256, 4096, 2**16):
+        for row in comparison_rows(n):
+            rows.append(
+                {
+                    "n": n,
+                    "algorithm": row.algorithm,
+                    "diam_kind": row.diameter_kind,
+                    "diameter": round(row.diameter, 1),
+                    "colors": round(row.colors, 1),
+                    "rounds": round(row.rounds, 1),
+                    "det": row.deterministic,
+                }
+            )
+    return rows
+
+
+def measured_rows() -> list[dict[str, object]]:
+    rows = []
+    for n in (128, 256, 512):
+        graph = random_connected(n, 2.0 / n, seed=BENCH_SEED + n)
+        k = math.ceil(math.log(n))
+        en_result = en_distributed(graph, k=k, seed=BENCH_SEED)
+        ls_result = ls_distributed(graph, k=k, seed=BENCH_SEED)
+        for name, decomposition, rounds in (
+            ("EN16", en_result.decomposition, en_result.total_rounds),
+            ("LS93", ls_result.decomposition, ls_result.total_rounds),
+        ):
+            q = report(decomposition)
+            rows.append(
+                {
+                    "n": n,
+                    "k": k,
+                    "algorithm": name,
+                    "strongD": q.max_strong_diameter,
+                    "weakD": q.max_weak_diameter,
+                    "D_bound": 2 * k - 2,
+                    "colors": q.num_colors,
+                    "disconn": q.num_disconnected_clusters,
+                    "rounds": rounds,
+                    "log2n_sq": round(math.log(n) ** 2, 1),
+                }
+            )
+    return rows
+
+
+def test_comparison_tables(benchmark):
+    graph = random_connected(256, 2.0 / 256, seed=BENCH_SEED + 256)
+    k = math.ceil(math.log(256))
+
+    def run():
+        decomposition, _ = elkin_neiman.decompose(graph, k=k, seed=BENCH_SEED)
+        return decomposition
+
+    decomposition = benchmark(run)
+    assert decomposition.is_partition()
+    emit("E4a: closed-form bounds (unit constants), the 1.2 history", closed_form_rows(), "e4a_closed_form.txt")
+    table = emit("E4b: measured LS93 (weak) vs EN16 (strong) at k = ceil(ln n)", measured_rows(), "e4b_measured.txt")
+    assert table

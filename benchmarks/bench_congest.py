@@ -1,0 +1,68 @@
+"""E8 — the CONGEST claim: top-two forwarding suffices with O(1) words.
+
+Three measurements per topology:
+
+* the decompositions produced by ``full`` and ``toptwo`` forwarding are
+  identical (the paper's unproved-in-the-abstract assertion);
+* peak words per edge per round: constant for top-two, growing with
+  density for full forwarding;
+* total message volume saved by the optimisation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distributed_en import decompose_distributed
+from repro.graphs import complete_graph, erdos_renyi, grid_graph, random_regular
+
+from _common import BENCH_SEED, emit
+
+
+def _workloads():
+    yield "grid-100", grid_graph(10, 10)
+    yield "er-sparse-128", erdos_renyi(128, 3.0 / 128, seed=BENCH_SEED)
+    yield "er-dense-64", erdos_renyi(64, 0.3, seed=BENCH_SEED)
+    yield "regular6-100", random_regular(100, 6, seed=BENCH_SEED)
+    yield "complete-32", complete_graph(32)
+
+
+def collect_rows() -> list[dict[str, object]]:
+    rows = []
+    for name, graph in _workloads():
+        full = decompose_distributed(graph, k=3, seed=BENCH_SEED, mode="full")
+        toptwo = decompose_distributed(graph, k=3, seed=BENCH_SEED, mode="toptwo")
+        identical = (
+            full.decomposition.cluster_index_map()
+            == toptwo.decomposition.cluster_index_map()
+        )
+        rows.append(
+            {
+                "graph": name,
+                "n": graph.num_vertices,
+                "m": graph.num_edges,
+                "identical": identical,
+                "full_peak_words": full.stats.max_words_per_edge_round,
+                "toptwo_peak_words": toptwo.stats.max_words_per_edge_round,
+                "full_msgs": full.stats.messages_sent,
+                "toptwo_msgs": toptwo.stats.messages_sent,
+                "rounds": toptwo.total_rounds,
+            }
+        )
+    return rows
+
+
+def test_congest_table(benchmark):
+    graph = grid_graph(10, 10)
+
+    def run():
+        return decompose_distributed(graph, k=3, seed=BENCH_SEED, mode="toptwo")
+
+    result = benchmark(run)
+    assert result.decomposition.is_partition()
+    rows = collect_rows()
+    table = emit("E8: CONGEST — top-two forwarding vs full forwarding", rows, "e8_congest.txt")
+    assert all(row["identical"] for row in rows)
+    # Top-two always fits two 4-word entries per edge per round.
+    assert all(row["toptwo_peak_words"] <= 8 for row in rows)
+    assert table

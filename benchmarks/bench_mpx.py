@@ -1,0 +1,62 @@
+"""E11 — the technique origin: MPX padded partitions.
+
+β sweep on several topologies: measured cut fraction vs the ``O(β)``
+padding guarantee, and max strong cluster diameter vs ``O(log n / β)``.
+This validates the machinery the paper adapts (its Lemma 5 source).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import mpx
+from repro.graphs import erdos_renyi, grid_graph, path_graph
+
+from _common import BENCH_SEED, emit
+
+
+def collect_rows(runs: int = 5) -> list[dict[str, object]]:
+    rows = []
+    workloads = [
+        ("grid-256", grid_graph(16, 16)),
+        ("path-400", path_graph(400)),
+        ("er-200", erdos_renyi(200, 3.0 / 200, seed=BENCH_SEED)),
+    ]
+    for name, graph in workloads:
+        n = graph.num_vertices
+        for beta in (0.1, 0.3, 0.6):
+            cuts = []
+            diams = []
+            for run in range(runs):
+                result = mpx.partition(graph, beta=beta, seed=BENCH_SEED + run)
+                cuts.append(result.cut_fraction)
+                diams.append(result.decomposition.max_strong_diameter())
+            rows.append(
+                {
+                    "graph": name,
+                    "beta": beta,
+                    "mean_cut": round(sum(cuts) / len(cuts), 4),
+                    "cut_bound~2b": round(2 * beta, 3),
+                    "max_strongD": max(diams),
+                    "D_scale~4ln(n)/b": round(4 * math.log(n) / beta, 1),
+                }
+            )
+    return rows
+
+
+def test_mpx_table(benchmark):
+    graph = grid_graph(16, 16)
+
+    def run():
+        return mpx.partition(graph, beta=0.3, seed=BENCH_SEED)
+
+    result = benchmark(run)
+    assert result.decomposition.is_partition()
+    rows = collect_rows()
+    table = emit("E11: MPX padded partition — cut fraction O(beta), diameter O(log n / beta)", rows, "e11_mpx.txt")
+    for row in rows:
+        assert row["mean_cut"] <= row["cut_bound~2b"]
+        assert row["max_strongD"] <= row["D_scale~4ln(n)/b"]
+    assert table

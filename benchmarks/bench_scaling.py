@@ -1,0 +1,64 @@
+"""E12 — round-complexity scaling: O(log² n) at k = ⌈ln n⌉.
+
+Doubling sweep: measured distributed rounds against ``a·ln²(cn)`` (the
+headline ``O(log² n)``), plus a per-size sanity check that the
+distributed protocol reproduces the centralized reference exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import elkin_neiman
+from repro.core.distributed_en import decompose_distributed
+from repro.graphs import random_connected
+
+from _common import BENCH_SEED, emit
+
+
+def collect_rows() -> list[dict[str, object]]:
+    rows = []
+    c = 4.0
+    for n in (64, 128, 256, 512):
+        graph = random_connected(n, 2.0 / n, seed=BENCH_SEED + n)
+        k = math.ceil(math.log(n))
+        result = decompose_distributed(graph, k=k, c=c, seed=BENCH_SEED)
+        central, _ = elkin_neiman.decompose(graph, k=k, c=c, seed=BENCH_SEED)
+        match = (
+            central.cluster_index_map() == result.decomposition.cluster_index_map()
+        )
+        log2 = math.log(c * n) ** 2
+        rows.append(
+            {
+                "n": n,
+                "k": k,
+                "rounds": result.total_rounds,
+                "ln^2(cn)": round(log2, 1),
+                "rounds/ln^2": round(result.total_rounds / log2, 2),
+                "phases": result.phases,
+                "colors": result.decomposition.num_colors,
+                "dist==cent": match,
+            }
+        )
+    return rows
+
+
+def test_scaling_table(benchmark):
+    graph = random_connected(128, 2.0 / 128, seed=BENCH_SEED + 128)
+    k = math.ceil(math.log(128))
+
+    def run():
+        return decompose_distributed(graph, k=k, seed=BENCH_SEED)
+
+    result = benchmark(run)
+    assert result.decomposition.is_partition()
+    rows = collect_rows()
+    table = emit("E12: scaling — distributed rounds vs O(log^2 n) at k = ceil(ln n)", rows, "e12_scaling.txt")
+    assert all(row["dist==cent"] for row in rows)
+    # The normalised constant stays bounded across the doubling sweep
+    # (the paper's O(log^2 n) shape): no growth trend beyond 2x.
+    ratios = [row["rounds/ln^2"] for row in rows]
+    assert max(ratios) <= 4 * min(ratios) + 1
+    assert table

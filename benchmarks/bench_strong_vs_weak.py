@@ -1,0 +1,73 @@
+"""E10 — what strong diameter buys in practice.
+
+Two quantitative stories on identical graphs and parameters:
+
+* **cluster structure** — Linial–Saks clusters are frequently disconnected
+  (strong diameter ∞); Elkin–Neiman clusters never are;
+* **relay overhead** — running the MIS application over an LS
+  decomposition forces the weak relay mode, whose non-member relay load
+  is pure overhead; the EN decomposition runs in strong mode with zero.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.applications import run_mis
+from repro.applications.verify import is_maximal_independent_set
+from repro.baselines import linial_saks
+from repro.core import elkin_neiman
+from repro.graphs import erdos_renyi
+
+from _common import BENCH_SEED, emit
+
+
+def collect_rows(runs: int = 5) -> list[dict[str, object]]:
+    rows = []
+    k = 4
+    for n in (80, 160):
+        for run in range(runs):
+            graph = erdos_renyi(n, 4.0 / n, seed=BENCH_SEED + 31 * run + n)
+            seed = BENCH_SEED + run
+            en, _ = elkin_neiman.decompose(graph, k=k, seed=seed)
+            ls, _ = linial_saks.decompose(graph, k=k, seed=seed)
+
+            en_mis = run_mis(graph, en, relay_mode="strong", seed=seed)
+            ls_mis = run_mis(graph, ls, relay_mode="weak", seed=seed)
+            assert is_maximal_independent_set(graph, en_mis.independent_set)
+            assert is_maximal_independent_set(graph, ls_mis.independent_set)
+
+            rows.append(
+                {
+                    "n": n,
+                    "run": run,
+                    "en_disconn": len(en.disconnected_clusters()),
+                    "ls_disconn": len(ls.disconnected_clusters()),
+                    "en_strongD": en.max_strong_diameter(),
+                    "ls_strongD": ls.max_strong_diameter(),
+                    "weak_bound": 2 * k - 2,
+                    "en_relays": en_mis.app.relay_messages_nonmember,
+                    "ls_relays": ls_mis.app.relay_messages_nonmember,
+                }
+            )
+    return rows
+
+
+def test_strong_vs_weak_table(benchmark):
+    graph = erdos_renyi(80, 0.05, seed=BENCH_SEED)
+
+    def run():
+        decomposition, _ = linial_saks.decompose(graph, k=4, seed=BENCH_SEED)
+        return decomposition
+
+    decomposition = benchmark(run)
+    assert decomposition.is_partition()
+    rows = collect_rows()
+    table = emit("E10: strong vs weak — connectivity and relay overhead", rows, "e10_strong_vs_weak.txt")
+    # EN never produces a disconnected cluster; LS does somewhere in the sweep.
+    assert all(row["en_disconn"] == 0 for row in rows)
+    assert any(row["ls_disconn"] > 0 for row in rows)
+    assert all(row["en_relays"] == 0 for row in rows)
+    assert table

@@ -1,0 +1,55 @@
+"""E2 — Theorem 2: staged rates improve the number of colours.
+
+Head-to-head at identical ``(n, k, c, seed)``: Theorem 1's constant-β run
+vs Theorem 2's staged run.  The paper's improvement is in the *budget*
+(``4k(cn)^{1/k}`` vs ``(cn)^{1/k}·ln(cn)``); measured colours track the
+budgets.  Strong diameter stays ``2k − 2`` for both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import elkin_neiman, staged, theorem1_bounds, theorem2_bounds
+from repro.graphs import erdos_renyi, random_connected
+
+from _common import BENCH_SEED, emit
+
+
+def collect_rows() -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    c = 6.0
+    for n in (256, 1024):
+        graph = erdos_renyi(n, 4.0 / n, seed=BENCH_SEED + n)
+        for k in (2, 3):
+            d1, t1 = elkin_neiman.decompose(graph, k=k, c=c, seed=BENCH_SEED)
+            d2, t2 = staged.decompose(graph, k=k, c=c, seed=BENCH_SEED)
+            d1.validate()
+            d2.validate()
+            rows.append(
+                {
+                    "n": n,
+                    "k": k,
+                    "thm1_colors": d1.num_colors,
+                    "thm1_budget": round(theorem1_bounds(n, k, c).colors, 1),
+                    "thm2_colors": d2.num_colors,
+                    "thm2_budget": round(theorem2_bounds(n, k, c).colors, 1),
+                    "thm1_strongD": d1.max_strong_diameter(),
+                    "thm2_strongD": d2.max_strong_diameter(),
+                    "D_bound": 2 * k - 2,
+                }
+            )
+    return rows
+
+
+def test_theorem2_table(benchmark):
+    graph = random_connected(256, 0.008, seed=BENCH_SEED)
+
+    def run():
+        decomposition, _ = staged.decompose(graph, k=3, c=6.0, seed=BENCH_SEED)
+        return decomposition
+
+    decomposition = benchmark(run)
+    assert decomposition.is_partition()
+    table = emit("E2: Theorem 2 — staged beta, colours 4k(cn)^{1/k}", collect_rows(), "e2_theorem2.txt")
+    assert table

@@ -1,0 +1,63 @@
+"""E3 — Theorem 3: the high-radius regime (few colours, large diameter).
+
+For target colour counts ``λ``: measured colours vs ``λ``, measured strong
+diameter vs ``2(cn)^{1/λ}·ln(cn)``, and whether λ phases sufficed
+(probability ``≥ 1 − 1/c``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import high_radius, theorem3_bounds
+from repro.graphs import erdos_renyi, grid_graph
+
+from _common import BENCH_SEED, emit
+
+
+def collect_rows() -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    c = 4.0
+    workloads = [
+        ("er-256", erdos_renyi(256, 4.0 / 256, seed=BENCH_SEED)),
+        ("grid-144", grid_graph(12, 12)),
+    ]
+    for name, graph in workloads:
+        n = graph.num_vertices
+        for lam in (1, 2, 3, 4):
+            decomposition, trace = high_radius.decompose(
+                graph, lam=lam, c=c, seed=BENCH_SEED + lam
+            )
+            decomposition.validate()
+            bounds = theorem3_bounds(n, lam, c)
+            rows.append(
+                {
+                    "graph": name,
+                    "n": n,
+                    "lambda": lam,
+                    "colors": decomposition.num_colors,
+                    "strongD": decomposition.max_strong_diameter(),
+                    "D_bound": round(bounds.diameter, 1),
+                    "in_budget": trace.exhausted_within_nominal,
+                }
+            )
+    return rows
+
+
+def test_theorem3_table(benchmark):
+    graph = grid_graph(12, 12)
+
+    def run():
+        decomposition, _ = high_radius.decompose(graph, lam=2, seed=BENCH_SEED)
+        return decomposition
+
+    decomposition = benchmark(run)
+    assert decomposition.is_partition()
+    table = emit(
+        "E3: Theorem 3 — strong (2(cn)^{1/lambda} ln(cn), lambda)",
+        collect_rows(),
+        "e3_theorem3.txt",
+    )
+    assert table

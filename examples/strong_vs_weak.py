@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The paper's headline, demonstrated: strong vs weak diameter.
+
+Linial–Saks (1993) computes a weak (O(log n), O(log n)) decomposition;
+for 23 years it was open whether *strong* diameter could match it.  This
+example runs both algorithms at the same parameters and shows:
+
+1. LS clusters are frequently disconnected — their strong diameter is
+   infinite even though their weak diameter obeys the 2k-2 bound;
+2. Elkin–Neiman clusters are always connected with strong diameter 2k-2;
+3. downstream cost: running MIS over the LS decomposition forces cluster
+   records to be relayed by non-members (weak relay mode), while the EN
+   decomposition pays zero relay overhead.
+
+Usage:
+    python examples/strong_vs_weak.py [n] [k] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import format_records, report
+from repro.applications import run_mis
+from repro.applications.verify import is_maximal_independent_set
+from repro.baselines import linial_saks
+from repro.core import elkin_neiman
+from repro.graphs import erdos_renyi
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    seed = int(sys.argv[3]) if len(sys.argv) > 3 else 7
+
+    graph = erdos_renyi(n, 4.0 / n, seed=seed)
+    print(f"graph: {graph}, k = {k} (diameter bound 2k-2 = {2 * k - 2})\n")
+
+    en, _ = elkin_neiman.decompose(graph, k=k, seed=seed)
+    ls, _ = linial_saks.decompose(graph, k=k, seed=seed)
+
+    rows = []
+    for name, decomposition in (("Elkin-Neiman (strong)", en), ("Linial-Saks (weak)", ls)):
+        q = report(decomposition)
+        rows.append(
+            {
+                "algorithm": name,
+                "colors": q.num_colors,
+                "clusters": q.num_clusters,
+                "strongD": q.max_strong_diameter,
+                "weakD": q.max_weak_diameter,
+                "disconnected": q.num_disconnected_clusters,
+            }
+        )
+    print(format_records(rows, title="decomposition quality"))
+
+    disconnected = ls.disconnected_clusters()
+    if disconnected:
+        cluster = disconnected[0]
+        print(
+            f"\nexample: LS cluster {cluster.index} (centre {cluster.center}) = "
+            f"{sorted(cluster.vertices)} is NOT connected in the induced subgraph"
+        )
+    else:
+        print("\n(no disconnected LS cluster at this seed — try another)")
+
+    # Downstream cost: MIS over each decomposition.
+    en_mis = run_mis(graph, en, relay_mode="strong", seed=seed)
+    ls_mis = run_mis(graph, ls, relay_mode="weak", seed=seed)
+    assert is_maximal_independent_set(graph, en_mis.independent_set)
+    assert is_maximal_independent_set(graph, ls_mis.independent_set)
+
+    print(format_records(
+        [
+            {
+                "algorithm": "EN + strong relay",
+                "MIS size": len(en_mis.independent_set),
+                "rounds": en_mis.app.rounds,
+                "nonmember relays": en_mis.app.relay_messages_nonmember,
+            },
+            {
+                "algorithm": "LS + weak relay",
+                "MIS size": len(ls_mis.independent_set),
+                "rounds": ls_mis.app.rounds,
+                "nonmember relays": ls_mis.app.relay_messages_nonmember,
+            },
+        ],
+        title="\nMIS via colour-class scheduling",
+    ))
+    print(
+        "\nstrong diameter means cluster traffic never leaves the cluster: "
+        f"{en_mis.app.relay_messages_nonmember} vs "
+        f"{ls_mis.app.relay_messages_nonmember} relayed records."
+    )
+
+
+if __name__ == "__main__":
+    main()

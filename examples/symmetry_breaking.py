@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Symmetry breaking via network decomposition (the paper's §1.1).
+
+Given a (D, χ) decomposition, MIS, (Δ+1)-colouring and maximal matching
+all run in O(D·χ) distributed rounds by processing colour classes in
+sequence.  This example computes one decomposition of a grid and solves
+all three problems on top of it, verifying every output independently.
+
+Usage:
+    python examples/symmetry_breaking.py [rows] [cols] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import format_records
+from repro.applications import run_coloring, run_matching, run_mis
+from repro.applications.verify import (
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_vertex_coloring,
+)
+from repro.core import elkin_neiman
+from repro.graphs import grid_graph
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 9
+    cols = int(sys.argv[2]) if len(sys.argv) > 2 else 9
+    seed = int(sys.argv[3]) if len(sys.argv) > 3 else 11
+
+    graph = grid_graph(rows, cols)
+    print(f"graph: {rows}x{cols} grid, {graph}")
+
+    decomposition, _ = elkin_neiman.decompose(graph, k=3, seed=seed)
+    chi = decomposition.num_colors
+    diameter = int(decomposition.max_strong_diameter())
+    print(f"decomposition: χ = {chi}, D = {diameter} "
+          f"→ round budget χ·(D+2) = {chi * (diameter + 2)}\n")
+
+    mis = run_mis(graph, decomposition, seed=seed)
+    ok_mis = is_maximal_independent_set(graph, mis.independent_set)
+
+    coloring = run_coloring(graph, decomposition, seed=seed)
+    ok_col = is_proper_vertex_coloring(
+        graph, coloring.colors, max_colors=graph.max_degree() + 1
+    )
+
+    matching = run_matching(graph, k=3, seed=seed)
+    ok_mat = is_maximal_matching(graph, matching.matching)
+
+    print(format_records(
+        [
+            {
+                "problem": "maximal independent set",
+                "result": f"{len(mis.independent_set)} vertices",
+                "rounds": mis.app.rounds,
+                "verified": ok_mis,
+            },
+            {
+                "problem": "(Δ+1)-colouring",
+                "result": f"{coloring.num_colors_used} colours (Δ+1 = {graph.max_degree() + 1})",
+                "rounds": coloring.app.rounds,
+                "verified": ok_col,
+            },
+            {
+                "problem": "maximal matching (MIS on L(G))",
+                "result": f"{len(matching.matching)} edges",
+                "rounds": matching.line_mis.app.rounds,
+                "verified": ok_mat,
+            },
+        ],
+        title="symmetry breaking via one decomposition",
+    ))
+
+    # Draw the MIS on the grid.
+    print("\nMIS on the grid ('#' = selected):")
+    for r in range(rows):
+        line = "".join(
+            "#" if r * cols + c in mis.independent_set else "." for c in range(cols)
+        )
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so the package installs on environments without the ``wheel``
+package (``python setup.py develop`` / legacy editable installs); all
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

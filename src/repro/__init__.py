@@ -1,0 +1,79 @@
+"""repro — reproduction of *Distributed Strong Diameter Network Decomposition*.
+
+Elkin & Neiman, PODC 2016 (arXiv:1602.05437): the first distributed
+algorithm computing a **strong** ``(O(log n), O(log n))`` network
+decomposition in ``O(log² n)`` rounds, via exponential random shifts.
+
+Quickstart
+----------
+>>> from repro import decompose, erdos_renyi
+>>> graph = erdos_renyi(200, 0.03, seed=1)
+>>> decomposition, trace = decompose(graph, k=4)
+>>> decomposition.validate(max_diameter=2 * 4 - 2, strong=True)
+>>> decomposition.num_colors <= trace.nominal_phases
+True
+
+Package map
+-----------
+* :mod:`repro.graphs` — graph kernel, generators, metrics (substrate);
+* :mod:`repro.distributed` — synchronous LOCAL/CONGEST simulator (substrate);
+* :mod:`repro.core` — the paper's algorithms (Theorems 1–3, centralized and
+  distributed);
+* :mod:`repro.baselines` — Linial–Saks, Miller–Peng–Xu, deterministic ball
+  carving;
+* :mod:`repro.applications` — MIS, (Δ+1)-colouring and maximal matching on
+  top of decompositions (the paper's §1.1 motivation);
+* :mod:`repro.analysis` — quality reports, Monte-Carlo lemma checks, theory
+  tables.
+"""
+
+from . import analysis, applications, baselines, core, distributed, graphs
+from .core.decomposition import Cluster, NetworkDecomposition
+from .core.distributed_en import decompose_distributed
+from .core.elkin_neiman import decompose
+from .errors import (
+    CongestViolation,
+    DecompositionError,
+    GraphError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+)
+from .graphs import (
+    Graph,
+    GraphBuilder,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    random_connected,
+)
+from .rng import DEFAULT_SEED
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "CongestViolation",
+    "DEFAULT_SEED",
+    "DecompositionError",
+    "Graph",
+    "GraphBuilder",
+    "GraphError",
+    "NetworkDecomposition",
+    "ParameterError",
+    "ReproError",
+    "SimulationError",
+    "__version__",
+    "analysis",
+    "applications",
+    "baselines",
+    "core",
+    "decompose",
+    "decompose_distributed",
+    "distributed",
+    "erdos_renyi",
+    "graphs",
+    "grid_graph",
+    "path_graph",
+    "random_connected",
+]

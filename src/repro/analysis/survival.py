@@ -1,0 +1,88 @@
+"""Claim 6 / Corollary 7 / Claim 8: survival-probability empirics.
+
+Claim 6: ``Pr[y ∈ G_{t+1}] ≤ (1 − (cn)^{-1/k})^t`` — every vertex joins a
+block with probability at least ``(cn)^{-1/k}`` per phase regardless of
+history.  Corollary 7: after ``λ = (cn)^{1/k}·ln(cn)`` phases the graph is
+empty with probability ``≥ 1 − 1/c``.  Claim 8 (Theorem 2's staged
+variant): survival into stage ``i`` has probability ``≤ e^{-2i}``.
+
+This module turns traces of carving runs into empirical survival curves
+and provides the theoretical envelopes to compare against (experiment E6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.driver import DecompositionTrace
+from ..errors import ParameterError
+
+__all__ = [
+    "claim6_envelope",
+    "claim8_envelope",
+    "survival_curve",
+    "aggregate_survival",
+    "SurvivalSummary",
+]
+
+
+def claim6_envelope(n: int, k: float, c: float, phases: int) -> list[float]:
+    """Theoretical survival envelope ``(1 − (cn)^{-1/k})^t`` for ``t = 1..phases``."""
+    if n < 1 or k < 1 or c <= 0 or phases < 0:
+        raise ParameterError("need n >= 1, k >= 1, c > 0, phases >= 0")
+    rate = 1.0 - (c * n) ** (-1.0 / k)
+    return [rate**t for t in range(1, phases + 1)]
+
+
+def claim8_envelope(stages: int) -> list[float]:
+    """Theorem 2's per-stage survival envelope ``e^{-2i}`` for ``i = 0..stages``."""
+    if stages < 0:
+        raise ParameterError(f"stages must be >= 0, got {stages}")
+    return [math.exp(-2.0 * i) for i in range(stages + 1)]
+
+
+def survival_curve(trace: DecompositionTrace, n: int) -> list[float]:
+    """Fraction of vertices still alive after each phase of one run."""
+    if n < 1:
+        return []
+    return [survivors / n for survivors in trace.survivors]
+
+
+@dataclass(frozen=True)
+class SurvivalSummary:
+    """Aggregated survival statistics over several runs.
+
+    ``mean_curve[t]`` is the mean fraction of vertices alive after phase
+    ``t + 1`` across runs (missing phases count as 0 — the graph was
+    already empty).  ``max_phases_observed`` is the longest run;
+    ``exhausted_within_nominal_fraction`` is the empirical Corollary 7
+    success rate.
+    """
+
+    mean_curve: list[float]
+    max_phases_observed: int
+    exhausted_within_nominal_fraction: float
+    runs: int
+
+
+def aggregate_survival(
+    traces: Sequence[DecompositionTrace], n: int
+) -> SurvivalSummary:
+    """Aggregate survival curves of several runs on ``n``-vertex graphs."""
+    if not traces:
+        raise ParameterError("need at least one trace")
+    longest = max(trace.total_phases for trace in traces)
+    sums = [0.0] * longest
+    for trace in traces:
+        curve = survival_curve(trace, n)
+        for t in range(longest):
+            sums[t] += curve[t] if t < len(curve) else 0.0
+    within = sum(1 for trace in traces if trace.exhausted_within_nominal)
+    return SurvivalSummary(
+        mean_curve=[s / len(traces) for s in sums],
+        max_phases_observed=longest,
+        exhausted_within_nominal_fraction=within / len(traces),
+        runs=len(traces),
+    )

@@ -1,0 +1,108 @@
+"""Parameter-sweep framework for multi-seed experiment series.
+
+The benchmark harness runs one fixed table per experiment; this module is
+the general tool behind "run X over a grid of parameters and many seeds,
+aggregate".  A :class:`Sweep` couples a runner (returning one record per
+call) with a parameter grid and a seed range; :func:`run_sweep` executes
+it and :func:`aggregate` reduces repeated seeds to mean/min/max columns.
+
+Used by the trade-off example and available to downstream users who want
+their own experiment grids without rewriting the loop scaffolding.
+"""
+
+from __future__ import annotations
+
+import itertools
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..errors import ParameterError
+
+__all__ = ["Sweep", "run_sweep", "aggregate"]
+
+Runner = Callable[..., Mapping[str, Any]]
+
+
+@dataclass
+class Sweep:
+    """A parameter grid attached to a runner.
+
+    Attributes
+    ----------
+    runner:
+        Called as ``runner(seed=..., **point)`` for every grid point and
+        seed; must return a flat record (mapping).
+    grid:
+        ``parameter -> list of values``; the sweep is the cartesian
+        product.
+    seeds:
+        Seeds to repeat every grid point with.
+    """
+
+    runner: Runner
+    grid: Mapping[str, Sequence[Any]]
+    seeds: Sequence[int] = (0,)
+
+    def points(self) -> list[dict[str, Any]]:
+        """The cartesian product of the grid, as dicts (deterministic order)."""
+        names = list(self.grid)
+        product = itertools.product(*(self.grid[name] for name in names))
+        return [dict(zip(names, values)) for values in product]
+
+
+def run_sweep(sweep: Sweep) -> list[dict[str, Any]]:
+    """Execute a sweep; return one record per (grid point, seed).
+
+    Each record is the runner's output plus the grid-point parameters and
+    the ``seed`` column (runner outputs win on key collisions — they are
+    the measurements).
+    """
+    records: list[dict[str, Any]] = []
+    for point in sweep.points():
+        for seed in sweep.seeds:
+            measured = dict(sweep.runner(seed=seed, **point))
+            record: dict[str, Any] = {**point, "seed": seed}
+            record.update(measured)
+            records.append(record)
+    return records
+
+
+def aggregate(
+    records: Sequence[Mapping[str, Any]],
+    group_by: Sequence[str],
+    metrics: Sequence[str],
+) -> list[dict[str, Any]]:
+    """Reduce repeated seeds: mean/min/max of ``metrics`` per group.
+
+    Parameters
+    ----------
+    records:
+        Output of :func:`run_sweep`.
+    group_by:
+        Key columns defining a group (typically the grid parameters).
+    metrics:
+        Numeric columns to aggregate; produces ``{metric}_mean``,
+        ``{metric}_min`` and ``{metric}_max`` columns.
+    """
+    if not group_by:
+        raise ParameterError("group_by must name at least one column")
+    groups: dict[tuple, list[Mapping[str, Any]]] = {}
+    for record in records:
+        try:
+            key = tuple(record[name] for name in group_by)
+        except KeyError as exc:
+            raise ParameterError(f"record missing group column: {exc}") from exc
+        groups.setdefault(key, []).append(record)
+    rows: list[dict[str, Any]] = []
+    for key, members in groups.items():
+        row: dict[str, Any] = dict(zip(group_by, key))
+        row["runs"] = len(members)
+        for metric in metrics:
+            values = [float(member[metric]) for member in members]
+            row[f"{metric}_mean"] = statistics.fmean(values)
+            row[f"{metric}_min"] = min(values)
+            row[f"{metric}_max"] = max(values)
+        rows.append(row)
+    rows.sort(key=lambda row: tuple(repr(row[name]) for name in group_by))
+    return rows

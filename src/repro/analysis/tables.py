@@ -1,0 +1,71 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print the rows recorded in ``EXPERIMENTS.md``; this module
+owns the formatting so every experiment emits consistent, diffable text.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["format_value", "format_table", "format_records"]
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Render one cell: floats rounded, infinities as ``inf``, rest via str."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        if value == int(value) and abs(value) < 1e12:
+            return str(int(value))
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned plain-text table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]], title="demo"))
+    demo
+    a  b
+    -  ---
+    1  2.5
+    """
+    cells = [[format_value(value, precision) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_records(
+    records: Sequence[Mapping[str, object]],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render a list of identical-keyed dicts as a table (keys = headers)."""
+    if not records:
+        return title or ""
+    headers = list(records[0].keys())
+    rows = [[record.get(h, "") for h in headers] for record in records]
+    return format_table(headers, rows, title=title, precision=precision)

@@ -1,0 +1,124 @@
+"""Closed-form bounds of prior work — the §1.2 comparison table.
+
+The paper positions its result against three lines of work:
+
+====================  ======================  ==========================  =====================
+algorithm             diameter                colours                     rounds
+====================  ======================  ==========================  =====================
+AGLP89 (det.)         2^O(√(log n log log n)) 2^O(√(log n log log n))     2^O(√(log n log log n))
+PS92 (det.)           2^O(√log n)             2^O(√log n)                 2^O(√log n)
+LS93 (rand., WEAK)    O(log n)                O(log n)                    O(log² n)
+This paper (STRONG)   O(log n)                O(log n)                    O(log² n)
+====================  ======================  ==========================  =====================
+
+The deterministic bounds are asymptotic families; we evaluate them with
+unit constants in the exponent — they are orders of magnitude above the
+polylogarithmic algorithms for every practical ``n``, which is the
+qualitative shape experiment E4 reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+
+__all__ = [
+    "TheoryRow",
+    "aglp_row",
+    "ps_row",
+    "ls_row",
+    "elkin_neiman_row",
+    "comparison_rows",
+]
+
+
+@dataclass(frozen=True)
+class TheoryRow:
+    """One row of the §1.2 comparison: nominal bounds with unit constants."""
+
+    algorithm: str
+    diameter_kind: str  # "strong" or "weak"
+    diameter: float
+    colors: float
+    rounds: float
+    deterministic: bool
+
+
+def _check_n(n: int) -> None:
+    if n < 2:
+        raise ParameterError(f"n must be >= 2, got {n}")
+
+
+def aglp_row(n: int) -> TheoryRow:
+    """Awerbuch–Goldberg–Luby–Plotkin 1989: all three ``2^O(√(log n log log n))``."""
+    _check_n(n)
+    log_n = math.log2(n)
+    value = 2.0 ** math.sqrt(log_n * max(math.log2(max(log_n, 2.0)), 1.0))
+    return TheoryRow(
+        algorithm="AGLP89",
+        diameter_kind="strong",
+        diameter=value,
+        colors=value,
+        rounds=value,
+        deterministic=True,
+    )
+
+
+def ps_row(n: int) -> TheoryRow:
+    """Panconesi–Srinivasan 1992: all three ``2^O(√log n)``."""
+    _check_n(n)
+    value = 2.0 ** math.sqrt(math.log2(n))
+    return TheoryRow(
+        algorithm="PS92",
+        diameter_kind="strong",
+        diameter=value,
+        colors=value,
+        rounds=value,
+        deterministic=True,
+    )
+
+
+def ls_row(n: int, k: int | None = None) -> TheoryRow:
+    """Linial–Saks 1993: weak ``(O(log n), O(log n))`` in ``O(log² n)``.
+
+    With explicit ``k``: weak ``(2k−2, O(n^{1/k}·log n))`` in expected
+    ``O(k·n^{1/k}·log n)`` rounds.
+    """
+    _check_n(n)
+    if k is None:
+        k = max(1, round(math.log(n)))
+    colors = n ** (1.0 / k) * math.log(n)
+    return TheoryRow(
+        algorithm="LS93",
+        diameter_kind="weak",
+        diameter=2.0 * k - 2.0,
+        colors=colors,
+        rounds=k * colors,
+        deterministic=False,
+    )
+
+
+def elkin_neiman_row(n: int, k: int | None = None, c: float = 4.0) -> TheoryRow:
+    """This paper (Theorem 1): strong ``(2k−2, (cn)^{1/k}·ln(cn))``."""
+    _check_n(n)
+    if c <= 3:
+        raise ParameterError(f"c must be > 3, got {c}")
+    if k is None:
+        k = max(1, round(math.log(n)))
+    cn = c * n
+    colors = cn ** (1.0 / k) * math.log(cn)
+    return TheoryRow(
+        algorithm="EN16",
+        diameter_kind="strong",
+        diameter=2.0 * k - 2.0,
+        colors=colors,
+        rounds=k * colors,
+        deterministic=False,
+    )
+
+
+def comparison_rows(n: int, k: int | None = None, c: float = 4.0) -> list[TheoryRow]:
+    """The full §1.2 comparison table for a given ``n`` (and optional ``k``)."""
+    return [aglp_row(n), ps_row(n), ls_row(n, k), elkin_neiman_row(n, k, c)]

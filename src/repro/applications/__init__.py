@@ -1,0 +1,74 @@
+"""Applications of network decomposition (the paper's §1.1 motivation).
+
+Given a ``(D, χ)`` decomposition, the classic symmetry-breaking problems
+are solved colour class by colour class in ``O(D·χ)`` rounds:
+
+* :mod:`~repro.applications.scheduling` — the generic colour-class
+  scheduler (flood each cluster, solve canonically);
+* :mod:`~repro.applications.mis` — maximal independent set;
+* :mod:`~repro.applications.coloring` — (Δ+1)-vertex-colouring;
+* :mod:`~repro.applications.matching` — maximal matching via MIS on the
+  line graph;
+* :mod:`~repro.applications.verify` — independent output verifiers;
+* :mod:`~repro.applications.local_solvers` — the canonical per-cluster
+  solvers shared by distributed and centralized paths.
+"""
+
+from .coloring import (
+    ColoringResult,
+    ColoringTask,
+    coloring_via_decomposition,
+    run_coloring,
+)
+from .covers import NeighborhoodCover, build_cover
+from .leader_collect import LeaderCollectNode, run_leader_collect_app
+from .local_solvers import solve_coloring, solve_matching, solve_mis
+from .matching import MatchingResult, matching_via_decomposition, run_matching
+from .mis import MISResult, MISTask, mis_via_decomposition, run_mis
+from .scheduling import (
+    AppRunResult,
+    ClusterTask,
+    ScheduledAppNode,
+    run_scheduled_app,
+)
+from .spanner import SpannerResult, build_spanner, max_edge_stretch
+from .verify import (
+    is_independent_set,
+    is_matching,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_vertex_coloring,
+)
+
+__all__ = [
+    "AppRunResult",
+    "ClusterTask",
+    "ColoringResult",
+    "ColoringTask",
+    "LeaderCollectNode",
+    "MISResult",
+    "MISTask",
+    "MatchingResult",
+    "NeighborhoodCover",
+    "ScheduledAppNode",
+    "SpannerResult",
+    "build_cover",
+    "build_spanner",
+    "max_edge_stretch",
+    "run_leader_collect_app",
+    "coloring_via_decomposition",
+    "is_independent_set",
+    "is_matching",
+    "is_maximal_independent_set",
+    "is_maximal_matching",
+    "is_proper_vertex_coloring",
+    "matching_via_decomposition",
+    "mis_via_decomposition",
+    "run_coloring",
+    "run_matching",
+    "run_mis",
+    "run_scheduled_app",
+    "solve_coloring",
+    "solve_matching",
+    "solve_mis",
+]

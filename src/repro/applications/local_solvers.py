@@ -1,0 +1,101 @@
+"""Canonical per-cluster solvers.
+
+The naive per-cluster algorithm of the paper's §1.1 collects the cluster
+topology at one vertex, solves the subproblem locally and disseminates the
+answer.  Our scheduling framework uses the symmetric variant: *every*
+member collects the same information and runs the same **canonical,
+deterministic** solver, so all members compute identical answers and no
+dissemination step is needed.
+
+These solvers are that canonical computation.  They operate on plain data
+(member lists, adjacency dicts, boundary constraints) so they can run both
+inside simulated nodes and in centralized reference implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["solve_mis", "solve_coloring", "solve_matching"]
+
+
+def solve_mis(
+    members: Iterable[int],
+    adjacency: Mapping[int, Iterable[int]],
+    blocked: Iterable[int] = (),
+) -> set[int]:
+    """Greedy MIS over ``members`` in ascending id order.
+
+    ``blocked`` members (those with a neighbour already chosen into the
+    global MIS during an earlier colour phase) are never selected; the
+    remaining members are scanned in id order, selecting every vertex with
+    no previously selected neighbour.
+
+    Returns the selected subset.  The result is maximal *within the
+    cluster given the constraints*: every unselected, unblocked member has
+    a selected neighbour.
+    """
+    blocked_set = set(blocked)
+    chosen: set[int] = set()
+    for v in sorted(members):
+        if v in blocked_set:
+            continue
+        if any(w in chosen for w in adjacency.get(v, ())):
+            continue
+        chosen.add(v)
+    return chosen
+
+
+def solve_coloring(
+    members: Iterable[int],
+    adjacency: Mapping[int, Iterable[int]],
+    forbidden: Mapping[int, Iterable[int]] | None = None,
+) -> dict[int, int]:
+    """Greedy first-fit colouring of ``members`` in ascending id order.
+
+    ``forbidden[v]`` lists colours already taken by ``v``'s decided
+    neighbours outside the cluster.  Every member receives the smallest
+    colour not used by a decided or earlier-in-order neighbour; with a
+    palette of ``Δ + 1`` colours this always succeeds (a vertex of degree
+    ``d`` sees at most ``d`` conflicts).
+    """
+    forbidden = forbidden or {}
+    assigned: dict[int, int] = {}
+    for v in sorted(members):
+        taken = set(forbidden.get(v, ()))
+        for w in adjacency.get(v, ()):
+            if w in assigned:
+                taken.add(assigned[w])
+        color = 0
+        while color in taken:
+            color += 1
+        assigned[v] = color
+    return assigned
+
+
+def solve_matching(
+    members: Iterable[int],
+    adjacency: Mapping[int, Iterable[int]],
+    unavailable: Iterable[int] = (),
+) -> set[tuple[int, int]]:
+    """Greedy maximal matching on the induced subgraph of ``members``.
+
+    ``unavailable`` members (already matched in earlier phases) are
+    skipped.  Edges are scanned in lexicographic order.  Used as a
+    centralized reference; the distributed matching application reduces to
+    MIS on the line graph instead (see :mod:`repro.applications.matching`).
+    """
+    unavailable_set = set(unavailable)
+    member_set = set(members)
+    matched: set[int] = set()
+    result: set[tuple[int, int]] = set()
+    for v in sorted(member_set):
+        if v in unavailable_set or v in matched:
+            continue
+        for w in sorted(adjacency.get(v, ())):
+            if w in member_set and w not in unavailable_set and w not in matched and w != v:
+                result.add((v, w) if v < w else (w, v))
+                matched.add(v)
+                matched.add(w)
+                break
+    return result

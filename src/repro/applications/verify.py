@@ -1,0 +1,75 @@
+"""Independent verifiers for the applications' outputs.
+
+Each verifier checks its property from first principles against the host
+graph, with no reference to how the solution was produced — the test
+suite runs them on every application result.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Iterable, Mapping
+
+from ..graphs.graph import Edge, Graph
+
+__all__ = [
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "is_proper_vertex_coloring",
+    "is_matching",
+    "is_maximal_matching",
+]
+
+
+def is_independent_set(graph: Graph, vertices: Collection[int]) -> bool:
+    """No two selected vertices are adjacent."""
+    selected = set(vertices)
+    return not any(u in selected and v in selected for u, v in graph.edges())
+
+
+def is_maximal_independent_set(graph: Graph, vertices: Collection[int]) -> bool:
+    """Independent, and every unselected vertex has a selected neighbour."""
+    selected = set(vertices)
+    if not is_independent_set(graph, selected):
+        return False
+    for v in graph.vertices():
+        if v in selected:
+            continue
+        if not any(w in selected for w in graph.neighbors(v)):
+            return False
+    return True
+
+
+def is_proper_vertex_coloring(
+    graph: Graph, colors: Mapping[int, int], max_colors: int | None = None
+) -> bool:
+    """Every vertex coloured, no monochromatic edge, palette optionally bounded."""
+    for v in graph.vertices():
+        if v not in colors:
+            return False
+    if any(colors[u] == colors[v] for u, v in graph.edges()):
+        return False
+    if max_colors is not None and len(set(colors.values())) > max_colors:
+        return False
+    return True
+
+
+def is_matching(graph: Graph, edges: Iterable[Edge]) -> bool:
+    """All pairs are real edges and no vertex is matched twice."""
+    used: set[int] = set()
+    for u, v in edges:
+        if not graph.has_edge(u, v):
+            return False
+        if u in used or v in used:
+            return False
+        used.add(u)
+        used.add(v)
+    return True
+
+
+def is_maximal_matching(graph: Graph, edges: Iterable[Edge]) -> bool:
+    """A matching that cannot be extended: every edge touches a matched vertex."""
+    edge_list = list(edges)
+    if not is_matching(graph, edge_list):
+        return False
+    matched = {u for u, _ in edge_list} | {v for _, v in edge_list}
+    return all(u in matched or v in matched for u, v in graph.edges())

@@ -1,0 +1,41 @@
+"""Baseline decomposition algorithms the paper is measured against.
+
+* :mod:`~repro.baselines.linial_saks` / :mod:`~repro.baselines.distributed_ls`
+  — the LS93 randomized **weak**-diameter decomposition (the algorithm whose
+  strong-diameter analogue the paper provides);
+* :mod:`~repro.baselines.mpx` / :mod:`~repro.baselines.distributed_mpx`
+  — the Miller–Peng–Xu exponential-shift padded partition (the technique
+  the paper adapts);
+* :mod:`~repro.baselines.ball_carving` — deterministic sequential
+  region-growing (sanity anchor for the ``(2k−2, ·)`` regime).
+"""
+
+from . import ball_carving, linial_saks, mpx
+from .ball_carving import BallCarvingTrace, greedy_color
+from .distributed_ls import DistributedLSResult, LSNodeAlgorithm
+from .distributed_ls import decompose_distributed as ls_decompose_distributed
+from .distributed_mpx import (
+    DistributedMPXResult,
+    MPXNodeAlgorithm,
+    partition_distributed,
+)
+from .linial_saks import LSTrace, sample_ls_radius
+from .mpx import MPXResult, sample_shifts
+
+__all__ = [
+    "BallCarvingTrace",
+    "DistributedLSResult",
+    "DistributedMPXResult",
+    "LSNodeAlgorithm",
+    "LSTrace",
+    "MPXNodeAlgorithm",
+    "MPXResult",
+    "ball_carving",
+    "greedy_color",
+    "linial_saks",
+    "ls_decompose_distributed",
+    "mpx",
+    "partition_distributed",
+    "sample_ls_radius",
+    "sample_shifts",
+]

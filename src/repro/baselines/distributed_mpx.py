@@ -1,0 +1,167 @@
+"""Distributed Miller–Peng–Xu partition on the synchronous simulator.
+
+One-shot shifted-BFS competition: every vertex injects ``δ_v ~ Exp(β)``
+and the network floods shifted values for ``B = max ⌊δ_v⌋`` rounds; each
+vertex is assigned to the origin of the largest shifted value it heard
+(its own included, so everyone is assigned).
+
+Forwarding modes:
+
+* ``full`` — forward every newly heard value;
+* ``topone`` — forward only the current best value.  This suffices for
+  assignment: if ``x`` suppresses origin ``o`` because it holds a larger
+  shifted value ``m'``, then anything downstream of ``x`` would receive a
+  value at least as large as ``o``'s via ``x``'s best, so ``o`` can never
+  win downstream of ``x`` — the classical argument MPX's parallel
+  implementation rests on.  Messages are then O(1) words per edge per
+  round.
+
+Cross-validated bit-for-bit against :func:`repro.baselines.mpx.partition`
+(both draw shifts from the ``(seed, "mpx-shift", vertex)`` streams).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+from ..core.decomposition import Cluster, NetworkDecomposition
+from ..distributed.message import Message
+from ..distributed.metrics import NetworkStats
+from ..distributed.network import SyncNetwork
+from ..distributed.node import Context, NodeAlgorithm
+from ..errors import ParameterError
+from ..graphs.graph import Graph
+from ..rng import DEFAULT_SEED, stream
+
+__all__ = ["MPXNodeAlgorithm", "DistributedMPXResult", "partition_distributed"]
+
+_BCAST = "b"
+
+
+class MPXNodeAlgorithm(NodeAlgorithm):
+    """Node-local logic of the one-shot MPX competition."""
+
+    def __init__(
+        self, vertex: int, seed: int, beta: float, mode: Literal["full", "topone"]
+    ) -> None:
+        if mode not in ("full", "topone"):
+            raise ParameterError(f"mode must be 'full' or 'topone', got {mode!r}")
+        self.vertex = vertex
+        self.seed = seed
+        self.beta = beta
+        self.mode = mode
+        self.shift = 0.0
+        self.broadcast_rounds = 0
+        self.entries: dict[int, tuple[float, int]] = {}
+        self._new_origins: list[int] = []
+        self._sent_origins: set[int] = set()
+        self.center: int | None = None
+
+    def configure(self, broadcast_rounds: int) -> None:
+        """Set the flood length ``B`` (common-knowledge parameter)."""
+        self.broadcast_rounds = broadcast_rounds
+
+    def on_start(self, ctx: Context) -> None:
+        self.shift = stream(self.seed, "mpx-shift", self.vertex).expovariate(self.beta)
+        self.entries = {self.vertex: (self.shift, 0)}
+        self._new_origins = [self.vertex]
+
+    def on_round(self, ctx: Context, inbox: Sequence[Message]) -> None:
+        for message in inbox:
+            _tag, origin, shift, distance = message.payload
+            known = self.entries.get(origin)
+            if known is None or distance < known[1]:
+                self.entries[origin] = (shift, distance)
+                self._new_origins.append(origin)
+        if ctx.round_number <= self.broadcast_rounds:
+            self._forward(ctx)
+        if ctx.round_number == self.broadcast_rounds + 1:
+            self.center = min(
+                self.entries,
+                key=lambda o: (-(self.entries[o][0] - self.entries[o][1]), o),
+            )
+            ctx.halt()
+
+    def _eligible(self, origin: int) -> bool:
+        shift, distance = self.entries[origin]
+        return distance + 1 <= math.floor(shift)
+
+    def _forward(self, ctx: Context) -> None:
+        if self.mode == "full":
+            outgoing = [o for o in self._new_origins if self._eligible(o)]
+        else:
+            eligible = [o for o in self.entries if self._eligible(o)]
+            eligible.sort(
+                key=lambda o: (-(self.entries[o][0] - self.entries[o][1]), o)
+            )
+            outgoing = [o for o in eligible[:1] if o not in self._sent_origins]
+        self._new_origins = []
+        for origin in outgoing:
+            self._sent_origins.add(origin)
+            shift, distance = self.entries[origin]
+            for neighbor in ctx.neighbors:
+                ctx.send(neighbor, (_BCAST, origin, shift, distance + 1))
+
+
+@dataclass
+class DistributedMPXResult:
+    """Outcome of a distributed MPX run."""
+
+    decomposition: NetworkDecomposition
+    center_of: dict[int, int]
+    stats: NetworkStats
+    rounds: int
+    cut_edges: int
+    cut_fraction: float
+
+
+def partition_distributed(
+    graph: Graph,
+    beta: float,
+    seed: int = DEFAULT_SEED,
+    mode: Literal["full", "topone"] = "topone",
+    word_budget: int | None = None,
+) -> DistributedMPXResult:
+    """Run the distributed MPX partition on ``graph`` with rate ``beta``.
+
+    The flood length ``B = max ⌊δ_v⌋`` is computed by the driver from the
+    shared shift streams (the standard w.h.p. bound is
+    ``O(log n / β)``); the run then takes ``B + 1`` rounds.
+    """
+    if beta <= 0:
+        raise ParameterError(f"beta must be positive, got {beta}")
+    n = graph.num_vertices
+    shifts = {
+        v: stream(seed, "mpx-shift", v).expovariate(beta) for v in range(n)
+    }
+    budget = max((math.floor(s) for s in shifts.values()), default=0)
+    algorithms = [MPXNodeAlgorithm(v, seed, beta, mode) for v in range(n)]
+    for algorithm in algorithms:
+        algorithm.configure(budget)
+    network = SyncNetwork(graph, algorithms, seed=seed, word_budget=word_budget)
+    network.start()
+    network.run_rounds(budget + 1)
+    center_of: dict[int, int] = {}
+    for v in range(n):
+        algorithm = network.algorithm(v)
+        assert isinstance(algorithm, MPXNodeAlgorithm)
+        assert algorithm.center is not None, "every vertex must be assigned"
+        center_of[v] = algorithm.center
+    by_center: dict[int, list[int]] = {}
+    for v, center in center_of.items():
+        by_center.setdefault(center, []).append(v)
+    clusters = [
+        Cluster(index=i, color=i, vertices=frozenset(by_center[center]), center=center)
+        for i, center in enumerate(sorted(by_center))
+    ]
+    cut = sum(1 for u, v in graph.edges() if center_of[u] != center_of[v])
+    return DistributedMPXResult(
+        decomposition=NetworkDecomposition(graph, clusters),
+        center_of=center_of,
+        stats=network.stats,
+        rounds=budget + 1,
+        cut_edges=cut,
+        cut_fraction=cut / graph.num_edges if graph.num_edges else 0.0,
+    )

@@ -1,0 +1,266 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands
+-----------
+``decompose``
+    Run Theorem 1/2/3 on a generated graph and print the quality report.
+``compare``
+    Head-to-head Elkin–Neiman vs Linial–Saks on one graph (the paper's
+    strong-vs-weak story).
+``apps``
+    Solve MIS / colouring / matching over a decomposition and verify.
+``spanner``
+    Build and measure the cluster spanner of a decomposition.
+``theory``
+    Print the §1.2 closed-form comparison table for a given ``n``.
+
+Graphs are described by compact specs: ``er:200:0.03``, ``grid:10:12``,
+``path:50``, ``cycle:64``, ``tree:2:5``, ``hypercube:6``, ``conn:300:0.01``,
+``regular:100:4``, ``ws:100:4:0.1`` (see :func:`parse_graph_spec`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Sequence
+
+from .analysis import comparison_rows, format_records, report
+from .applications import (
+    build_spanner,
+    run_coloring,
+    run_matching,
+    run_mis,
+)
+from .applications.verify import (
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_vertex_coloring,
+)
+from .baselines import linial_saks
+from .core import elkin_neiman, high_radius, staged
+from .errors import ParameterError
+from .graphs import (
+    Graph,
+    balanced_tree,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    random_connected,
+    random_regular,
+    watts_strogatz,
+)
+from .rng import DEFAULT_SEED
+
+__all__ = ["parse_graph_spec", "main"]
+
+
+def parse_graph_spec(spec: str, seed: int = DEFAULT_SEED) -> Graph:
+    """Build a graph from a compact ``family:arg:arg`` spec string."""
+    parts = spec.split(":")
+    family, args = parts[0], parts[1:]
+    try:
+        if family == "er":
+            return erdos_renyi(int(args[0]), float(args[1]), seed=seed)
+        if family == "grid":
+            return grid_graph(int(args[0]), int(args[1]))
+        if family == "path":
+            return path_graph(int(args[0]))
+        if family == "cycle":
+            return cycle_graph(int(args[0]))
+        if family == "tree":
+            return balanced_tree(int(args[0]), int(args[1]))
+        if family == "hypercube":
+            return hypercube_graph(int(args[0]))
+        if family == "conn":
+            return random_connected(int(args[0]), float(args[1]), seed=seed)
+        if family == "regular":
+            return random_regular(int(args[0]), int(args[1]), seed=seed)
+        if family == "ws":
+            return watts_strogatz(int(args[0]), int(args[1]), float(args[2]), seed=seed)
+    except (IndexError, ValueError) as exc:
+        raise ParameterError(f"bad graph spec {spec!r}: {exc}") from exc
+    raise ParameterError(
+        f"unknown graph family {family!r} "
+        "(try er/grid/path/cycle/tree/hypercube/conn/regular/ws)"
+    )
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(args.graph, seed=args.seed)
+    if args.theorem == 1:
+        decomposition, trace = elkin_neiman.decompose(
+            graph, k=args.k, c=args.c, seed=args.seed
+        )
+    elif args.theorem == 2:
+        decomposition, trace = staged.decompose(
+            graph, k=args.k, c=max(args.c, 6.0), seed=args.seed
+        )
+    else:
+        decomposition, trace = high_radius.decompose(
+            graph, lam=args.colors, c=args.c, seed=args.seed
+        )
+    decomposition.validate()
+    q = report(decomposition)
+    print(format_records([q.row()], title=f"Theorem {args.theorem} on {args.graph}"))
+    print(f"\nphases: {trace.total_phases} (budget {trace.nominal_phases}, "
+          f"within: {trace.exhausted_within_nominal})")
+    print(f"truncation events: {len(trace.truncation_events)}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(args.graph, seed=args.seed)
+    k = args.k or max(2, math.ceil(math.log(max(graph.num_vertices, 2))))
+    en, _ = elkin_neiman.decompose(graph, k=k, seed=args.seed)
+    ls, _ = linial_saks.decompose(graph, k=k, seed=args.seed)
+    rows = []
+    for name, decomposition in (("EN16 (strong)", en), ("LS93 (weak)", ls)):
+        q = report(decomposition)
+        rows.append(
+            {
+                "algorithm": name,
+                "colors": q.num_colors,
+                "strongD": q.max_strong_diameter,
+                "weakD": q.max_weak_diameter,
+                "bound 2k-2": 2 * k - 2,
+                "disconnected": q.num_disconnected_clusters,
+            }
+        )
+    print(format_records(rows, title=f"k = {k} on {args.graph}"))
+    return 0
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(args.graph, seed=args.seed)
+    decomposition, _ = elkin_neiman.decompose(graph, k=args.k, seed=args.seed)
+    rows = []
+    if args.problem in ("mis", "all"):
+        result = run_mis(graph, decomposition, seed=args.seed)
+        rows.append(
+            {
+                "problem": "MIS",
+                "result": len(result.independent_set),
+                "rounds": result.app.rounds,
+                "verified": is_maximal_independent_set(graph, result.independent_set),
+            }
+        )
+    if args.problem in ("coloring", "all"):
+        result = run_coloring(graph, decomposition, seed=args.seed)
+        rows.append(
+            {
+                "problem": "coloring",
+                "result": result.num_colors_used,
+                "rounds": result.app.rounds,
+                "verified": is_proper_vertex_coloring(
+                    graph, result.colors, max_colors=graph.max_degree() + 1
+                ),
+            }
+        )
+    if args.problem in ("matching", "all"):
+        result = run_matching(graph, k=args.k, seed=args.seed)
+        rows.append(
+            {
+                "problem": "matching",
+                "result": len(result.matching),
+                "rounds": result.line_mis.app.rounds,
+                "verified": is_maximal_matching(graph, result.matching),
+            }
+        )
+    print(format_records(rows, title=f"applications on {args.graph} (k={args.k})"))
+    return 0 if all(row["verified"] for row in rows) else 1
+
+
+def _cmd_spanner(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(args.graph, seed=args.seed)
+    decomposition, _ = elkin_neiman.decompose(graph, k=args.k, seed=args.seed)
+    result = build_spanner(graph, decomposition)
+    print(format_records(
+        [
+            {
+                "graph edges": graph.num_edges,
+                "spanner edges": result.num_edges,
+                "tree edges": result.tree_edges,
+                "connectors": result.connector_edges,
+                "stretch": result.max_stretch,
+                "bound 4D+1": result.stretch_bound,
+            }
+        ],
+        title=f"cluster spanner of {args.graph} (k={args.k})",
+    ))
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "algorithm": row.algorithm,
+            "kind": row.diameter_kind,
+            "diameter": round(row.diameter, 1),
+            "colors": round(row.colors, 1),
+            "rounds": round(row.rounds, 1),
+            "deterministic": row.deterministic,
+        }
+        for row in comparison_rows(args.n, args.k)
+    ]
+    print(format_records(rows, title=f"closed-form bounds at n = {args.n}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed strong-diameter network decomposition "
+        "(Elkin & Neiman, PODC 2016) — reproduction toolkit.",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("decompose", help="run Theorem 1/2/3 on a graph")
+    p.add_argument("graph", help="graph spec, e.g. er:200:0.03")
+    p.add_argument("--theorem", type=int, choices=(1, 2, 3), default=1)
+    p.add_argument("-k", type=float, default=3)
+    p.add_argument("-c", type=float, default=4.0)
+    p.add_argument("--colors", type=int, default=3, help="lambda for Theorem 3")
+    p.set_defaults(func=_cmd_decompose)
+
+    p = sub.add_parser("compare", help="EN16 vs LS93 head-to-head")
+    p.add_argument("graph")
+    p.add_argument("-k", type=int, default=0, help="0 = ceil(ln n)")
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("apps", help="MIS / coloring / matching over a decomposition")
+    p.add_argument("graph")
+    p.add_argument("--problem", choices=("mis", "coloring", "matching", "all"), default="all")
+    p.add_argument("-k", type=int, default=3)
+    p.set_defaults(func=_cmd_apps)
+
+    p = sub.add_parser("spanner", help="cluster spanner from a decomposition")
+    p.add_argument("graph")
+    p.add_argument("-k", type=int, default=3)
+    p.set_defaults(func=_cmd_spanner)
+
+    p = sub.add_parser("theory", help="closed-form comparison table")
+    p.add_argument("n", type=int)
+    p.add_argument("-k", type=int, default=None)
+    p.set_defaults(func=_cmd_theory)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,194 @@
+"""The single-phase carving kernel (paper §2, "Construction").
+
+Given the current graph :math:`G_t` (as an active vertex set) and one
+radius ``r_v`` per active vertex, this module computes the block
+:math:`W_t`:
+
+1. every vertex ``v`` *broadcasts* ``r_v`` to its ``⌊r_v⌋``-neighbourhood
+   in :math:`G_t` — here, a bounded BFS over the active set;
+2. every vertex ``y`` records ``m_i = r_{v_i} − d_{G_t}(y, v_i)`` for each
+   broadcast that reaches it (its own included, with ``m = r_y``);
+3. ``y`` joins :math:`W_t` **iff** ``m₁ − m₂ > 1``, where ``m₁ ≥ m₂`` are
+   the two largest recorded values and ``m₂ = 0`` when only one broadcast
+   arrived.  The argmax vertex ``v₁`` is ``y``'s *center*.
+
+The same kernel runs inside the centralized drivers (Theorems 1–3) and is
+the ground truth the distributed protocol is cross-validated against.
+
+Tie-breaking: radii are continuous, so exact ties between shifted values
+have probability zero; for bit-level determinism we still order competitors
+by ``(m, -origin)`` so equal values resolve toward the smaller origin id.
+This choice can only matter on measure-zero events and never affects the
+guarantees.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Container, Mapping
+
+from ..errors import ParameterError
+from ..graphs.graph import Graph
+
+__all__ = ["TopTwo", "PhaseOutcome", "carve_block", "broadcast_reach"]
+
+
+@dataclass
+class TopTwo:
+    """The two largest shifted values seen by one vertex.
+
+    ``best`` / ``second`` are the values ``m₁`` / ``m₂``; ``best_origin``
+    is the center candidate ``v₁``.  ``second`` defaults to 0.0, the
+    paper's convention when no second broadcast arrives.
+    """
+
+    best: float = -math.inf
+    best_origin: int = -1
+    second: float = 0.0
+    second_origin: int = -1
+    count: int = 0
+
+    def offer(self, value: float, origin: int) -> None:
+        """Account for a broadcast with shifted value ``value`` from ``origin``."""
+        self.count += 1
+        if value > self.best or (value == self.best and origin < self.best_origin):
+            if self.count > 1:
+                self.second, self.second_origin = self.best, self.best_origin
+            self.best, self.best_origin = value, origin
+        elif self.count > 1 and (
+            self.second_origin == -1
+            or value > self.second
+            or (value == self.second and origin < self.second_origin)
+        ):
+            self.second, self.second_origin = value, origin
+
+    @property
+    def gap(self) -> float:
+        """``m₁ − m₂`` (with the ``m₂ = 0`` convention for lone broadcasts)."""
+        second = self.second if self.count > 1 else 0.0
+        return self.best - second
+
+    @property
+    def joins(self) -> bool:
+        """The paper's join rule: ``m₁ − m₂ > 1``."""
+        return self.gap > 1.0
+
+    def joins_with_threshold(self, threshold: float) -> bool:
+        """Generalised join rule ``m₁ − m₂ > threshold`` (ablation only).
+
+        The paper's constant is 1 — exactly the per-hop decay of the
+        shifted values, which is what makes Claim 3 (shortest-path
+        closure, hence *strong* diameter) go through.  Thresholds below 1
+        break that closure and produce disconnected clusters; thresholds
+        above 1 only shrink blocks and slow exhaustion.  Exercised by
+        ``benchmarks/bench_ablation.py``.
+        """
+        return self.gap > threshold
+
+
+@dataclass
+class PhaseOutcome:
+    """Result of carving one block.
+
+    Attributes
+    ----------
+    block:
+        The carved block ``W_t`` (vertices joining this phase).
+    center_of:
+        For every vertex of ``block``, the center it chose.
+    top_two:
+        Per active vertex, its :class:`TopTwo` record — kept so analyses
+        (gap distributions, Lemma 5 checks) can inspect the full outcome.
+    """
+
+    block: set[int] = field(default_factory=set)
+    center_of: dict[int, int] = field(default_factory=dict)
+    top_two: dict[int, TopTwo] = field(default_factory=dict)
+
+
+def broadcast_reach(radius: float, range_cap: int | None) -> int:
+    """Hop range of a broadcast with radius ``radius``: ``⌊r⌋``, optionally capped.
+
+    The cap models the fixed per-phase round budget of the distributed
+    protocol (``k`` rounds — Lemma 1 guarantees the cap is w.h.p. inactive).
+    """
+    if radius < 0:
+        raise ParameterError(f"radius must be >= 0, got {radius}")
+    reach = math.floor(radius)
+    if range_cap is not None:
+        reach = min(reach, range_cap)
+    return reach
+
+
+def carve_block(
+    graph: Graph,
+    active: Container[int],
+    radii: Mapping[int, float],
+    range_cap: int | None = None,
+    gap_threshold: float = 1.0,
+) -> PhaseOutcome:
+    """Carve one block out of ``G[active]`` using the given radii.
+
+    Parameters
+    ----------
+    graph:
+        Host graph.
+    active:
+        The vertices of the current graph :math:`G_t`.  Must contain
+        exactly the keys of ``radii``.
+    radii:
+        ``vertex -> r_v`` for every active vertex.
+    range_cap:
+        Optional hop cap on every broadcast (the distributed protocol's
+        per-phase round budget; ``None`` reproduces the paper's idealised
+        unbounded broadcast).
+    gap_threshold:
+        The join rule's gap (paper: 1.0).  Exposed **for ablation
+        studies only** — any value below 1 voids the strong-diameter
+        guarantee (see :meth:`TopTwo.joins_with_threshold`).
+
+    Returns
+    -------
+    PhaseOutcome
+        Block, chosen centers and per-vertex top-two records.
+
+    Notes
+    -----
+    Every vertex hears at least its own broadcast (distance 0 is always
+    within range since ``⌊r⌋ ≥ 0``), so ``m₁`` is always defined — matching
+    the paper's observation that an isolated vertex joins iff ``r_y > 1``.
+    """
+    outcome = PhaseOutcome()
+    top_two = outcome.top_two
+    for v in sorted(radii):
+        if v not in active:
+            raise ParameterError(f"radius given for inactive vertex {v}")
+        top_two[v] = TopTwo()
+    for v in sorted(radii):
+        r_v = radii[v]
+        reach = broadcast_reach(r_v, range_cap)
+        # Bounded BFS from v over the active set, offering r_v - d to
+        # every vertex reached.
+        distances = {v: 0}
+        top_two[v].offer(r_v, v)
+        if reach == 0:
+            continue
+        frontier = deque([v])
+        while frontier:
+            u = frontier.popleft()
+            du = distances[u]
+            if du >= reach:
+                continue
+            for w in graph.neighbors(u):
+                if w in distances or w not in active:
+                    continue
+                distances[w] = du + 1
+                top_two[w].offer(r_v - (du + 1), v)
+                frontier.append(w)
+    for y, record in top_two.items():
+        if record.joins_with_threshold(gap_threshold):
+            outcome.block.add(y)
+            outcome.center_of[y] = record.best_origin
+    return outcome

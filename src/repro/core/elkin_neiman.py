@@ -1,0 +1,75 @@
+"""Theorem 1: the basic Elkin–Neiman strong-diameter decomposition.
+
+For ``1 ≤ k ≤ ln n`` and ``c > 3``, carve blocks with exponential radii of
+rate ``β = ln(cn)/k``.  With probability at least ``1 − 3/c`` the result is
+a strong ``(2k−2, (cn)^{1/k}·ln(cn))`` network decomposition and the
+distributed implementation takes ``k·(cn)^{1/k}·ln(cn)`` rounds.
+
+This module provides the centralized reference implementation; the
+message-passing protocol lives in :mod:`repro.core.distributed_en` and is
+cross-validated against this one.
+
+Example
+-------
+>>> from repro.graphs import erdos_renyi
+>>> from repro.core.elkin_neiman import decompose
+>>> graph = erdos_renyi(100, 0.05, seed=1)
+>>> decomposition, trace = decompose(graph, k=4, seed=7)
+>>> decomposition.max_strong_diameter() <= 2 * 4 - 2 or trace.had_truncation_event
+True
+"""
+
+from __future__ import annotations
+
+from ..graphs.graph import Graph
+from ..rng import DEFAULT_SEED
+from .decomposition import NetworkDecomposition
+from .driver import DecompositionTrace, run_carving_process
+from .params import Theorem1Schedule
+
+__all__ = ["decompose"]
+
+
+def decompose(
+    graph: Graph,
+    k: float,
+    c: float = 4.0,
+    seed: int = DEFAULT_SEED,
+    use_range_cap: bool = False,
+    max_phases: int | None = None,
+) -> tuple[NetworkDecomposition, DecompositionTrace]:
+    """Compute a strong ``(2k−2, (cn)^{1/k}·ln(cn))`` decomposition.
+
+    Parameters
+    ----------
+    graph:
+        Input graph (need not be connected).
+    k:
+        Radius parameter, ``k ≥ 1``.  The paper takes integer
+        ``k ≤ ln n``; larger or fractional ``k`` is accepted (Theorem 3 is
+        exactly that regime).
+    c:
+        Confidence parameter, ``c > 3``; all guarantees hold with
+        probability ``≥ 1 − 3/c``.
+    seed:
+        Root seed for the per-``(phase, vertex)`` radius streams.
+    use_range_cap:
+        Truncate broadcasts at ``⌊k⌋`` hops (the distributed protocol's
+        fixed phase budget) instead of the idealised ``⌊r_v⌋``.
+    max_phases:
+        Optional hard cap on phases (safety; see
+        :func:`repro.core.driver.run_carving_process`).
+
+    Returns
+    -------
+    (NetworkDecomposition, DecompositionTrace)
+        Colour ``t-1`` marks the block carved in phase ``t``.
+    """
+    schedule = Theorem1Schedule(n=max(graph.num_vertices, 1), k=k, c=c)
+    return run_carving_process(
+        graph,
+        schedule,
+        seed=seed,
+        use_range_cap=use_range_cap,
+        max_phases=max_phases,
+    )

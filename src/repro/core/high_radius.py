@@ -1,0 +1,61 @@
+"""Theorem 3: the high-radius regime — few colours, large diameter.
+
+When fewer than ``ln n`` colours are wanted, invert the trade-off: for a
+target of ``λ ≤ ln n`` colours take ``k = (cn)^{1/λ}·ln(cn)`` and run the
+Theorem 1 procedure.  Each phase now carves such a large fraction of the
+graph that ``λ`` phases exhaust it w.h.p. (§2.2: survival probability
+``≤ (ln(cn)/k)^λ ≤ 1/(cn)``).
+
+Guarantee: with probability ``≥ 1 − 3/c`` (``c > 3``), a strong
+``(2(cn)^{1/λ}·ln(cn), λ)`` decomposition in ``λ·(cn)^{1/λ}·ln(cn)``
+rounds.
+"""
+
+from __future__ import annotations
+
+from ..graphs.graph import Graph
+from ..rng import DEFAULT_SEED
+from .decomposition import NetworkDecomposition
+from .driver import DecompositionTrace, run_carving_process
+from .params import Theorem3Schedule
+
+__all__ = ["decompose"]
+
+
+def decompose(
+    graph: Graph,
+    lam: int,
+    c: float = 4.0,
+    seed: int = DEFAULT_SEED,
+    use_range_cap: bool = False,
+    max_phases: int | None = None,
+) -> tuple[NetworkDecomposition, DecompositionTrace]:
+    """Compute a strong ``(2(cn)^{1/λ}·ln(cn), λ)`` decomposition.
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    lam:
+        Target number of colours ``λ ≥ 1`` (the paper takes
+        ``λ ≤ ln n``).
+    c:
+        Confidence parameter, ``c > 3``.
+    seed, use_range_cap, max_phases:
+        As in :func:`repro.core.elkin_neiman.decompose`.
+
+    Returns
+    -------
+    (NetworkDecomposition, DecompositionTrace)
+        The trace's ``exhausted_within_nominal`` records whether ``λ``
+        phases sufficed (true w.p. ``≥ 1 − 1/c``); on the rare failure the
+        driver keeps carving, so ``num_colors`` can exceed ``λ``.
+    """
+    schedule = Theorem3Schedule.from_lambda(max(graph.num_vertices, 1), lam, c=c)
+    return run_carving_process(
+        graph,
+        schedule,
+        seed=seed,
+        use_range_cap=use_range_cap,
+        max_phases=max_phases,
+    )

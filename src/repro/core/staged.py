@@ -1,0 +1,49 @@
+"""Theorem 2: improved number of blocks via staged exponential rates.
+
+The Theorem 1 construction pays a ``ln(cn)`` factor in the number of
+colours because β stays pinned to the worst case.  Theorem 2 runs
+``⌊ln n⌋ + 1`` *stages*: stage ``i`` lasts ``s_i = 2(cn/eⁱ)^{1/k}`` phases
+with rate ``β_i = ln(cn/eⁱ)/k``.  As the graph thins out, β decreases, the
+per-phase join probability rises to a constant per stage (Claim 8), and
+the total number of phases — hence colours — telescopes to
+``Σ s_i ≤ 4k(cn)^{1/k}``.
+
+The strong diameter bound ``2k−2`` is β-independent (Lemma 4 holds for any
+rate, given the Lemma-1 analogue), so only the colour count improves.
+
+Guarantee: with probability ``≥ 1 − 5/c`` (``c > 5``), a strong
+``(2k−2, 4k(cn)^{1/k})`` decomposition in ``O(k²(cn)^{1/k})`` rounds.
+"""
+
+from __future__ import annotations
+
+from ..graphs.graph import Graph
+from ..rng import DEFAULT_SEED
+from .decomposition import NetworkDecomposition
+from .driver import DecompositionTrace, run_carving_process
+from .params import Theorem2Schedule
+
+__all__ = ["decompose"]
+
+
+def decompose(
+    graph: Graph,
+    k: float,
+    c: float = 6.0,
+    seed: int = DEFAULT_SEED,
+    use_range_cap: bool = False,
+    max_phases: int | None = None,
+) -> tuple[NetworkDecomposition, DecompositionTrace]:
+    """Compute a strong ``(2k−2, 4k(cn)^{1/k})`` decomposition (Theorem 2).
+
+    Parameters match :func:`repro.core.elkin_neiman.decompose` except that
+    the confidence parameter requires ``c > 5`` and the default is 6.
+    """
+    schedule = Theorem2Schedule(n=max(graph.num_vertices, 1), k=k, c=c)
+    return run_carving_process(
+        graph,
+        schedule,
+        seed=seed,
+        use_range_cap=use_range_cap,
+        max_phases=max_phases,
+    )

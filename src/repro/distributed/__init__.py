@@ -1,0 +1,51 @@
+"""Distributed runtime substrate: a synchronous LOCAL/CONGEST simulator.
+
+The paper's model (§1.1): each vertex hosts a processor, processors
+communicate over the graph's edges in synchronous rounds, and running time
+is the number of rounds.  This package provides that model in executable
+form:
+
+* :class:`~repro.distributed.node.NodeAlgorithm` /
+  :class:`~repro.distributed.node.Context` — the node-side programming API;
+* :class:`~repro.distributed.network.SyncNetwork` — the deterministic round
+  engine with message delivery, halting, and bandwidth accounting;
+* :class:`~repro.distributed.metrics.NetworkStats` — rounds / messages /
+  words-per-edge-per-round measurements;
+* :func:`~repro.distributed.message.payload_words` — the O(1)-words
+  CONGEST cost model.
+"""
+
+from .message import Message, payload_words
+from .metrics import NetworkStats
+from .network import SyncNetwork
+from .node import Context, NodeAlgorithm
+from .protocols import (
+    BFSTreeNode,
+    ConvergecastSumNode,
+    FloodNode,
+    LeaderElectionNode,
+    run_bfs_tree,
+    run_convergecast_sum,
+    run_flood,
+    run_leader_election,
+)
+from .tracing import TraceEvent, TraceRecorder
+
+__all__ = [
+    "BFSTreeNode",
+    "Context",
+    "ConvergecastSumNode",
+    "FloodNode",
+    "LeaderElectionNode",
+    "Message",
+    "NetworkStats",
+    "NodeAlgorithm",
+    "SyncNetwork",
+    "TraceEvent",
+    "TraceRecorder",
+    "payload_words",
+    "run_bfs_tree",
+    "run_convergecast_sum",
+    "run_flood",
+    "run_leader_election",
+]

@@ -1,0 +1,70 @@
+"""Messages and bandwidth accounting for the simulated network.
+
+The CONGEST model allows ``O(log n)`` bits per edge per round.  Following
+the convention of the paper ("each message consists of O(1) words"), the
+simulator measures message size in *words*: a word holds one integer of
+magnitude ``poly(n)`` or one IEEE double.  :func:`payload_words` assigns a
+word count to the Python payloads nodes exchange; composite payloads cost
+the sum of their parts, so an ``("bcast", origin, radius, distance)`` tuple
+costs 4 words.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Message", "payload_words"]
+
+_CHARS_PER_WORD = 8
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message in flight: ``sender -> receiver``, sent during ``sent_round``.
+
+    Messages sent during round ``t`` are delivered at the start of round
+    ``t + 1`` (synchronous model).  ``words`` caches the bandwidth cost of
+    ``payload``.
+    """
+
+    sender: int
+    receiver: int
+    payload: Any
+    sent_round: int
+    words: int
+
+    @staticmethod
+    def make(sender: int, receiver: int, payload: Any, sent_round: int) -> "Message":
+        """Construct a message, computing its word cost."""
+        return Message(sender, receiver, payload, sent_round, payload_words(payload))
+
+
+def payload_words(payload: Any) -> int:
+    """Word cost of a payload under the O(log n)-bits-per-word convention.
+
+    * ``None`` and booleans: 1 word (a tag),
+    * integers and floats: 1 word each,
+    * strings: one word per 8 characters (tags like ``"join"`` cost 1),
+    * tuples / lists / sets: the sum over elements,
+    * dicts: the sum over keys and values.
+
+    Anything else costs 1 word per 8 characters of its ``repr`` — a crude
+    but monotone fallback that keeps exotic payloads from being free.
+    """
+    if payload is None or isinstance(payload, bool):
+        return 1
+    if isinstance(payload, (int, float)):
+        return 1
+    if isinstance(payload, str):
+        return max(1, math.ceil(len(payload) / _CHARS_PER_WORD))
+    if isinstance(payload, (tuple, list, frozenset, set)):
+        return sum(payload_words(item) for item in payload) if payload else 1
+    if isinstance(payload, dict):
+        if not payload:
+            return 1
+        return sum(
+            payload_words(key) + payload_words(value) for key, value in payload.items()
+        )
+    return max(1, math.ceil(len(repr(payload)) / _CHARS_PER_WORD))

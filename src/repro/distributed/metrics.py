@@ -1,0 +1,60 @@
+"""Run statistics collected by the simulator.
+
+:class:`NetworkStats` is how the benchmark harness measures the costs the
+paper reports: rounds of communication, number of messages, and bandwidth
+per edge per round (the CONGEST budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NetworkStats"]
+
+
+@dataclass
+class NetworkStats:
+    """Mutable accumulator of communication costs for one simulation run.
+
+    Attributes
+    ----------
+    rounds:
+        Number of rounds executed so far.
+    messages_sent:
+        Total messages enqueued (including ones dropped because the
+        receiver had halted).
+    messages_delivered:
+        Messages actually handed to a receiver's ``on_round``.
+    words_sent:
+        Total bandwidth in words across all messages sent.
+    max_words_per_edge_round:
+        The largest number of words that crossed a single directed edge in
+        a single round — the quantity the CONGEST model bounds.  The
+        paper's top-two optimisation exists precisely to keep this O(1).
+    """
+
+    rounds: int = 0
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    words_sent: int = 0
+    max_words_per_edge_round: int = 0
+
+    def merge(self, other: "NetworkStats") -> "NetworkStats":
+        """Combine two runs (e.g. per-phase stats into a total)."""
+        return NetworkStats(
+            rounds=self.rounds + other.rounds,
+            messages_sent=self.messages_sent + other.messages_sent,
+            messages_delivered=self.messages_delivered + other.messages_delivered,
+            words_sent=self.words_sent + other.words_sent,
+            max_words_per_edge_round=max(
+                self.max_words_per_edge_round, other.max_words_per_edge_round
+            ),
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"rounds={self.rounds} messages={self.messages_sent} "
+            f"words={self.words_sent} "
+            f"max_words/edge/round={self.max_words_per_edge_round}"
+        )

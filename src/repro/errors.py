@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  More specific subclasses exist for
+the main failure categories: malformed graphs, simulator misuse, CONGEST
+bandwidth violations and invalid decompositions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph operations.
+
+    Examples: referencing a vertex outside ``range(n)``, adding a self loop
+    to a simple graph, or requesting the diameter of a disconnected graph.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when the distributed simulator is misused.
+
+    Examples: sending a message to a non-neighbour, sending after halting,
+    or exceeding the configured maximum number of rounds.
+    """
+
+
+class CongestViolation(SimulationError):
+    """Raised when a message exceeds the CONGEST bandwidth budget.
+
+    The CONGEST model allows ``O(log n)`` bits per edge per round; the
+    simulator measures messages in machine *words* (a word holds an integer
+    of magnitude ``poly(n)`` or one float) and raises this error when a
+    message is wider than the configured word budget.
+    """
+
+
+class DecompositionError(ReproError):
+    """Raised when a network decomposition fails validation.
+
+    Examples: the clusters do not partition the vertex set, a cluster
+    exceeds the promised diameter, or two adjacent clusters share a colour.
+    """
+
+
+class ParameterError(ReproError, ValueError):
+    """Raised for invalid algorithm parameters (``k``, ``c``, ``beta`` ...).
+
+    Inherits from :class:`ValueError` so generic callers that guard against
+    bad arguments with ``except ValueError`` keep working.
+    """

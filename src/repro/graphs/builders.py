@@ -1,0 +1,108 @@
+"""Graph construction helpers and optional networkx interop.
+
+The library's own :class:`~repro.graphs.graph.Graph` is the primary type;
+networkx is used only at the boundary (cross-checking our generators and
+metrics in tests, importing external edge lists).  The import of networkx
+is deferred so the core library works without it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import GraphError
+from .graph import Edge, Graph, GraphBuilder
+
+__all__ = [
+    "from_edge_list",
+    "from_adjacency",
+    "from_networkx",
+    "to_networkx",
+    "parse_edge_list_text",
+]
+
+
+def from_edge_list(num_vertices: int, edges: Iterable[Edge]) -> Graph:
+    """Build a graph from an edge iterable, ignoring duplicate edges."""
+    builder = GraphBuilder(num_vertices)
+    for u, v in edges:
+        builder.add_edge(u, v)
+    return builder.build()
+
+
+def from_adjacency(adjacency: Mapping[int, Iterable[int]] | Sequence[Iterable[int]]) -> Graph:
+    """Build a graph from an adjacency mapping or sequence.
+
+    The vertex set is ``range(n)`` where ``n`` is one plus the largest
+    vertex mentioned (as a key/index or as a neighbour).  The adjacency may
+    list each edge in one or both directions.
+    """
+    if isinstance(adjacency, Mapping):
+        items = list(adjacency.items())
+    else:
+        items = list(enumerate(adjacency))
+    max_vertex = -1
+    for v, nbrs in items:
+        max_vertex = max(max_vertex, v, *nbrs) if nbrs else max(max_vertex, v)
+    builder = GraphBuilder(max_vertex + 1)
+    for v, nbrs in items:
+        for w in nbrs:
+            builder.add_edge(v, w)
+    return builder.build()
+
+
+def parse_edge_list_text(text: str) -> Graph:
+    """Parse a whitespace-separated edge-list document.
+
+    Each non-empty, non-``#`` line holds two integer endpoints.  The vertex
+    set is ``range(max endpoint + 1)``.
+    """
+    edges: list[Edge] = []
+    max_vertex = -1
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise GraphError(f"line {lineno}: expected two endpoints, got {line!r}")
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise GraphError(f"line {lineno}: non-integer endpoint in {line!r}") from exc
+        if u < 0 or v < 0:
+            raise GraphError(f"line {lineno}: negative vertex in {line!r}")
+        edges.append((u, v))
+        max_vertex = max(max_vertex, u, v)
+    return from_edge_list(max_vertex + 1, edges)
+
+
+def from_networkx(nx_graph: object) -> tuple[Graph, dict[object, int]]:
+    """Convert a networkx graph, relabelling nodes to ``0..n-1``.
+
+    Returns the converted graph and the ``original node -> int`` mapping.
+    Node order follows ``sorted`` when the nodes are sortable, insertion
+    order otherwise.
+    """
+    nodes = list(nx_graph.nodes())  # type: ignore[attr-defined]
+    try:
+        nodes = sorted(nodes)
+    except TypeError:
+        pass
+    labels = {node: i for i, node in enumerate(nodes)}
+    builder = GraphBuilder(len(nodes))
+    for u, v in nx_graph.edges():  # type: ignore[attr-defined]
+        if u == v:
+            continue
+        builder.add_edge(labels[u], labels[v])
+    return builder.build(), labels
+
+
+def to_networkx(graph: Graph):
+    """Convert to a ``networkx.Graph`` (requires networkx to be installed)."""
+    import networkx as nx
+
+    result = nx.Graph()
+    result.add_nodes_from(graph.vertices())
+    result.add_edges_from(graph.edges())
+    return result

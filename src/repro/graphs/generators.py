@@ -1,0 +1,397 @@
+"""Graph topology generators.
+
+Deterministic families (paths, cycles, grids, trees, hypercubes, ...) and
+seeded random families (Erdős–Rényi, Barabási–Albert, Watts–Strogatz,
+random regular) used as workloads in the benchmark harness.  Every random
+generator takes an integer ``seed`` and is fully reproducible.
+
+All generators return :class:`repro.graphs.graph.Graph` instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Sequence
+
+from ..errors import GraphError, ParameterError
+from ..rng import DEFAULT_SEED, stream
+from .graph import Graph, GraphBuilder
+
+__all__ = [
+    "empty_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_graph",
+    "torus_graph",
+    "balanced_tree",
+    "binary_tree",
+    "hypercube_graph",
+    "caterpillar_graph",
+    "lollipop_graph",
+    "barbell_graph",
+    "erdos_renyi",
+    "random_tree",
+    "barabasi_albert",
+    "watts_strogatz",
+    "random_regular",
+    "cluster_graph",
+    "random_connected",
+]
+
+
+# ----------------------------------------------------------------------
+# Deterministic families
+# ----------------------------------------------------------------------
+def empty_graph(n: int) -> Graph:
+    """``n`` isolated vertices, no edges."""
+    return Graph(n)
+
+
+def path_graph(n: int) -> Graph:
+    """Path ``0 - 1 - ... - (n-1)``; diameter ``n - 1``."""
+    return Graph(n, ((i, i + 1) for i in range(n - 1)))
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on ``n >= 3`` vertices; diameter ``⌊n/2⌋``."""
+    if n < 3:
+        raise ParameterError(f"cycle needs n >= 3, got {n}")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    edges.append((0, n - 1))
+    return Graph(n, edges)
+
+
+def complete_graph(n: int) -> Graph:
+    """Clique on ``n`` vertices."""
+    return Graph(n, itertools.combinations(range(n), 2))
+
+
+def star_graph(n: int) -> Graph:
+    """Star: center 0 joined to ``n - 1`` leaves."""
+    if n < 1:
+        raise ParameterError(f"star needs n >= 1, got {n}")
+    return Graph(n, ((0, i) for i in range(1, n)))
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """``rows x cols`` 2-D mesh; vertex ``(r, c)`` is labelled ``r*cols + c``."""
+    if rows < 1 or cols < 1:
+        raise ParameterError(f"grid needs rows, cols >= 1, got {rows}x{cols}")
+    builder = GraphBuilder(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                builder.add_edge(v, v + 1)
+            if r + 1 < rows:
+                builder.add_edge(v, v + cols)
+    return builder.build()
+
+
+def torus_graph(rows: int, cols: int) -> Graph:
+    """2-D torus (grid with wraparound); needs ``rows, cols >= 3``."""
+    if rows < 3 or cols < 3:
+        raise ParameterError(f"torus needs rows, cols >= 3, got {rows}x{cols}")
+    builder = GraphBuilder(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            builder.add_edge(v, r * cols + (c + 1) % cols)
+            builder.add_edge(v, ((r + 1) % rows) * cols + c)
+    return builder.build()
+
+
+def balanced_tree(branching: int, height: int) -> Graph:
+    """Complete ``branching``-ary tree of the given height (root = 0)."""
+    if branching < 1 or height < 0:
+        raise ParameterError(
+            f"balanced_tree needs branching >= 1, height >= 0, got {branching}, {height}"
+        )
+    edges: list[tuple[int, int]] = []
+    level = [0]
+    next_label = 1
+    for _ in range(height):
+        next_level = []
+        for parent in level:
+            for _ in range(branching):
+                edges.append((parent, next_label))
+                next_level.append(next_label)
+                next_label += 1
+        level = next_level
+    return Graph(next_label, edges)
+
+
+def binary_tree(n: int) -> Graph:
+    """Heap-shaped binary tree on ``n`` vertices (vertex ``i`` -> parent ``(i-1)//2``)."""
+    if n < 1:
+        raise ParameterError(f"binary_tree needs n >= 1, got {n}")
+    return Graph(n, (((i - 1) // 2, i) for i in range(1, n)))
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """``dimension``-dimensional Boolean hypercube on ``2**dimension`` vertices."""
+    if dimension < 0:
+        raise ParameterError(f"hypercube needs dimension >= 0, got {dimension}")
+    n = 1 << dimension
+    builder = GraphBuilder(n)
+    for v in range(n):
+        for bit in range(dimension):
+            w = v ^ (1 << bit)
+            if w > v:
+                builder.add_edge(v, w)
+    return builder.build()
+
+
+def caterpillar_graph(spine: int, legs_per_vertex: int) -> Graph:
+    """Path of length ``spine`` with ``legs_per_vertex`` pendant leaves each."""
+    if spine < 1 or legs_per_vertex < 0:
+        raise ParameterError(
+            f"caterpillar needs spine >= 1, legs >= 0, got {spine}, {legs_per_vertex}"
+        )
+    n = spine * (1 + legs_per_vertex)
+    builder = GraphBuilder(n)
+    for i in range(spine - 1):
+        builder.add_edge(i, i + 1)
+    leaf = spine
+    for i in range(spine):
+        for _ in range(legs_per_vertex):
+            builder.add_edge(i, leaf)
+            leaf += 1
+    return builder.build()
+
+
+def lollipop_graph(clique_size: int, path_length: int) -> Graph:
+    """Clique of ``clique_size`` with a path of ``path_length`` attached."""
+    if clique_size < 1 or path_length < 0:
+        raise ParameterError(
+            f"lollipop needs clique >= 1, path >= 0, got {clique_size}, {path_length}"
+        )
+    n = clique_size + path_length
+    builder = GraphBuilder(n)
+    for u, v in itertools.combinations(range(clique_size), 2):
+        builder.add_edge(u, v)
+    prev = clique_size - 1
+    for i in range(clique_size, n):
+        builder.add_edge(prev, i)
+        prev = i
+    return builder.build()
+
+
+def barbell_graph(clique_size: int, bridge_length: int) -> Graph:
+    """Two cliques joined by a path with ``bridge_length`` interior vertices."""
+    if clique_size < 1 or bridge_length < 0:
+        raise ParameterError(
+            f"barbell needs clique >= 1, bridge >= 0, got {clique_size}, {bridge_length}"
+        )
+    n = 2 * clique_size + bridge_length
+    builder = GraphBuilder(n)
+    for u, v in itertools.combinations(range(clique_size), 2):
+        builder.add_edge(u, v)
+    offset = clique_size + bridge_length
+    for u, v in itertools.combinations(range(offset, offset + clique_size), 2):
+        builder.add_edge(u, v)
+    chain = [clique_size - 1, *range(clique_size, offset), offset]
+    for a, b in zip(chain, chain[1:]):
+        builder.add_edge(a, b)
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# Random families
+# ----------------------------------------------------------------------
+def erdos_renyi(n: int, p: float, seed: int = DEFAULT_SEED) -> Graph:
+    """G(n, p): each of the ``n·(n-1)/2`` edges present independently w.p. ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"p must be in [0, 1], got {p}")
+    rng = stream(seed, "erdos_renyi", n, p)
+    builder = GraphBuilder(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                builder.add_edge(u, v)
+    return builder.build()
+
+
+def random_tree(n: int, seed: int = DEFAULT_SEED) -> Graph:
+    """Uniform random recursive tree: vertex ``i`` attaches to a uniform ``j < i``."""
+    if n < 1:
+        raise ParameterError(f"random_tree needs n >= 1, got {n}")
+    rng = stream(seed, "random_tree", n)
+    builder = GraphBuilder(n)
+    for i in range(1, n):
+        builder.add_edge(rng.randrange(i), i)
+    return builder.build()
+
+
+def barabasi_albert(n: int, attach: int, seed: int = DEFAULT_SEED) -> Graph:
+    """Preferential-attachment graph: each new vertex links to ``attach`` old ones.
+
+    Starts from a star on ``attach + 1`` vertices; targets are sampled
+    proportionally to degree using the repeated-endpoints urn trick.
+    """
+    if attach < 1:
+        raise ParameterError(f"attach must be >= 1, got {attach}")
+    if n < attach + 1:
+        raise ParameterError(f"need n >= attach + 1, got n={n}, attach={attach}")
+    rng = stream(seed, "barabasi_albert", n, attach)
+    builder = GraphBuilder(n)
+    urn: list[int] = []
+    for v in range(1, attach + 1):
+        builder.add_edge(0, v)
+        urn.extend((0, v))
+    for v in range(attach + 1, n):
+        targets: set[int] = set()
+        while len(targets) < attach:
+            targets.add(rng.choice(urn))
+        for t in sorted(targets):
+            builder.add_edge(v, t)
+            urn.extend((v, t))
+    return builder.build()
+
+
+def watts_strogatz(n: int, k: int, p: float, seed: int = DEFAULT_SEED) -> Graph:
+    """Watts–Strogatz small world: ring lattice with rewiring probability ``p``.
+
+    Each vertex starts connected to its ``k`` nearest neighbours (``k``
+    even); each clockwise edge is rewired to a uniform non-duplicate target
+    with probability ``p``.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ParameterError(f"k must be even and >= 2, got {k}")
+    if n <= k:
+        raise ParameterError(f"need n > k, got n={n}, k={k}")
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"p must be in [0, 1], got {p}")
+    rng = stream(seed, "watts_strogatz", n, k, p)
+    builder = GraphBuilder(n)
+    for v in range(n):
+        for j in range(1, k // 2 + 1):
+            w = (v + j) % n
+            if rng.random() < p:
+                choices = [
+                    u for u in range(n) if u != v and not builder.has_edge(v, u)
+                ]
+                if choices:
+                    w = rng.choice(choices)
+            if not builder.has_edge(v, w):
+                builder.add_edge(v, w)
+    return builder.build()
+
+
+def random_regular(n: int, degree: int, seed: int = DEFAULT_SEED) -> Graph:
+    """Random ``degree``-regular graph via pairing with edge-swap repair.
+
+    The configuration model pairs stubs uniformly; pairs that would create
+    a self loop or a multi-edge are repaired by swapping against random
+    existing edges (the standard practical fix — plain rejection has
+    acceptance probability ``~e^{-(d²-1)/4}`` and stalls already at
+    ``degree`` 6).  Requires ``n·degree`` even and ``degree < n``.
+    """
+    if degree < 0 or degree >= n:
+        raise ParameterError(f"need 0 <= degree < n, got degree={degree}, n={n}")
+    if (n * degree) % 2 != 0:
+        raise ParameterError(f"n * degree must be even, got {n} * {degree}")
+    rng = stream(seed, "random_regular", n, degree)
+    if degree == 0:
+        return Graph(n)
+
+    for _ in range(100):  # full restarts; virtually never needed
+        edge_set: set[Edge] = set()
+        edge_list: list[Edge] = []
+
+        def legal(a: int, b: int) -> bool:
+            return a != b and ((a, b) if a < b else (b, a)) not in edge_set
+
+        def add(a: int, b: int) -> None:
+            key = (a, b) if a < b else (b, a)
+            edge_set.add(key)
+            edge_list.append(key)
+
+        stubs = [v for v in range(n) for _ in range(degree)]
+        rng.shuffle(stubs)
+        leftover: list[int] = []
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            if legal(u, v):
+                add(u, v)
+            else:
+                leftover.extend((u, v))
+        guard = 100 * n * degree + 1000
+        while leftover and guard > 0:
+            guard -= 1
+            v = leftover.pop()
+            u = leftover.pop()
+            if legal(u, v):
+                add(u, v)
+                continue
+            # Swap against a random existing edge (x, y): replace it with
+            # (u, x) and (v, y) — degrees are preserved.
+            x, y = edge_list[rng.randrange(len(edge_list))]
+            if legal(u, x) and legal(v, y):
+                pass  # orientation as drawn
+            elif legal(u, y) and legal(v, x):
+                x, y = y, x
+            else:
+                leftover.extend((u, v))  # retry with another random edge
+                continue
+            edge_set.remove((x, y) if x < y else (y, x))
+            edge_list.remove((x, y) if x < y else (y, x))
+            add(u, x)
+            add(v, y)
+        if not leftover:
+            return Graph(n, sorted(edge_set))
+    raise GraphError(
+        f"failed to sample a simple {degree}-regular graph on {n} vertices"
+    )
+
+
+def cluster_graph(
+    num_clusters: int,
+    cluster_size: int,
+    p_in: float,
+    p_out: float,
+    seed: int = DEFAULT_SEED,
+) -> Graph:
+    """Planted-partition graph: dense blocks, sparse cross edges.
+
+    A natural workload for decomposition algorithms — the planted blocks
+    are what a good low-diameter clustering should roughly recover.
+    """
+    if num_clusters < 1 or cluster_size < 1:
+        raise ParameterError("num_clusters and cluster_size must be >= 1")
+    if not (0.0 <= p_in <= 1.0 and 0.0 <= p_out <= 1.0):
+        raise ParameterError("p_in and p_out must be in [0, 1]")
+    n = num_clusters * cluster_size
+    rng = stream(seed, "cluster_graph", num_clusters, cluster_size, p_in, p_out)
+    builder = GraphBuilder(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            same = u // cluster_size == v // cluster_size
+            if rng.random() < (p_in if same else p_out):
+                builder.add_edge(u, v)
+    return builder.build()
+
+
+def random_connected(n: int, extra_edge_prob: float, seed: int = DEFAULT_SEED) -> Graph:
+    """Connected random graph: a random recursive tree plus G(n, p) edges.
+
+    Guaranteed connected for every seed, which keeps diameter-based
+    assertions meaningful in tests and benchmarks.
+    """
+    if n < 1:
+        raise ParameterError(f"random_connected needs n >= 1, got {n}")
+    if not 0.0 <= extra_edge_prob <= 1.0:
+        raise ParameterError(f"extra_edge_prob must be in [0, 1], got {extra_edge_prob}")
+    rng = stream(seed, "random_connected", n, extra_edge_prob)
+    builder = GraphBuilder(n)
+    for i in range(1, n):
+        builder.add_edge(rng.randrange(i), i)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < extra_edge_prob and not builder.has_edge(u, v):
+                builder.add_edge(u, v)
+    return builder.build()

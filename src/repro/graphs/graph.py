@@ -1,0 +1,214 @@
+"""Adjacency-list graph kernel.
+
+:class:`Graph` is the single graph type used throughout the library: a
+simple, undirected, unweighted graph whose vertices are the integers
+``0..n-1``.  It is designed for the access patterns of distributed graph
+algorithms:
+
+* ``neighbors(v)`` is an O(1) tuple lookup (the hot path of every BFS),
+* the structure is immutable after construction, so simulated nodes can
+  share it safely and algorithm results can hold references to it,
+* vertex subsets ("the current graph :math:`G_t`") are represented as
+  *active sets* passed to the traversal routines in
+  :mod:`repro.graphs.traversal` instead of materialised subgraphs, which is
+  how the paper's phase structure (carve a block, continue on the rest)
+  is implemented without copying the graph once per phase.
+
+Use :class:`GraphBuilder` (or the helpers in :mod:`repro.graphs.builders`)
+to construct instances.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import GraphError
+
+__all__ = ["Graph", "GraphBuilder", "Edge"]
+
+Edge = tuple[int, int]
+"""An undirected edge, always normalised so that ``u < v``."""
+
+
+class Graph:
+    """Immutable simple undirected graph on vertices ``0..n-1``.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``n``; vertices are ``range(n)``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Duplicates (in either orientation)
+        are rejected, as are self loops and out-of-range endpoints.
+
+    Notes
+    -----
+    Construction sorts each adjacency list, so iteration order over
+    neighbours is deterministic — a requirement for reproducible
+    simulations.
+    """
+
+    __slots__ = ("_n", "_adjacency", "_num_edges")
+
+    def __init__(self, num_vertices: int, edges: Iterable[Edge] = ()) -> None:
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._n = num_vertices
+        adjacency: list[list[int]] = [[] for _ in range(num_vertices)]
+        seen: set[Edge] = set()
+        count = 0
+        for u, v in edges:
+            self._check_vertex(u)
+            self._check_vertex(v)
+            if u == v:
+                raise GraphError(f"self loop at vertex {u} is not allowed")
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                raise GraphError(f"duplicate edge {key}")
+            seen.add(key)
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+            count += 1
+        self._adjacency: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(nbrs)) for nbrs in adjacency
+        )
+        self._num_edges = count
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._num_edges
+
+    def vertices(self) -> range:
+        """The vertex set as ``range(n)``."""
+        return range(self._n)
+
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        """Sorted tuple of neighbours of ``v``."""
+        self._check_vertex(v)
+        return self._adjacency[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        self._check_vertex(v)
+        return len(self._adjacency[v])
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ of the graph (0 for the empty graph)."""
+        if self._n == 0:
+            return 0
+        return max(len(nbrs) for nbrs in self._adjacency)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges as normalised ``(u, v)`` pairs with ``u < v``."""
+        for u in range(self._n):
+            for v in self._adjacency[u]:
+                if u < v:
+                    yield (u, v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` iff ``{u, v}`` is an edge.
+
+        Binary search over the sorted adjacency list of the lower-degree
+        endpoint: O(log deg).
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            return False
+        if len(self._adjacency[u]) > len(self._adjacency[v]):
+            u, v = v, u
+        nbrs = self._adjacency[u]
+        lo, hi = 0, len(nbrs)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if nbrs[mid] < v:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo < len(nbrs) and nbrs[lo] == v
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._adjacency == other._adjacency
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._adjacency))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self._num_edges})"
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_vertex(self, v: int) -> None:
+        if not isinstance(v, int) or isinstance(v, bool):
+            raise GraphError(f"vertex must be an int, got {v!r}")
+        if not 0 <= v < self._n:
+            raise GraphError(f"vertex {v} out of range [0, {self._n})")
+
+
+class GraphBuilder:
+    """Mutable accumulator used to assemble a :class:`Graph`.
+
+    Unlike the :class:`Graph` constructor, the builder silently ignores
+    duplicate edges and rejects self loops with an error, making it
+    convenient for random generators that may propose the same edge twice.
+
+    Examples
+    --------
+    >>> b = GraphBuilder(3)
+    >>> b.add_edge(0, 1)
+    >>> b.add_edge(1, 2)
+    >>> g = b.build()
+    >>> g.num_edges
+    2
+    """
+
+    def __init__(self, num_vertices: int) -> None:
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._n = num_vertices
+        self._edges: set[Edge] = set()
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices the built graph will have."""
+        return self._n
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the undirected edge ``{u, v}``; duplicates are ignored."""
+        if not 0 <= u < self._n or not 0 <= v < self._n:
+            raise GraphError(f"edge ({u}, {v}) out of range [0, {self._n})")
+        if u == v:
+            raise GraphError(f"self loop at vertex {u} is not allowed")
+        self._edges.add((u, v) if u < v else (v, u))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` iff the edge has already been added."""
+        key = (u, v) if u < v else (v, u)
+        return key in self._edges
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct edges added so far."""
+        return len(self._edges)
+
+    def build(self) -> Graph:
+        """Freeze the accumulated edges into an immutable :class:`Graph`."""
+        return Graph(self._n, sorted(self._edges))

@@ -1,0 +1,118 @@
+"""Structural graph properties used to characterise benchmark workloads.
+
+Exact, small-graph implementations of the standard descriptors the
+experiment tables report alongside decomposition quality: degeneracy
+(cores), triangle counts, clustering coefficients and density.  These are
+*measurement* tools — nothing in the decomposition algorithms depends on
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import GraphError
+from .graph import Graph
+
+__all__ = [
+    "degeneracy",
+    "core_numbers",
+    "triangle_count",
+    "global_clustering_coefficient",
+    "local_clustering_coefficient",
+    "density",
+]
+
+
+def core_numbers(graph: Graph) -> dict[int, int]:
+    """Core number of every vertex (standard peeling algorithm).
+
+    The k-core is the maximal subgraph of minimum degree ≥ k; a vertex's
+    core number is the largest k whose core contains it.
+    """
+    degrees = {v: graph.degree(v) for v in graph.vertices()}
+    # Bucket queue over degrees.
+    max_degree = max(degrees.values(), default=0)
+    buckets: list[set[int]] = [set() for _ in range(max_degree + 1)]
+    for v, degree in degrees.items():
+        buckets[degree].add(v)
+    core: dict[int, int] = {}
+    current = 0
+    removed: set[int] = set()
+    for _ in range(graph.num_vertices):
+        while current <= max_degree and not buckets[current]:
+            current += 1
+        # Peeling can only lower a bucket index, so re-scan from 0 when
+        # the current bucket was refilled below `current`.
+        low = min(
+            (d for d in range(current) if buckets[d]), default=current
+        )
+        current = low
+        v = min(buckets[current])
+        buckets[current].discard(v)
+        core[v] = current
+        removed.add(v)
+        for w in graph.neighbors(v):
+            if w in removed:
+                continue
+            d = degrees[w]
+            if d > current:
+                buckets[d].discard(w)
+                degrees[w] = d - 1
+                buckets[d - 1].add(w)
+    return core
+
+
+def degeneracy(graph: Graph) -> int:
+    """The graph's degeneracy: the maximum core number (0 for empty graphs)."""
+    cores = core_numbers(graph)
+    return max(cores.values(), default=0)
+
+
+def triangle_count(graph: Graph) -> int:
+    """Number of triangles, by rank-ordered neighbour intersection."""
+    total = 0
+    for u in graph.vertices():
+        higher = [w for w in graph.neighbors(u) if w > u]
+        higher_set = set(higher)
+        for i, v in enumerate(higher):
+            for w in higher[i + 1 :]:
+                if graph.has_edge(v, w):
+                    total += 1
+    return total
+
+
+def local_clustering_coefficient(graph: Graph, vertex: int) -> float:
+    """Fraction of the vertex's neighbour pairs that are themselves adjacent.
+
+    0 for degree < 2 (no pairs).
+    """
+    neighbors = graph.neighbors(vertex)
+    d = len(neighbors)
+    if d < 2:
+        return 0.0
+    links = sum(
+        1
+        for i in range(d)
+        for j in range(i + 1, d)
+        if graph.has_edge(neighbors[i], neighbors[j])
+    )
+    return 2.0 * links / (d * (d - 1))
+
+
+def global_clustering_coefficient(graph: Graph) -> float:
+    """Transitivity: ``3 · triangles / open-or-closed wedges`` (0 if no wedges)."""
+    wedges = sum(
+        graph.degree(v) * (graph.degree(v) - 1) // 2 for v in graph.vertices()
+    )
+    if wedges == 0:
+        return 0.0
+    return 3.0 * triangle_count(graph) / wedges
+
+
+def density(graph: Graph) -> float:
+    """Edge density ``m / C(n, 2)`` (0 for n < 2)."""
+    n = graph.num_vertices
+    if n < 2:
+        return 0.0
+    return graph.num_edges / (n * (n - 1) / 2)

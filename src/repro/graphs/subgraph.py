@@ -1,0 +1,93 @@
+"""Induced subgraphs and quotient (super)graphs.
+
+The paper's central object, the supergraph :math:`G(P)` obtained by
+contracting every cluster of a partition :math:`P` to a single supernode,
+is built by :func:`quotient_graph`.  Two supernodes are adjacent iff some
+original edge runs between their clusters (§1, definition of
+:math:`\\mathcal{E}`).
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Mapping, Sequence
+
+from ..errors import GraphError
+from .graph import Graph, GraphBuilder
+
+__all__ = ["induced_subgraph", "quotient_graph", "relabel"]
+
+
+def induced_subgraph(
+    graph: Graph, vertices: Collection[int]
+) -> tuple[Graph, dict[int, int]]:
+    """The subgraph induced by ``vertices``, relabelled to ``0..len-1``.
+
+    Returns
+    -------
+    (Graph, dict)
+        The induced graph and the mapping ``original vertex -> new label``.
+        Labels follow ascending vertex order, so results are deterministic.
+    """
+    ordered = sorted(set(vertices))
+    to_new = {v: i for i, v in enumerate(ordered)}
+    builder = GraphBuilder(len(ordered))
+    for v in ordered:
+        for w in graph.neighbors(v):
+            if w > v and w in to_new:
+                builder.add_edge(to_new[v], to_new[w])
+    return builder.build(), to_new
+
+
+def quotient_graph(
+    graph: Graph, cluster_of: Mapping[int, int], num_clusters: int
+) -> Graph:
+    """Contract clusters into supernodes: the paper's supergraph ``G(P)``.
+
+    Parameters
+    ----------
+    graph:
+        The host graph.
+    cluster_of:
+        Total mapping ``vertex -> cluster index`` with cluster indices in
+        ``range(num_clusters)``.  Every vertex of ``graph`` must be mapped
+        (the decomposition is a partition of ``V``).
+    num_clusters:
+        Number of supernodes of the result.
+
+    Returns
+    -------
+    Graph
+        Graph on ``num_clusters`` vertices with an edge between two
+        clusters iff some original edge crosses them.  Intra-cluster edges
+        vanish (no self loops).
+    """
+    if len(cluster_of) != graph.num_vertices:
+        raise GraphError(
+            "cluster_of must map every vertex: "
+            f"got {len(cluster_of)} of {graph.num_vertices}"
+        )
+    builder = GraphBuilder(num_clusters)
+    for u, v in graph.edges():
+        cu, cv = cluster_of[u], cluster_of[v]
+        if not 0 <= cu < num_clusters or not 0 <= cv < num_clusters:
+            raise GraphError(f"cluster index out of range on edge ({u}, {v})")
+        if cu != cv:
+            builder.add_edge(cu, cv)
+    return builder.build()
+
+
+def relabel(graph: Graph, permutation: Sequence[int]) -> Graph:
+    """Return a copy of ``graph`` with vertex ``v`` renamed ``permutation[v]``.
+
+    ``permutation`` must be a permutation of ``range(n)``.  Useful for
+    testing label-invariance of the algorithms (the paper's algorithm uses
+    no IDs for clustering decisions, so its output distribution must be
+    invariant under relabelling).
+    """
+    n = graph.num_vertices
+    if sorted(permutation) != list(range(n)):
+        raise GraphError("permutation must be a permutation of range(n)")
+    builder = GraphBuilder(n)
+    for u, v in graph.edges():
+        builder.add_edge(permutation[u], permutation[v])
+    return builder.build()

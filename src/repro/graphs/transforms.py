@@ -1,0 +1,54 @@
+"""Graph transforms: line graphs and graph powers.
+
+* :func:`line_graph` supports the classic reduction *maximal matching =
+  MIS on the line graph* used by :mod:`repro.applications.matching`.
+* :func:`power_graph` (``G^t``: edges between vertices at distance ≤ t)
+  is a handy analysis tool — e.g. clusters of one colour class of a valid
+  decomposition are independent in the supergraph, equivalently their
+  contact pattern disappears in quotients of powers.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParameterError
+from .graph import Edge, Graph, GraphBuilder
+from .traversal import bfs_distances_bounded
+
+__all__ = ["line_graph", "power_graph"]
+
+
+def line_graph(graph: Graph) -> tuple[Graph, list[Edge]]:
+    """The line graph ``L(G)`` and the edge list indexing its vertices.
+
+    Vertex ``i`` of ``L(G)`` is ``edges[i]`` (normalised ``(u, v)``,
+    ``u < v``, in the host graph's deterministic edge order); two line
+    vertices are adjacent iff the corresponding edges share an endpoint.
+
+    Returns
+    -------
+    (Graph, list[Edge])
+        The line graph and the index-to-edge mapping.
+    """
+    edges = list(graph.edges())
+    index_of = {edge: i for i, edge in enumerate(edges)}
+    builder = GraphBuilder(len(edges))
+    for v in graph.vertices():
+        incident = [
+            index_of[(v, w) if v < w else (w, v)] for w in graph.neighbors(v)
+        ]
+        for a in range(len(incident)):
+            for b in range(a + 1, len(incident)):
+                builder.add_edge(incident[a], incident[b])
+    return builder.build(), edges
+
+
+def power_graph(graph: Graph, t: int) -> Graph:
+    """``G^t``: same vertices, edges between distinct vertices at distance ≤ t."""
+    if t < 1:
+        raise ParameterError(f"t must be >= 1, got {t}")
+    builder = GraphBuilder(graph.num_vertices)
+    for v in graph.vertices():
+        for w, distance in bfs_distances_bounded(graph, v, t).items():
+            if w > v and distance >= 1:
+                builder.add_edge(v, w)
+    return builder.build()

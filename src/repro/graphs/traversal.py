@@ -1,0 +1,218 @@
+"""Breadth-first traversal primitives with active-set filtering.
+
+The paper's algorithm repeatedly operates on the *current graph*
+:math:`G_t`, the subgraph of :math:`G` induced by the vertices that have not
+yet been carved into a block.  Rather than materialising an induced subgraph
+every phase, all traversal routines here accept an optional ``active`` set:
+vertices outside it are treated as absent (never visited, never relayed
+through).  This matches the distributed reality, where carved vertices have
+halted and no longer forward messages.
+
+All functions are deterministic: vertices are expanded in sorted adjacency
+order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Container, Iterable, Mapping, Sequence
+
+from ..errors import GraphError
+from .graph import Graph
+
+__all__ = [
+    "bfs_distances",
+    "bfs_distances_bounded",
+    "multi_source_bfs",
+    "connected_components",
+    "component_of",
+    "is_connected",
+    "shortest_path",
+]
+
+
+def _is_active(active: Container[int] | None, v: int) -> bool:
+    return active is None or v in active
+
+
+def bfs_distances(
+    graph: Graph,
+    source: int,
+    active: Container[int] | None = None,
+) -> dict[int, int]:
+    """Distances from ``source`` to every reachable active vertex.
+
+    Parameters
+    ----------
+    graph:
+        The host graph.
+    source:
+        Start vertex; must be active if ``active`` is given.
+    active:
+        Optional vertex filter.  Paths may only use active vertices, which
+        makes the result the distance function of the induced subgraph
+        ``G[active]``.
+
+    Returns
+    -------
+    dict[int, int]
+        Mapping ``vertex -> hop distance`` containing ``source`` (distance
+        0) and every active vertex reachable from it.
+    """
+    return bfs_distances_bounded(graph, source, radius=None, active=active)
+
+
+def bfs_distances_bounded(
+    graph: Graph,
+    source: int,
+    radius: int | None,
+    active: Container[int] | None = None,
+) -> dict[int, int]:
+    """Distances from ``source``, truncated at ``radius`` hops.
+
+    This is the workhorse of the carving kernel: each phase broadcasts a
+    vertex's radius to its ``⌊r_v⌋``-neighbourhood in :math:`G_t`, i.e. a
+    bounded BFS over the active set.
+
+    ``radius=None`` means unbounded; ``radius < 0`` returns an empty dict
+    (the broadcast does not even reach its own origin — never the case in
+    the algorithm since ``r_v >= 0``, but defined for completeness).
+    """
+    if radius is not None and radius < 0:
+        return {}
+    if not _is_active(active, source):
+        raise GraphError(f"source {source} is not in the active set")
+    distances: dict[int, int] = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        du = distances[u]
+        if radius is not None and du >= radius:
+            continue
+        for w in graph.neighbors(u):
+            if w not in distances and _is_active(active, w):
+                distances[w] = du + 1
+                frontier.append(w)
+    return distances
+
+
+def multi_source_bfs(
+    graph: Graph,
+    sources: Iterable[int],
+    active: Container[int] | None = None,
+) -> dict[int, int]:
+    """Distances to the nearest of several sources (all at distance 0).
+
+    Used e.g. to compute cluster eccentricities from a set of centers.
+    """
+    distances: dict[int, int] = {}
+    frontier: deque[int] = deque()
+    for s in sorted(set(sources)):
+        if not _is_active(active, s):
+            raise GraphError(f"source {s} is not in the active set")
+        distances[s] = 0
+        frontier.append(s)
+    while frontier:
+        u = frontier.popleft()
+        du = distances[u]
+        for w in graph.neighbors(u):
+            if w not in distances and _is_active(active, w):
+                distances[w] = du + 1
+                frontier.append(w)
+    return distances
+
+
+def connected_components(
+    graph: Graph,
+    active: Container[int] | None = None,
+    universe: Sequence[int] | None = None,
+) -> list[list[int]]:
+    """Connected components of ``G[active]`` as sorted vertex lists.
+
+    Parameters
+    ----------
+    graph:
+        Host graph.
+    active:
+        Optional vertex filter; when given, only active vertices appear and
+        only edges between active vertices connect them.
+    universe:
+        Optional iteration order / subset of vertices to consider.  Defaults
+        to all vertices of the graph.  Vertices in ``universe`` that are not
+        active are skipped.
+
+    Returns
+    -------
+    list[list[int]]
+        Components sorted by their smallest vertex; each component's
+        vertices sorted ascending.
+    """
+    if universe is None:
+        universe = graph.vertices()
+    seen: set[int] = set()
+    components: list[list[int]] = []
+    for start in universe:
+        if start in seen or not _is_active(active, start):
+            continue
+        component = sorted(bfs_distances(graph, start, active=active))
+        seen.update(component)
+        components.append(component)
+    components.sort(key=lambda comp: comp[0])
+    return components
+
+
+def component_of(
+    graph: Graph,
+    vertex: int,
+    active: Container[int] | None = None,
+) -> list[int]:
+    """Sorted vertices of the connected component containing ``vertex``."""
+    return sorted(bfs_distances(graph, vertex, active=active))
+
+
+def is_connected(graph: Graph, active: Container[int] | None = None) -> bool:
+    """``True`` iff ``G[active]`` is connected (empty graphs count as connected)."""
+    if active is None:
+        universe = list(graph.vertices())
+    else:
+        universe = sorted(v for v in graph.vertices() if v in active)
+    if not universe:
+        return True
+    reached = bfs_distances(graph, universe[0], active=active)
+    return len(reached) == len(universe)
+
+
+def shortest_path(
+    graph: Graph,
+    source: int,
+    target: int,
+    active: Container[int] | None = None,
+) -> list[int] | None:
+    """One shortest ``source -> target`` path inside ``G[active]``.
+
+    Returns ``None`` when ``target`` is unreachable.  Ties are broken by
+    preferring the smallest predecessor, so the returned path is
+    deterministic.
+    """
+    if not _is_active(active, source):
+        raise GraphError(f"source {source} is not in the active set")
+    if not _is_active(active, target):
+        return None
+    if source == target:
+        return [source]
+    parents: dict[int, int] = {source: -1}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        for w in graph.neighbors(u):
+            if w in parents or not _is_active(active, w):
+                continue
+            parents[w] = u
+            if w == target:
+                path = [w]
+                while path[-1] != source:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            frontier.append(w)
+    return None

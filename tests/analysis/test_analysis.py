@@ -1,0 +1,209 @@
+"""Tests for the analysis package: quality, lemma estimators, theory, tables."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    aggregate_survival,
+    aglp_row,
+    claim6_envelope,
+    claim8_envelope,
+    comparison_rows,
+    elkin_neiman_row,
+    estimate_within_one_probability,
+    format_records,
+    format_table,
+    format_value,
+    join_probability_lower_bound,
+    lemma5_bound,
+    ls_row,
+    ps_row,
+    report,
+    survival_curve,
+)
+from repro.baselines import linial_saks
+from repro.core import elkin_neiman
+from repro.errors import ParameterError
+from repro.graphs import erdos_renyi, path_graph
+
+
+class TestQualityReport:
+    def test_en_report(self):
+        g = erdos_renyi(60, 0.08, seed=1)
+        decomposition, _ = elkin_neiman.decompose(g, k=3, seed=2)
+        q = report(decomposition)
+        assert q.num_vertices == 60
+        assert q.is_valid_partition
+        assert q.is_properly_colored
+        assert q.num_disconnected_clusters == 0
+        assert not math.isinf(q.max_strong_diameter)
+        assert 0.0 <= q.cut_fraction <= 1.0
+        assert q.num_clusters >= q.num_colors >= 1
+
+    def test_ls_report_sees_disconnection(self):
+        found = False
+        for seed in range(8):
+            g = erdos_renyi(70, 0.07, seed=seed)
+            decomposition, _ = linial_saks.decompose(g, k=4, seed=seed)
+            q = report(decomposition)
+            if q.num_disconnected_clusters > 0:
+                assert math.isinf(q.max_strong_diameter)
+                found = True
+        assert found
+
+    def test_row_keys(self):
+        g = path_graph(6)
+        decomposition, _ = elkin_neiman.decompose(g, k=2, seed=3)
+        row = report(decomposition).row()
+        assert {"n", "colors", "strongD", "weakD"} <= set(row)
+
+
+class TestLemma5:
+    def test_bound_formula(self):
+        assert lemma5_bound(0.5) == pytest.approx(1 - math.exp(-0.5))
+        assert join_probability_lower_bound(0.5) == pytest.approx(math.exp(-0.5))
+
+    def test_bound_validation(self):
+        with pytest.raises(ParameterError):
+            lemma5_bound(0.0)
+        with pytest.raises(ParameterError):
+            join_probability_lower_bound(-1.0)
+
+    @pytest.mark.parametrize("beta", [0.3, 0.8, 1.5])
+    @pytest.mark.parametrize(
+        "distances",
+        [[0.0], [0.0, 1.0, 2.0], [3.0] * 5, [0.0, 0.0, 0.0, 5.0, 9.0]],
+    )
+    def test_monte_carlo_within_bound(self, beta, distances):
+        estimate = estimate_within_one_probability(distances, beta, trials=8000, seed=4)
+        assert estimate.probability - estimate.half_width <= lemma5_bound(beta)
+
+    def test_single_value_exact(self):
+        # q = 1 with d = 0: Pr[delta <= 1] = 1 - e^{-beta}, exactly the bound.
+        beta = 0.7
+        estimate = estimate_within_one_probability([0.0], beta, trials=30000, seed=5)
+        assert estimate.probability == pytest.approx(lemma5_bound(beta), abs=0.02)
+
+    def test_estimator_validation(self):
+        with pytest.raises(ParameterError):
+            estimate_within_one_probability([], 0.5)
+        with pytest.raises(ParameterError):
+            estimate_within_one_probability([0.0], 0.5, trials=0)
+
+    def test_estimator_deterministic(self):
+        a = estimate_within_one_probability([1.0, 2.0], 0.5, trials=1000, seed=6)
+        b = estimate_within_one_probability([1.0, 2.0], 0.5, trials=1000, seed=6)
+        assert a.probability == b.probability
+
+
+class TestSurvival:
+    def test_envelope_shapes(self):
+        env = claim6_envelope(100, 3, 4.0, 5)
+        assert len(env) == 5
+        assert all(a > b for a, b in zip(env, env[1:]))
+        env8 = claim8_envelope(3)
+        assert env8[0] == 1.0
+        assert env8[1] == pytest.approx(math.exp(-2))
+
+    def test_envelope_validation(self):
+        with pytest.raises(ParameterError):
+            claim6_envelope(0, 3, 4.0, 5)
+        with pytest.raises(ParameterError):
+            claim8_envelope(-1)
+
+    def test_survival_curve_and_aggregate(self):
+        g = erdos_renyi(50, 0.08, seed=7)
+        traces = []
+        for seed in range(5):
+            _, trace = elkin_neiman.decompose(g, k=3, seed=seed)
+            traces.append(trace)
+        summary = aggregate_survival(traces, 50)
+        assert summary.runs == 5
+        assert summary.mean_curve[-1] == 0.0
+        assert all(0.0 <= x <= 1.0 for x in summary.mean_curve)
+        # Mean curve decreases weakly.
+        assert all(
+            a >= b - 1e-12 for a, b in zip(summary.mean_curve, summary.mean_curve[1:])
+        )
+
+    def test_empirical_below_envelope(self):
+        """Claim 6 empirically: mean survival under the theoretical curve."""
+        n, k, c = 60, 3, 4.0
+        traces = []
+        for seed in range(10):
+            g = erdos_renyi(n, 0.07, seed=seed)
+            _, trace = elkin_neiman.decompose(g, k=k, c=c, seed=100 + seed)
+            traces.append(trace)
+        summary = aggregate_survival(traces, n)
+        envelope = claim6_envelope(n, k, c, summary.max_phases_observed)
+        # Allow Monte-Carlo slack of 3 standard errors-ish via a small additive.
+        violations = sum(
+            1
+            for measured, bound in zip(summary.mean_curve, envelope)
+            if measured > bound + 0.1
+        )
+        assert violations == 0
+
+    def test_aggregate_validation(self):
+        with pytest.raises(ParameterError):
+            aggregate_survival([], 10)
+
+
+class TestTheoryRows:
+    def test_rows_present(self):
+        rows = comparison_rows(1024)
+        assert [r.algorithm for r in rows] == ["AGLP89", "PS92", "LS93", "EN16"]
+
+    def test_en_beats_deterministic_for_large_n(self):
+        # With unit constants the polylog bound overtakes 2^O(sqrt(log n))
+        # only for astronomically large n (the asymptotic statement); the
+        # ordering must hold there, and AGLP is always the worst.
+        n = 2**50
+        rows = {r.algorithm: r for r in comparison_rows(n)}
+        assert rows["EN16"].colors < rows["PS92"].colors < rows["AGLP89"].colors
+
+    def test_ps_beats_aglp_everywhere(self):
+        for n in (64, 4096, 2**20):
+            rows = {r.algorithm: r for r in comparison_rows(n)}
+            assert rows["PS92"].colors <= rows["AGLP89"].colors
+
+    def test_en_and_ls_same_shape_different_kind(self):
+        n = 4096
+        ls = ls_row(n)
+        en = elkin_neiman_row(n)
+        assert ls.diameter_kind == "weak"
+        assert en.diameter_kind == "strong"
+        assert en.colors < 10 * ls.colors  # same polylog ballpark
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            aglp_row(1)
+        with pytest.raises(ParameterError):
+            elkin_neiman_row(100, c=2.0)
+
+
+class TestTables:
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(3.0) == "3"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(float("nan")) == "nan"
+        assert format_value(2.34567) == "2.35"
+        assert format_value("x") == "x"
+
+    def test_format_table_alignment(self):
+        text = format_table(["col", "b"], [[1, 22.5], [333, 4]], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert lines[1].startswith("col")
+        assert len(lines) == 5
+
+    def test_format_records(self):
+        text = format_records([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert "a" in text and "4" in text
+
+    def test_format_records_empty(self):
+        assert format_records([], title="empty") == "empty"

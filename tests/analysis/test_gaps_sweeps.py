@@ -1,0 +1,153 @@
+"""Tests for in-run gap statistics and the sweep framework."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    GapStatistics,
+    Sweep,
+    aggregate,
+    gap_profile,
+    phase_gap_statistics,
+    run_sweep,
+)
+from repro.core.carving import carve_block
+from repro.core.shifts import sample_phase_radii
+from repro.errors import ParameterError
+from repro.graphs import Graph, erdos_renyi, grid_graph, path_graph
+
+
+class TestPhaseGapStatistics:
+    def _outcome(self, graph, beta=1.0, seed=3):
+        active = set(graph.vertices())
+        radii = sample_phase_radii(seed, 1, active, beta)
+        return carve_block(graph, active, radii)
+
+    def test_counts_consistent(self):
+        graph = erdos_renyi(50, 0.08, seed=2)
+        outcome = self._outcome(graph)
+        stats = phase_gap_statistics(outcome, 1.0)
+        assert stats.active == 50
+        assert stats.joined == len(outcome.block)
+        assert stats.join_rate == pytest.approx(stats.joined / 50)
+        assert 0 <= stats.lone_broadcasts <= 50
+
+    def test_floor_is_exp_minus_beta(self):
+        graph = path_graph(10)
+        stats = phase_gap_statistics(self._outcome(graph, beta=0.7), 0.7)
+        assert stats.floor == pytest.approx(math.exp(-0.7))
+
+    def test_gap_order_statistics(self):
+        graph = grid_graph(5, 5)
+        stats = phase_gap_statistics(self._outcome(graph), 1.0)
+        assert stats.mean_gap <= stats.max_gap
+        assert stats.median_gap <= stats.max_gap
+        assert stats.mean_gap >= 0.0
+
+    def test_empty_outcome_rejected(self):
+        from repro.core.carving import PhaseOutcome
+
+        with pytest.raises(ParameterError):
+            phase_gap_statistics(PhaseOutcome(), 1.0)
+
+    def test_bad_beta(self):
+        graph = path_graph(4)
+        with pytest.raises(ParameterError):
+            phase_gap_statistics(self._outcome(graph), 0.0)
+
+
+class TestGapProfile:
+    def test_lemma5_floor_in_run_expectation(self):
+        """In-run Lemma 5: the MEAN phase-1 join rate over independent
+        seeds clears e^{-beta}.  (Single phases can dip below — joins are
+        correlated within a phase — so the check is on the expectation.)
+        """
+        graph = erdos_renyi(120, 0.05, seed=4)
+        beta = 1.0
+        rates = []
+        for seed in range(20):
+            series = gap_profile(graph, beta=beta, phases=1, seed=seed)
+            rates.append(series[0].join_rate)
+        mean = sum(rates) / len(rates)
+        spread = (max(rates) - min(rates)) or 0.05
+        assert mean >= math.exp(-beta) - spread / math.sqrt(len(rates))
+
+    def test_above_floor_is_descriptive(self):
+        graph = erdos_renyi(60, 0.06, seed=4)
+        series = gap_profile(graph, beta=1.0, phases=5, seed=4)
+        for stats in series:
+            assert stats.above_floor == (stats.join_rate >= stats.floor)
+
+    def test_stops_at_exhaustion(self):
+        graph = path_graph(6)
+        series = gap_profile(graph, beta=0.2, phases=100, seed=5)
+        assert len(series) < 100
+        assert sum(stats.joined for stats in series) == 6
+
+    def test_active_counts_decrease(self):
+        graph = erdos_renyi(80, 0.06, seed=6)
+        series = gap_profile(graph, beta=1.0, phases=8, seed=6)
+        actives = [stats.active for stats in series]
+        assert all(a >= b for a, b in zip(actives, actives[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            gap_profile(path_graph(3), beta=1.0, phases=0)
+
+
+class TestSweepFramework:
+    @staticmethod
+    def runner(seed: int, n: int, k: int):
+        return {"value": n * k + seed, "flag": seed % 2 == 0}
+
+    def test_points_cartesian(self):
+        sweep = Sweep(self.runner, {"n": [1, 2], "k": [10, 20]})
+        points = sweep.points()
+        assert len(points) == 4
+        assert {"n": 2, "k": 10} in points
+
+    def test_run_sweep_records(self):
+        sweep = Sweep(self.runner, {"n": [2], "k": [3]}, seeds=[0, 1, 2])
+        records = run_sweep(sweep)
+        assert len(records) == 3
+        assert records[0] == {"n": 2, "k": 3, "seed": 0, "value": 6, "flag": True}
+
+    def test_aggregate(self):
+        sweep = Sweep(self.runner, {"n": [2, 4], "k": [3]}, seeds=[0, 1])
+        rows = aggregate(run_sweep(sweep), group_by=["n", "k"], metrics=["value"])
+        assert len(rows) == 2
+        first = next(row for row in rows if row["n"] == 2)
+        assert first["runs"] == 2
+        assert first["value_mean"] == pytest.approx(6.5)
+        assert first["value_min"] == 6
+        assert first["value_max"] == 7
+
+    def test_aggregate_validation(self):
+        with pytest.raises(ParameterError):
+            aggregate([], group_by=[], metrics=["x"])
+        with pytest.raises(ParameterError):
+            aggregate([{"a": 1}], group_by=["missing"], metrics=[])
+
+    def test_end_to_end_decomposition_sweep(self):
+        from repro.core import elkin_neiman
+
+        def decompose_runner(seed: int, k: int):
+            graph = erdos_renyi(40, 0.1, seed=7)
+            decomposition, trace = elkin_neiman.decompose(graph, k=k, seed=seed)
+            return {
+                "colors": decomposition.num_colors,
+                "diameter": decomposition.max_strong_diameter(),
+            }
+
+        sweep = Sweep(decompose_runner, {"k": [2, 4]}, seeds=[0, 1, 2])
+        rows = aggregate(
+            run_sweep(sweep), group_by=["k"], metrics=["colors", "diameter"]
+        )
+        small_k, big_k = rows[0], rows[1]
+        assert small_k["k"] == 2 and big_k["k"] == 4
+        # More radius -> fewer colours on average; diameter bound grows.
+        assert big_k["colors_mean"] < small_k["colors_mean"]
+        assert big_k["diameter_max"] <= 2 * 4 - 2 + 4  # slack for trunc events

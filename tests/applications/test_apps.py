@@ -1,0 +1,149 @@
+"""Integration tests for MIS / colouring / matching over decompositions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications import (
+    coloring_via_decomposition,
+    mis_via_decomposition,
+    run_coloring,
+    run_matching,
+    run_mis,
+)
+from repro.applications.verify import (
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_vertex_coloring,
+)
+from repro.baselines import linial_saks
+from repro.core import elkin_neiman
+from repro.errors import DecompositionError
+from repro.graphs import (
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    random_connected,
+    star_graph,
+)
+
+GRAPHS = [
+    ("path", path_graph(15)),
+    ("cycle", cycle_graph(14)),
+    ("grid", grid_graph(5, 5)),
+    ("star", star_graph(10)),
+    ("er", erdos_renyi(40, 0.1, seed=2)),
+    ("conn", random_connected(35, 0.04, seed=3)),
+]
+
+
+def en_decomposition(graph, seed=33):
+    decomposition, _ = elkin_neiman.decompose(graph, k=3, seed=seed)
+    return decomposition
+
+
+class TestMIS:
+    @pytest.mark.parametrize("name,graph", GRAPHS, ids=[g[0] for g in GRAPHS])
+    def test_maximal_on_zoo(self, name, graph):
+        result = run_mis(graph, en_decomposition(graph))
+        assert is_maximal_independent_set(graph, result.independent_set)
+
+    @pytest.mark.parametrize("name,graph", GRAPHS[:3], ids=[g[0] for g in GRAPHS[:3]])
+    def test_matches_centralized_reference(self, name, graph):
+        decomposition = en_decomposition(graph)
+        simulated = run_mis(graph, decomposition)
+        reference = mis_via_decomposition(graph, decomposition)
+        assert simulated.independent_set == reference
+
+    def test_round_budget_exact(self):
+        graph = grid_graph(5, 5)
+        decomposition = en_decomposition(graph)
+        result = run_mis(graph, decomposition)
+        chi = decomposition.num_colors
+        diameter = int(decomposition.max_strong_diameter())
+        assert result.app.rounds == chi * (diameter + 2)
+
+    def test_strong_mode_zero_relays(self):
+        graph = erdos_renyi(40, 0.1, seed=4)
+        result = run_mis(graph, en_decomposition(graph), relay_mode="strong")
+        assert result.app.relay_messages_nonmember == 0
+
+    def test_weak_mode_on_ls_decomposition(self):
+        graph = erdos_renyi(50, 0.08, seed=5)
+        decomposition, _ = linial_saks.decompose(graph, k=3, seed=5)
+        result = run_mis(graph, decomposition, relay_mode="weak")
+        assert is_maximal_independent_set(graph, result.independent_set)
+
+    def test_weak_mode_pays_relays_when_disconnected(self):
+        # Find an LS decomposition with a disconnected cluster: running it
+        # requires non-member relays.
+        for seed in range(10):
+            graph = erdos_renyi(60, 0.07, seed=seed)
+            decomposition, _ = linial_saks.decompose(graph, k=4, seed=seed)
+            if decomposition.disconnected_clusters():
+                result = run_mis(graph, decomposition, relay_mode="weak")
+                assert is_maximal_independent_set(graph, result.independent_set)
+                assert result.app.relay_messages_nonmember > 0
+                return
+        pytest.fail("no disconnected LS cluster found in 10 seeds")
+
+    def test_strong_mode_rejects_disconnected_clusters(self):
+        for seed in range(10):
+            graph = erdos_renyi(60, 0.07, seed=seed)
+            decomposition, _ = linial_saks.decompose(graph, k=4, seed=seed)
+            if decomposition.disconnected_clusters():
+                with pytest.raises(DecompositionError, match="infinite"):
+                    run_mis(graph, decomposition, relay_mode="strong")
+                return
+        pytest.fail("no disconnected LS cluster found in 10 seeds")
+
+    def test_diameter_override(self):
+        graph = path_graph(12)
+        decomposition = en_decomposition(graph)
+        result = run_mis(graph, decomposition, diameter_override=4)
+        assert result.app.phase_length == 6
+        assert is_maximal_independent_set(graph, result.independent_set)
+
+
+class TestColoring:
+    @pytest.mark.parametrize("name,graph", GRAPHS, ids=[g[0] for g in GRAPHS])
+    def test_proper_delta_plus_one(self, name, graph):
+        result = run_coloring(graph, en_decomposition(graph))
+        assert is_proper_vertex_coloring(
+            graph, result.colors, max_colors=graph.max_degree() + 1
+        )
+
+    def test_matches_centralized_reference(self):
+        graph = erdos_renyi(40, 0.1, seed=6)
+        decomposition = en_decomposition(graph)
+        assert run_coloring(graph, decomposition).colors == coloring_via_decomposition(
+            graph, decomposition
+        )
+
+    def test_palette_never_exceeds_degree_plus_one_pointwise(self):
+        graph = star_graph(12)
+        result = run_coloring(graph, en_decomposition(graph))
+        for v in graph.vertices():
+            assert result.colors[v] <= graph.degree(v)
+
+
+class TestMatching:
+    @pytest.mark.parametrize("name,graph", GRAPHS[:4], ids=[g[0] for g in GRAPHS[:4]])
+    def test_maximal_on_zoo(self, name, graph):
+        result = run_matching(graph, k=3, seed=44)
+        assert is_maximal_matching(graph, result.matching)
+
+    def test_line_graph_size_reported(self):
+        graph = cycle_graph(10)
+        result = run_matching(graph, k=2, seed=45)
+        assert result.line_graph_vertices == 10
+
+    def test_reuses_precomputed_decomposition(self):
+        from repro.graphs import line_graph
+
+        graph = grid_graph(4, 4)
+        lgraph, _ = line_graph(graph)
+        decomposition, _ = elkin_neiman.decompose(lgraph, k=3, seed=46)
+        result = run_matching(graph, line_decomposition=decomposition, seed=46)
+        assert is_maximal_matching(graph, result.matching)

@@ -1,0 +1,76 @@
+"""Tests for neighborhood covers built from decompositions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications.covers import build_cover
+from repro.errors import ParameterError
+from repro.graphs import (
+    bfs_distances_bounded,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+)
+
+CASES = [
+    ("path", path_graph(20), 1),
+    ("path-w2", path_graph(20), 2),
+    ("cycle", cycle_graph(18), 1),
+    ("grid", grid_graph(5, 5), 1),
+    ("er", erdos_renyi(40, 0.08, seed=6), 1),
+    ("er-w2", erdos_renyi(40, 0.08, seed=6), 2),
+]
+
+
+class TestCoverProperties:
+    @pytest.mark.parametrize("name,graph,W", CASES, ids=[c[0] for c in CASES])
+    def test_covering(self, name, graph, W):
+        cover = build_cover(graph, radius=W, seed=9)
+        assert cover.covers_all_balls(graph)
+
+    @pytest.mark.parametrize("name,graph,W", CASES, ids=[c[0] for c in CASES])
+    def test_overlap_at_most_chi(self, name, graph, W):
+        cover = build_cover(graph, radius=W, seed=9)
+        assert cover.max_overlap(graph) <= cover.overlap_bound
+
+    @pytest.mark.parametrize("name,graph,W", CASES, ids=[c[0] for c in CASES])
+    def test_diameter_bound(self, name, graph, W):
+        cover = build_cover(graph, radius=W, seed=9)
+        assert cover.max_weak_diameter(graph) <= cover.diameter_bound
+
+    def test_same_color_clusters_disjoint(self):
+        graph = erdos_renyi(50, 0.08, seed=7)
+        cover = build_cover(graph, radius=1, seed=7)
+        by_color: dict[int, list[frozenset[int]]] = {}
+        for cluster, color in zip(cover.clusters, cover.colors):
+            for other in by_color.get(color, []):
+                assert not (cluster & other)
+            by_color.setdefault(color, []).append(cluster)
+
+    def test_radius_zero_is_decomposition(self):
+        graph = path_graph(10)
+        cover = build_cover(graph, radius=0, seed=8)
+        base_sets = {cluster.vertices for cluster in cover.base.clusters}
+        assert set(cover.clusters) == base_sets
+        assert cover.max_overlap(graph) == 1
+
+    def test_every_ball_in_own_cluster(self):
+        # The constructive covering property: v's ball is inside the
+        # cover cluster grown from v's own base cluster.
+        graph = grid_graph(4, 6)
+        W = 1
+        cover = build_cover(graph, radius=W, seed=10)
+        index_of = {
+            cluster.index: i for i, cluster in enumerate(cover.base.clusters)
+        }
+        for v in graph.vertices():
+            base = cover.base.cluster_of(v)
+            grown = cover.clusters[index_of[base.index]]
+            ball = set(bfs_distances_bounded(graph, v, W))
+            assert ball <= grown
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ParameterError):
+            build_cover(path_graph(5), radius=-1)

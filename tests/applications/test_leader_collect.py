@@ -1,0 +1,95 @@
+"""Tests for the collect-at-leader protocol (the paper's literal recipe)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications.coloring import ColoringTask
+from repro.applications.leader_collect import run_leader_collect_app
+from repro.applications.mis import MISTask, run_mis
+from repro.applications.verify import (
+    is_maximal_independent_set,
+    is_proper_vertex_coloring,
+)
+from repro.baselines import linial_saks
+from repro.core import elkin_neiman
+from repro.errors import DecompositionError
+from repro.graphs import cycle_graph, erdos_renyi, grid_graph, path_graph, star_graph
+
+GRAPHS = [
+    ("path", path_graph(15)),
+    ("cycle", cycle_graph(12)),
+    ("grid", grid_graph(5, 5)),
+    ("star", star_graph(9)),
+    ("er", erdos_renyi(50, 0.08, seed=5)),
+]
+
+
+def en_decomposition(graph, seed=51):
+    decomposition, _ = elkin_neiman.decompose(graph, k=3, seed=seed)
+    return decomposition
+
+
+class TestLeaderCollectMIS:
+    @pytest.mark.parametrize("name,graph", GRAPHS, ids=[g[0] for g in GRAPHS])
+    def test_matches_flooding_scheduler(self, name, graph):
+        """Two independent protocol implementations must agree exactly."""
+        decomposition = en_decomposition(graph)
+        leader = run_leader_collect_app(graph, decomposition, MISTask, seed=3)
+        flood = run_mis(graph, decomposition, seed=3)
+        leader_set = {v for v, d in leader.decisions.items() if d is True}
+        assert leader_set == flood.independent_set
+        assert is_maximal_independent_set(graph, leader_set)
+
+    def test_round_formula(self):
+        graph = grid_graph(5, 5)
+        decomposition = en_decomposition(graph)
+        result = run_leader_collect_app(graph, decomposition, MISTask, seed=4)
+        chi = decomposition.num_colors
+        diameter = int(decomposition.max_strong_diameter())
+        assert result.rounds == chi * (3 * diameter + 4)
+        assert result.relay_messages_nonmember == 0
+
+    def test_costs_more_rounds_than_flooding(self):
+        graph = erdos_renyi(60, 0.07, seed=6)
+        decomposition = en_decomposition(graph)
+        leader = run_leader_collect_app(graph, decomposition, MISTask, seed=6)
+        flood = run_mis(graph, decomposition, seed=6)
+        assert leader.rounds > flood.app.rounds  # ~3x constant
+
+    def test_rejects_weak_decomposition(self):
+        for seed in range(10):
+            graph = erdos_renyi(60, 0.07, seed=seed)
+            decomposition, _ = linial_saks.decompose(graph, k=4, seed=seed)
+            if decomposition.disconnected_clusters():
+                with pytest.raises(DecompositionError, match="strong"):
+                    run_leader_collect_app(graph, decomposition, MISTask)
+                return
+        pytest.fail("no disconnected LS cluster found")
+
+    def test_diameter_override(self):
+        graph = path_graph(10)
+        decomposition = en_decomposition(graph)
+        result = run_leader_collect_app(
+            graph, decomposition, MISTask, diameter_override=6
+        )
+        assert result.phase_length == 3 * 6 + 4
+
+
+class TestLeaderCollectColoring:
+    @pytest.mark.parametrize("name,graph", GRAPHS[:3], ids=[g[0] for g in GRAPHS[:3]])
+    def test_proper_coloring(self, name, graph):
+        decomposition = en_decomposition(graph)
+        result = run_leader_collect_app(graph, decomposition, ColoringTask, seed=7)
+        assert is_proper_vertex_coloring(
+            graph, result.decisions, max_colors=graph.max_degree() + 1
+        )
+
+    def test_matches_flooding_scheduler(self):
+        from repro.applications.coloring import run_coloring
+
+        graph = erdos_renyi(40, 0.1, seed=8)
+        decomposition = en_decomposition(graph)
+        leader = run_leader_collect_app(graph, decomposition, ColoringTask, seed=8)
+        flood = run_coloring(graph, decomposition, seed=8)
+        assert leader.decisions == flood.colors

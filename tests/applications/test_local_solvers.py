@@ -1,0 +1,92 @@
+"""Unit tests for the canonical per-cluster solvers."""
+
+from __future__ import annotations
+
+from repro.applications.local_solvers import solve_coloring, solve_matching, solve_mis
+
+
+class TestSolveMIS:
+    def test_empty(self):
+        assert solve_mis([], {}) == set()
+
+    def test_path_greedy(self):
+        adjacency = {0: [1], 1: [0, 2], 2: [1, 3], 3: [2]}
+        assert solve_mis([0, 1, 2, 3], adjacency) == {0, 2}
+
+    def test_blocked_skipped(self):
+        adjacency = {0: [1], 1: [0, 2], 2: [1]}
+        assert solve_mis([0, 1, 2], adjacency, blocked=[0]) == {1}
+
+    def test_independence(self):
+        adjacency = {0: [1, 2], 1: [0, 2], 2: [0, 1]}  # triangle
+        chosen = solve_mis([0, 1, 2], adjacency)
+        assert chosen == {0}
+
+    def test_maximality_given_constraints(self):
+        adjacency = {v: [] for v in range(5)}
+        chosen = solve_mis(range(5), adjacency)
+        assert chosen == set(range(5))
+
+    def test_deterministic_order(self):
+        adjacency = {0: [1], 1: [0]}
+        assert solve_mis([1, 0], adjacency) == {0}
+
+
+class TestSolveColoring:
+    def test_path(self):
+        adjacency = {0: [1], 1: [0, 2], 2: [1]}
+        colors = solve_coloring([0, 1, 2], adjacency)
+        assert colors == {0: 0, 1: 1, 2: 0}
+
+    def test_forbidden_respected(self):
+        adjacency = {0: []}
+        colors = solve_coloring([0], adjacency, forbidden={0: [0, 1]})
+        assert colors[0] == 2
+
+    def test_clique_uses_n_colors(self):
+        adjacency = {v: [w for w in range(4) if w != v] for v in range(4)}
+        colors = solve_coloring(range(4), adjacency)
+        assert sorted(colors.values()) == [0, 1, 2, 3]
+
+    def test_proper_always(self):
+        adjacency = {0: [1, 2], 1: [0], 2: [0, 3], 3: [2]}
+        colors = solve_coloring([0, 1, 2, 3], adjacency)
+        for v, nbrs in adjacency.items():
+            for w in nbrs:
+                assert colors[v] != colors[w]
+
+    def test_empty(self):
+        assert solve_coloring([], {}) == {}
+
+
+class TestSolveMatching:
+    def test_path(self):
+        adjacency = {0: [1], 1: [0, 2], 2: [1, 3], 3: [2]}
+        matching = solve_matching([0, 1, 2, 3], adjacency)
+        assert matching == {(0, 1), (2, 3)}
+
+    def test_unavailable_respected(self):
+        adjacency = {0: [1], 1: [0]}
+        assert solve_matching([0, 1], adjacency, unavailable=[1]) == set()
+
+    def test_no_vertex_matched_twice(self):
+        adjacency = {0: [1, 2], 1: [0, 2], 2: [0, 1]}
+        matching = solve_matching([0, 1, 2], adjacency)
+        used = [v for e in matching for v in e]
+        assert len(used) == len(set(used))
+
+    def test_maximal_within_members(self):
+        adjacency = {0: [1], 1: [0, 2], 2: [1, 3], 3: [2, 4], 4: [3]}
+        matching = solve_matching([0, 1, 2, 3, 4], adjacency)
+        matched = {v for e in matching for v in e}
+        for v, nbrs in adjacency.items():
+            for w in nbrs:
+                assert v in matched or w in matched
+
+    def test_external_neighbors_ignored(self):
+        adjacency = {0: [1, 99], 1: [0]}
+        matching = solve_matching([0, 1], adjacency)
+        assert matching == {(0, 1)}
+
+    def test_empty(self):
+        assert solve_matching([], {}) == set()

@@ -1,0 +1,104 @@
+"""Hypothesis property tests for the canonical solvers and the LS phase."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.applications.local_solvers import solve_coloring, solve_matching, solve_mis
+from repro.baselines.linial_saks import ls_phase
+from repro.graphs import GraphBuilder, bfs_distances
+
+
+@st.composite
+def adjacency_maps(draw, max_n: int = 12):
+    """Random symmetric adjacency dicts over 0..n-1."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = (
+        draw(st.lists(st.sampled_from(possible), max_size=30)) if possible else []
+    )
+    adjacency: dict[int, set[int]] = {v: set() for v in range(n)}
+    for u, v in set(edges):
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    return {v: sorted(nbrs) for v, nbrs in adjacency.items()}
+
+
+@st.composite
+def graphs(draw, max_n: int = 14):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = (
+        draw(st.lists(st.sampled_from(possible), max_size=30)) if possible else []
+    )
+    builder = GraphBuilder(n)
+    for u, v in edges:
+        builder.add_edge(u, v)
+    return builder.build()
+
+
+@given(adjacency_maps())
+def test_mis_independent_and_maximal(adjacency):
+    members = sorted(adjacency)
+    chosen = solve_mis(members, adjacency)
+    for v in chosen:
+        assert not any(w in chosen for w in adjacency[v])
+    for v in members:
+        if v not in chosen:
+            assert any(w in chosen for w in adjacency[v])
+
+
+@given(adjacency_maps(), st.sets(st.integers(min_value=0, max_value=11)))
+def test_mis_blocked_never_selected(adjacency, blocked):
+    chosen = solve_mis(sorted(adjacency), adjacency, blocked)
+    assert not (chosen & blocked)
+
+
+@given(adjacency_maps())
+def test_coloring_proper_and_compact(adjacency):
+    members = sorted(adjacency)
+    colors = solve_coloring(members, adjacency)
+    for v in members:
+        for w in adjacency[v]:
+            assert colors[v] != colors[w]
+        assert colors[v] <= len(adjacency[v])  # first-fit bound
+
+
+@given(adjacency_maps())
+def test_matching_is_matching_and_maximal(adjacency):
+    members = sorted(adjacency)
+    matching = solve_matching(members, adjacency)
+    used = [v for edge in matching for v in edge]
+    assert len(used) == len(set(used))
+    matched = set(used)
+    for v in members:
+        for w in adjacency[v]:
+            assert v in matched or w in matched
+
+
+@given(
+    graphs(),
+    st.dictionaries(
+        st.integers(min_value=0, max_value=13),
+        st.integers(min_value=0, max_value=4),
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_ls_phase_invariants(g, raw_radii):
+    radii = {v: r for v, r in raw_radii.items() if v < g.num_vertices}
+    for v in g.vertices():
+        radii.setdefault(v, 0)
+    active = set(g.vertices())
+    block, centers = ls_phase(g, active, radii)
+    assert set(centers) == block
+    for x, center in centers.items():
+        distances = bfs_distances(g, center, active=active)
+        # Strictly inside the center's ball, and the center is the
+        # minimum ID among all vertices whose ball reaches x.
+        assert distances[x] < radii[center]
+        for v in g.vertices():
+            if v >= center:
+                continue
+            reach = bfs_distances(g, v, active=active)
+            assert reach.get(x, 10**9) > radii[v]

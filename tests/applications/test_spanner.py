@@ -1,0 +1,107 @@
+"""Tests for spanner construction over strong-diameter decompositions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.applications.spanner import build_spanner, max_edge_stretch
+from repro.baselines import linial_saks
+from repro.core import Cluster, NetworkDecomposition, elkin_neiman
+from repro.errors import DecompositionError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    is_connected,
+    path_graph,
+)
+
+
+def en_decomposition(graph, k=3, seed=21):
+    decomposition, _ = elkin_neiman.decompose(graph, k=k, seed=seed)
+    return decomposition
+
+
+class TestBuildSpanner:
+    @pytest.mark.parametrize(
+        "graph",
+        [grid_graph(6, 6), erdos_renyi(60, 0.15, seed=1), complete_graph(15)],
+        ids=["grid", "er", "complete"],
+    )
+    def test_stretch_within_bound(self, graph):
+        decomposition = en_decomposition(graph)
+        result = build_spanner(graph, decomposition)
+        assert result.max_stretch <= result.stretch_bound
+        assert not math.isinf(result.max_stretch)
+
+    def test_spanner_is_subgraph(self):
+        graph = erdos_renyi(50, 0.2, seed=2)
+        result = build_spanner(graph, en_decomposition(graph))
+        for u, v in result.spanner.edges():
+            assert graph.has_edge(u, v)
+
+    def test_preserves_connectivity(self):
+        graph = grid_graph(7, 7)
+        result = build_spanner(graph, en_decomposition(graph))
+        assert is_connected(result.spanner)
+
+    def test_sparsifies_dense_graph(self):
+        graph = complete_graph(40)
+        # One cluster engulfs the clique quickly; tree + connectors << m.
+        result = build_spanner(graph, en_decomposition(graph, k=3))
+        assert result.num_edges < graph.num_edges / 3
+
+    def test_edge_accounting(self):
+        graph = erdos_renyi(60, 0.1, seed=3)
+        result = build_spanner(graph, en_decomposition(graph))
+        assert result.num_edges <= result.tree_edges + result.connector_edges
+        decomposition = en_decomposition(graph)
+        assert result.tree_edges == graph.num_vertices - decomposition.num_clusters
+
+    def test_rejects_disconnected_clusters(self):
+        for seed in range(10):
+            graph = erdos_renyi(60, 0.07, seed=seed)
+            decomposition, _ = linial_saks.decompose(graph, k=4, seed=seed)
+            if decomposition.disconnected_clusters():
+                with pytest.raises(DecompositionError, match="disconnected|strong"):
+                    build_spanner(graph, decomposition)
+                return
+        pytest.fail("no disconnected LS cluster found")
+
+    def test_singleton_clusters_give_connectors_only(self):
+        graph = path_graph(5)
+        clusters = [
+            Cluster(index=i, color=i % 2, vertices=frozenset({i})) for i in range(5)
+        ]
+        decomposition = NetworkDecomposition(graph, clusters)
+        result = build_spanner(graph, decomposition)
+        assert result.tree_edges == 0
+        assert result.spanner.num_edges == 4  # all edges are connectors
+        assert result.max_stretch == 1.0
+
+
+class TestMaxEdgeStretch:
+    def test_identity_spanner(self):
+        graph = cycle_graph(8)
+        assert max_edge_stretch(graph, graph) == 1.0
+
+    def test_cycle_minus_edge(self):
+        graph = cycle_graph(8)
+        spanner = Graph(8, [e for e in graph.edges() if e != (0, 7)])
+        assert max_edge_stretch(graph, spanner) == 7.0
+
+    def test_disconnected_spanner_is_inf(self):
+        graph = path_graph(3)
+        spanner = Graph(3, [(0, 1)])
+        assert math.isinf(max_edge_stretch(graph, spanner))
+
+    def test_edgeless_host(self):
+        assert max_edge_stretch(Graph(4), Graph(4)) == 1.0
+
+    def test_vertex_mismatch_rejected(self):
+        with pytest.raises(DecompositionError):
+            max_edge_stretch(path_graph(3), Graph(4))

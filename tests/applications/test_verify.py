@@ -1,0 +1,84 @@
+"""Unit tests for the application output verifiers."""
+
+from __future__ import annotations
+
+from repro.applications.verify import (
+    is_independent_set,
+    is_matching,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_vertex_coloring,
+)
+from repro.graphs import Graph, complete_graph, cycle_graph, path_graph
+
+
+class TestIndependentSet:
+    def test_valid(self):
+        assert is_independent_set(path_graph(4), {0, 2})
+
+    def test_adjacent_pair_fails(self):
+        assert not is_independent_set(path_graph(4), {0, 1})
+
+    def test_empty_is_independent(self):
+        assert is_independent_set(path_graph(4), set())
+
+
+class TestMaximalIndependentSet:
+    def test_valid(self):
+        assert is_maximal_independent_set(path_graph(5), {0, 2, 4})
+
+    def test_non_maximal_fails(self):
+        # {1} covers 0 and 2 but vertex 3 has no selected neighbour.
+        assert not is_maximal_independent_set(path_graph(5), {1})
+
+    def test_non_independent_fails(self):
+        assert not is_maximal_independent_set(path_graph(5), {0, 1, 3})
+
+    def test_isolated_vertices_required(self):
+        g = Graph(3, [(0, 1)])
+        assert not is_maximal_independent_set(g, {0})
+        assert is_maximal_independent_set(g, {0, 2})
+
+
+class TestProperColoring:
+    def test_valid(self):
+        assert is_proper_vertex_coloring(cycle_graph(4), {0: 0, 1: 1, 2: 0, 3: 1})
+
+    def test_monochromatic_edge_fails(self):
+        assert not is_proper_vertex_coloring(path_graph(2), {0: 3, 1: 3})
+
+    def test_missing_vertex_fails(self):
+        assert not is_proper_vertex_coloring(path_graph(3), {0: 0, 1: 1})
+
+    def test_palette_bound(self):
+        colors = {v: v for v in range(4)}
+        assert is_proper_vertex_coloring(complete_graph(4), colors, max_colors=4)
+        assert not is_proper_vertex_coloring(complete_graph(4), colors, max_colors=3)
+
+
+class TestMatching:
+    def test_valid(self):
+        assert is_matching(path_graph(4), [(0, 1), (2, 3)])
+
+    def test_shared_vertex_fails(self):
+        assert not is_matching(path_graph(3), [(0, 1), (1, 2)])
+
+    def test_non_edge_fails(self):
+        assert not is_matching(path_graph(4), [(0, 3)])
+
+    def test_empty_is_matching(self):
+        assert is_matching(path_graph(4), [])
+
+
+class TestMaximalMatching:
+    def test_valid(self):
+        assert is_maximal_matching(path_graph(4), [(1, 2)])
+
+    def test_extendable_fails(self):
+        assert not is_maximal_matching(path_graph(5), [(1, 2)])
+
+    def test_empty_on_edgeless_graph(self):
+        assert is_maximal_matching(Graph(3), [])
+
+    def test_empty_on_graph_with_edges_fails(self):
+        assert not is_maximal_matching(path_graph(3), [])

@@ -1,0 +1,93 @@
+"""Tests for the deterministic ball-carving baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import ball_carving
+from repro.baselines.ball_carving import greedy_color
+from repro.errors import ParameterError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+
+class TestGreedyColor:
+    def test_path_two_colors(self):
+        assert max(greedy_color(path_graph(6))) <= 1
+
+    def test_complete_needs_n(self):
+        colors = greedy_color(complete_graph(5))
+        assert sorted(colors) == [0, 1, 2, 3, 4]
+
+    def test_proper(self, zoo_graph):
+        colors = greedy_color(zoo_graph)
+        for u, v in zoo_graph.edges():
+            assert colors[u] != colors[v]
+
+    def test_at_most_delta_plus_one(self, zoo_graph):
+        colors = greedy_color(zoo_graph)
+        if colors:
+            assert max(colors) + 1 <= zoo_graph.max_degree() + 1
+
+
+class TestBallCarving:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_strong_diameter_bound(self, k):
+        g = erdos_renyi(80, 0.06, seed=3)
+        decomposition, trace = ball_carving.decompose(g, k=k)
+        decomposition.validate(max_diameter=2 * k - 2, strong=True)
+        assert trace.max_radius <= k - 1
+
+    def test_deterministic(self):
+        g = grid_graph(7, 7)
+        a, _ = ball_carving.decompose(g, k=3)
+        b, _ = ball_carving.decompose(g, k=3)
+        assert a.cluster_index_map() == b.cluster_index_map()
+
+    def test_k1_gives_singletons(self):
+        g = cycle_graph(10)
+        decomposition, _ = ball_carving.decompose(g, k=1)
+        assert decomposition.num_clusters == 10
+        assert decomposition.max_strong_diameter() == 0
+
+    def test_large_k_engulfs_components(self):
+        g = path_graph(20)
+        decomposition, _ = ball_carving.decompose(g, k=30)
+        # threshold ~ 1: balls grow until expansion stalls; a path's ball
+        # grows by <= 2 per step so carving stops early — but k is a cap,
+        # and the decomposition stays valid.
+        decomposition.validate()
+
+    def test_complete_graph_one_cluster(self):
+        g = complete_graph(12)
+        decomposition, _ = ball_carving.decompose(g, k=2)
+        # B(v, 1) = everything; growth check: 12 > sqrt(12)*1 so it grows
+        # once, then B(2) = B(1) stops it.
+        assert decomposition.num_clusters == 1
+
+    def test_star_graph(self):
+        decomposition, _ = ball_carving.decompose(star_graph(20), k=2)
+        decomposition.validate(max_diameter=2, strong=True)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ball_carving.decompose(path_graph(3), k=0)
+
+    def test_empty_graph(self):
+        decomposition, trace = ball_carving.decompose(Graph(0), k=2)
+        assert decomposition.num_clusters == 0
+        assert trace.radii == []
+
+    def test_trace_radii_one_per_cluster(self):
+        g = erdos_renyi(40, 0.1, seed=4)
+        decomposition, trace = ball_carving.decompose(g, k=3)
+        assert len(trace.radii) == decomposition.num_clusters

@@ -1,0 +1,92 @@
+"""Shared fixtures: a zoo of small graphs exercised across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    balanced_tree,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    random_connected,
+    random_regular,
+    star_graph,
+)
+
+
+@pytest.fixture
+def path10() -> Graph:
+    return path_graph(10)
+
+
+@pytest.fixture
+def cycle12() -> Graph:
+    return cycle_graph(12)
+
+
+@pytest.fixture
+def grid5x5() -> Graph:
+    return grid_graph(5, 5)
+
+
+@pytest.fixture
+def k5() -> Graph:
+    return complete_graph(5)
+
+
+@pytest.fixture
+def star9() -> Graph:
+    return star_graph(9)
+
+
+@pytest.fixture
+def tree_b2h3() -> Graph:
+    return balanced_tree(2, 3)
+
+
+@pytest.fixture
+def cube4() -> Graph:
+    return hypercube_graph(4)
+
+
+@pytest.fixture
+def er80() -> Graph:
+    return erdos_renyi(80, 0.06, seed=8)
+
+
+@pytest.fixture
+def connected60() -> Graph:
+    return random_connected(60, 0.02, seed=3)
+
+
+@pytest.fixture
+def regular_exp() -> Graph:
+    """A 4-regular 'expander-ish' random graph."""
+    return random_regular(50, 4, seed=6)
+
+
+def graph_zoo() -> list[tuple[str, Graph]]:
+    """A deterministic collection of diverse topologies for sweep tests."""
+    return [
+        ("path", path_graph(17)),
+        ("cycle", cycle_graph(16)),
+        ("grid", grid_graph(5, 6)),
+        ("tree", balanced_tree(2, 4)),
+        ("star", star_graph(12)),
+        ("complete", complete_graph(8)),
+        ("hypercube", hypercube_graph(4)),
+        ("er-sparse", erdos_renyi(40, 0.06, seed=1)),
+        ("er-dense", erdos_renyi(30, 0.25, seed=2)),
+        ("connected", random_connected(35, 0.03, seed=4)),
+    ]
+
+
+@pytest.fixture(params=graph_zoo(), ids=lambda pair: pair[0])
+def zoo_graph(request) -> Graph:
+    """Parametrised fixture iterating over the whole zoo."""
+    return request.param[1]

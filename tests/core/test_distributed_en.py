@@ -1,0 +1,167 @@
+"""Tests of the distributed Elkin–Neiman protocol.
+
+The central property: the message-passing run is **bit-identical** to the
+centralized reference under shared seeds — in full forwarding mode, in the
+paper's top-two CONGEST mode, and in both phase-length policies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import elkin_neiman
+from repro.core.distributed_en import decompose_distributed
+from repro.errors import CongestViolation, ParameterError
+from repro.graphs import (
+    balanced_tree,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    random_connected,
+    star_graph,
+)
+
+GRAPHS = [
+    ("path", path_graph(25)),
+    ("cycle", cycle_graph(24)),
+    ("grid", grid_graph(6, 6)),
+    ("tree", balanced_tree(2, 4)),
+    ("star", star_graph(15)),
+    ("complete", complete_graph(10)),
+    ("er", erdos_renyi(50, 0.08, seed=3)),
+    ("conn", random_connected(40, 0.03, seed=4)),
+]
+
+
+def same_decomposition(a, b) -> bool:
+    return (
+        a.cluster_index_map() == b.cluster_index_map()
+        and [c.color for c in a.clusters] == [c.color for c in b.clusters]
+        and [c.center for c in a.clusters] == [c.center for c in b.clusters]
+    )
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("name,graph", GRAPHS, ids=[g[0] for g in GRAPHS])
+    @pytest.mark.parametrize("mode", ["full", "toptwo"])
+    def test_matches_centralized_adaptive(self, name, graph, mode):
+        seed = 17
+        central, _ = elkin_neiman.decompose(graph, k=3, seed=seed)
+        distributed = decompose_distributed(graph, k=3, seed=seed, mode=mode)
+        assert same_decomposition(central, distributed.decomposition)
+
+    @pytest.mark.parametrize("mode", ["full", "toptwo"])
+    def test_matches_centralized_fixed_length(self, mode):
+        graph = erdos_renyi(40, 0.1, seed=5)
+        seed = 23
+        central, _ = elkin_neiman.decompose(
+            graph, k=3, seed=seed, use_range_cap=True
+        )
+        distributed = decompose_distributed(
+            graph, k=3, seed=seed, mode=mode, adaptive_phase_length=False
+        )
+        assert same_decomposition(central, distributed.decomposition)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_toptwo_equals_full_many_seeds(self, seed):
+        """The paper's CONGEST claim (E8): top-two forwarding loses nothing."""
+        graph = erdos_renyi(45, 0.09, seed=seed)
+        full = decompose_distributed(graph, k=3, seed=seed, mode="full")
+        toptwo = decompose_distributed(graph, k=3, seed=seed, mode="toptwo")
+        assert same_decomposition(full.decomposition, toptwo.decomposition)
+        assert full.phases == toptwo.phases
+
+
+class TestProtocolProperties:
+    def test_valid_decomposition(self):
+        graph = erdos_renyi(60, 0.07, seed=6)
+        result = decompose_distributed(graph, k=3, seed=31)
+        result.decomposition.validate()
+        if not result.truncation_events:
+            assert result.decomposition.max_strong_diameter() <= 4
+
+    def test_round_accounting(self):
+        graph = grid_graph(5, 5)
+        result = decompose_distributed(graph, k=2, seed=7)
+        assert result.total_rounds == sum(result.rounds_per_phase)
+        assert result.total_rounds == result.stats.rounds
+        assert len(result.rounds_per_phase) == result.phases
+        # Every phase costs B_t + 2 rounds with B_t >= 0.
+        assert all(r >= 2 for r in result.rounds_per_phase)
+
+    def test_rounds_within_theorem_budget(self):
+        # Fixed mode: each phase is exactly k + 2 rounds; phases w.h.p.
+        # within nominal -> rounds <= (k + 2) * nominal.
+        graph = erdos_renyi(50, 0.08, seed=8)
+        k = 3
+        result = decompose_distributed(
+            graph, k=k, seed=8, adaptive_phase_length=False
+        )
+        assert all(r == k + 2 for r in result.rounds_per_phase)
+        if result.exhausted_within_nominal:
+            assert result.total_rounds <= (k + 2) * result.nominal_phases
+
+    def test_toptwo_is_congest(self):
+        """Top-two mode fits a constant word budget on every graph here."""
+        for _, graph in GRAPHS:
+            result = decompose_distributed(
+                graph, k=3, seed=19, mode="toptwo", word_budget=9
+            )
+            assert result.stats.max_words_per_edge_round <= 9
+
+    def test_full_mode_violates_small_budget_on_dense_graph(self):
+        graph = complete_graph(30)
+        with pytest.raises(CongestViolation):
+            # Dense graph: many new entries land in one round.
+            decompose_distributed(
+                graph, k=5, c=20.0, seed=3, mode="full", word_budget=8
+            )
+
+    def test_requires_k_or_schedule(self):
+        with pytest.raises(ParameterError, match="either k or"):
+            decompose_distributed(path_graph(3))
+
+    def test_invalid_mode(self):
+        with pytest.raises(ParameterError, match="mode"):
+            decompose_distributed(path_graph(3), k=2, mode="bogus")  # type: ignore[arg-type]
+
+    def test_empty_graph(self):
+        from repro.graphs import Graph
+
+        result = decompose_distributed(Graph(0), k=2)
+        assert result.phases == 0
+        assert result.decomposition.num_clusters == 0
+
+
+class TestSchedulesDistributed:
+    def test_theorem2_schedule_runs_distributed(self):
+        from repro.core.params import Theorem2Schedule
+
+        graph = erdos_renyi(50, 0.08, seed=9)
+        schedule = Theorem2Schedule(n=50, k=3, c=6.0)
+        result = decompose_distributed(graph, schedule=schedule, seed=41)
+        result.decomposition.validate()
+        if not result.truncation_events:
+            assert result.decomposition.max_strong_diameter() <= 4
+
+    def test_theorem2_distributed_matches_centralized(self):
+        from repro.core import staged
+        from repro.core.params import Theorem2Schedule
+
+        graph = grid_graph(6, 5)
+        central, _ = staged.decompose(graph, k=3, c=6.0, seed=43)
+        schedule = Theorem2Schedule(n=30, k=3, c=6.0)
+        distributed = decompose_distributed(graph, schedule=schedule, seed=43)
+        assert same_decomposition(central, distributed.decomposition)
+
+    def test_theorem3_schedule_runs_distributed(self):
+        from repro.core.params import Theorem3Schedule
+
+        graph = grid_graph(5, 5)
+        schedule = Theorem3Schedule.from_lambda(n=25, lam=2, c=4.0)
+        result = decompose_distributed(graph, schedule=schedule, seed=47)
+        result.decomposition.validate()
+        if result.exhausted_within_nominal:
+            assert result.decomposition.num_colors <= 2

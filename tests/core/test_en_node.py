@@ -1,0 +1,122 @@
+"""Node-level unit tests of the distributed EN state machine."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.distributed_en import ENNodeAlgorithm
+from repro.distributed import SyncNetwork
+from repro.errors import ParameterError
+from repro.graphs import path_graph, star_graph
+
+
+def make_network(graph, seed=1, mode="toptwo"):
+    return SyncNetwork(
+        graph, [ENNodeAlgorithm(v, seed, mode) for v in range(graph.num_vertices)], seed=seed
+    )
+
+
+class TestENNodeStateMachine:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ParameterError):
+            ENNodeAlgorithm(0, 1, "everything")  # type: ignore[arg-type]
+
+    def test_begin_phase_draws_shared_stream(self):
+        from repro.core.shifts import sample_radius
+
+        node = ENNodeAlgorithm(3, seed=9, mode="full")
+        node.begin_phase(phase=2, beta=0.8, broadcast_rounds=4)
+        assert node.radius == sample_radius(9, 2, 3, 0.8)
+        assert node.entries == {3: (node.radius, 0)}
+        assert node.round_in_phase == 0
+
+    def test_own_entry_broadcast_first_round(self):
+        graph = star_graph(4)
+        network = make_network(graph)
+        network.start()
+        for v in range(4):
+            algo = network.algorithm(v)
+            algo.begin_phase(1, 0.2, broadcast_rounds=5)  # tiny beta: big radii
+        network.run_rounds(1)
+        # All radii > 1 w.h.p. under beta=0.2 with these seeds; at minimum
+        # everyone with floor(radius) >= 1 must have sent degree messages.
+        expected = sum(
+            graph.degree(v)
+            for v in range(4)
+            if math.floor(network.algorithm(v).radius) >= 1
+        )
+        assert network.stats.messages_sent == expected
+
+    def test_entries_record_shortest_distance(self):
+        graph = path_graph(4)
+        network = make_network(graph, seed=5, mode="full")
+        network.start()
+        for v in range(4):
+            network.algorithm(v).begin_phase(1, 0.1, broadcast_rounds=6)
+        network.run_rounds(6)
+        for v in range(4):
+            algo = network.algorithm(v)
+            for origin, (radius, distance) in algo.entries.items():
+                assert distance == abs(origin - v)  # path distances
+
+    def test_decision_uses_m2_zero_for_lone_entry(self):
+        node = ENNodeAlgorithm(0, seed=1, mode="full")
+        node.begin_phase(1, 1.0, broadcast_rounds=0)
+        node.entries = {0: (2.5, 0)}
+        node._decide()
+        assert node.joined_phase == 1
+        assert node.center == 0
+
+    def test_decision_gap_rule(self):
+        node = ENNodeAlgorithm(0, seed=1, mode="full")
+        node.begin_phase(1, 1.0, broadcast_rounds=0)
+        node.phase = 1
+        node.entries = {0: (0.2, 0), 7: (4.0, 2)}  # m: 0.2 vs 2.0 -> gap 1.8
+        node.joined_phase = None
+        node._decide()
+        assert node.joined_phase == 1
+        assert node.center == 7
+
+        node2 = ENNodeAlgorithm(0, seed=1, mode="full")
+        node2.begin_phase(1, 1.0, broadcast_rounds=0)
+        node2.entries = {0: (1.1, 0), 7: (4.0, 2)}  # m: 1.1 vs 2.0 -> gap 0.9
+        node2._decide()
+        assert node2.joined_phase is None
+
+    def test_forward_eligibility_respects_floor(self):
+        node = ENNodeAlgorithm(0, seed=1, mode="full")
+        node.begin_phase(1, 1.0, broadcast_rounds=5)
+        node.entries = {9: (2.9, 2)}  # d+1 = 3 > floor(2.9) = 2: ineligible
+        assert not node._eligible(9)
+        node.entries = {9: (3.0, 2)}  # d+1 = 3 <= 3: eligible
+        assert node._eligible(9)
+
+    def test_toptwo_sends_at_most_two_new_origins_per_round(self):
+        # On a star, the centre hears every leaf simultaneously; in toptwo
+        # mode it may forward only two of them.
+        graph = star_graph(8)
+        network = make_network(graph, seed=3, mode="toptwo")
+        network.start()
+        for v in range(8):
+            network.algorithm(v).begin_phase(1, 0.05, broadcast_rounds=8)
+        network.run_rounds(1)  # everyone injects own entry
+        before = network.stats.messages_sent
+        network.run_rounds(1)
+        sent = network.stats.messages_sent - before
+        # Centre forwards at most 2 of the 7 leaf entries (2 x 7 msgs);
+        # each leaf may echo the centre's entry back (7 x 1 msgs).  Full
+        # mode would forward all 7 leaf entries (49 + 7).
+        assert sent <= 2 * 7 + 7
+
+    def test_halt_after_join_and_announce(self):
+        graph = path_graph(2)
+        network = make_network(graph, seed=2, mode="full")
+        network.start()
+        for v in range(2):
+            network.algorithm(v).begin_phase(1, 0.05, broadcast_rounds=1)
+        network.run_rounds(3)  # 1 broadcast + decide + announce
+        joined = [network.algorithm(v).joined_phase == 1 for v in range(2)]
+        halted = [network.halted(v) for v in range(2)]
+        assert joined == halted

@@ -1,0 +1,127 @@
+"""Mechanical verification of the paper's structural claims (§2).
+
+These tests carve blocks on many seeded instances and check, vertex by
+vertex, the exact statements of Observation 2, Claim 3, Lemma 4 and the
+supporting conventions, rather than just the end-to-end theorem bounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.carving import carve_block
+from repro.core.shifts import sample_phase_radii
+from repro.graphs import (
+    bfs_distances,
+    connected_components,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    random_connected,
+    shortest_path,
+    strong_diameter,
+)
+
+CASES = [
+    ("er", erdos_renyi(60, 0.07, seed=1)),
+    ("grid", grid_graph(7, 7)),
+    ("conn", random_connected(50, 0.03, seed=2)),
+    ("path", path_graph(40)),
+]
+
+
+def carve_cases(beta: float = 0.8, phases: int = 6):
+    """Yield (graph, radii, outcome) over several graphs/phases."""
+    for name, graph in CASES:
+        active = set(graph.vertices())
+        for phase in range(1, phases + 1):
+            if not active:
+                break
+            radii = sample_phase_radii(99, phase, active, beta)
+            outcome = carve_block(graph, active, radii)
+            yield graph, active.copy(), radii, outcome
+            active -= outcome.block
+
+
+class TestObservation2:
+    """If y chose v1 at phase t then d_Gt(v1, y) < r_v1 - 1."""
+
+    def test_holds_everywhere(self):
+        checked = 0
+        for graph, active, radii, outcome in carve_cases():
+            for y in outcome.block:
+                v1 = outcome.center_of[y]
+                d = bfs_distances(graph, v1, active=active)[y]
+                assert d < radii[v1] - 1.0
+                checked += 1
+        assert checked > 50  # the sweep must actually exercise the claim
+
+
+class TestClaim3:
+    """Every vertex on a shortest v->y path (in G_t) also chose v."""
+
+    def test_holds_everywhere(self):
+        checked = 0
+        for graph, active, radii, outcome in carve_cases():
+            for y in outcome.block:
+                v = outcome.center_of[y]
+                path = shortest_path(graph, v, y, active=active)
+                assert path is not None
+                for x in path:
+                    assert x in outcome.block
+                    assert outcome.center_of[x] == v
+                    checked += 1
+        assert checked > 50
+
+
+class TestLemma4:
+    """Blocks have strong diameter <= 2k-2; components are center-pure."""
+
+    def test_components_have_single_center(self):
+        for graph, active, radii, outcome in carve_cases():
+            for component in connected_components(
+                graph, active=outcome.block, universe=sorted(outcome.block)
+            ):
+                centers = {outcome.center_of[x] for x in component}
+                assert len(centers) == 1
+                # The center itself belongs to its own cluster.
+                (center,) = centers
+                assert center in component
+
+    def test_strong_diameter_bound(self):
+        for graph, active, radii, outcome in carve_cases():
+            if not outcome.block:
+                continue
+            # Lemma 4's bound with k replaced by the realised max radius:
+            # dist(center, y) <= r - 1, so diameter <= 2*(ceil(max r) - 1).
+            bound = 2.0 * (max(radii.values()) - 1.0)
+            for component in connected_components(
+                graph, active=outcome.block, universe=sorted(outcome.block)
+            ):
+                d = strong_diameter(graph, component)
+                assert not math.isinf(d)
+                assert d <= max(bound, 0.0) + 1e-9
+
+    def test_adjacent_joiners_share_center(self):
+        for graph, active, radii, outcome in carve_cases():
+            for u, v in graph.edges():
+                if u in outcome.block and v in outcome.block:
+                    assert outcome.center_of[u] == outcome.center_of[v]
+
+
+class TestConventions:
+    def test_m_values_nonnegative(self):
+        """'Observe that all m_i are nonnegative' — a broadcast only
+        reaches y when d <= floor(r) <= r."""
+        for graph, active, radii, outcome in carve_cases():
+            for y, record in outcome.top_two.items():
+                assert record.best >= 0.0
+                if record.count > 1:
+                    assert record.second >= 0.0
+
+    def test_own_broadcast_always_heard(self):
+        for graph, active, radii, outcome in carve_cases():
+            for y, record in outcome.top_two.items():
+                assert record.best >= radii[y] - 1e-12

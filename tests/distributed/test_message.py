@@ -1,0 +1,62 @@
+"""Unit tests for message word-cost accounting."""
+
+from __future__ import annotations
+
+from repro.distributed import Message, payload_words
+
+
+class TestPayloadWords:
+    def test_scalars_cost_one(self):
+        assert payload_words(None) == 1
+        assert payload_words(True) == 1
+        assert payload_words(7) == 1
+        assert payload_words(3.14) == 1
+
+    def test_short_string(self):
+        assert payload_words("b") == 1
+        assert payload_words("leftleft") == 1
+
+    def test_long_string(self):
+        assert payload_words("x" * 17) == 3
+
+    def test_tuple_sums(self):
+        assert payload_words(("b", 3, 2.5, 1)) == 4
+
+    def test_nested(self):
+        assert payload_words(("item", (1, 2), [3.0])) == 4
+
+    def test_empty_containers(self):
+        assert payload_words(()) == 1
+        assert payload_words({}) == 1
+        assert payload_words([]) == 1
+
+    def test_dict_counts_keys_and_values(self):
+        assert payload_words({1: 2, 3: 4}) == 4
+
+    def test_set(self):
+        assert payload_words(frozenset({1, 2, 3})) == 3
+
+    def test_fallback_object(self):
+        class Thing:
+            def __repr__(self) -> str:
+                return "t" * 20
+
+        assert payload_words(Thing()) == 3
+
+
+class TestMessage:
+    def test_make_computes_words(self):
+        msg = Message.make(0, 1, ("b", 2, 1.5, 1), 3)
+        assert msg.words == 4
+        assert msg.sender == 0
+        assert msg.receiver == 1
+        assert msg.sent_round == 3
+
+    def test_frozen(self):
+        msg = Message.make(0, 1, "x", 0)
+        try:
+            msg.sender = 5  # type: ignore[misc]
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

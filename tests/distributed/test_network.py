@@ -1,0 +1,222 @@
+"""Unit tests for the synchronous round engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import Context, Message, NodeAlgorithm, SyncNetwork
+from repro.errors import CongestViolation, SimulationError
+from repro.graphs import Graph, complete_graph, cycle_graph, path_graph
+
+
+class Echo(NodeAlgorithm):
+    """Sends its id to all neighbours once, records everything received."""
+
+    def __init__(self) -> None:
+        self.received: list[tuple[int, object]] = []
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast(("id", ctx.node_id))
+
+    def on_round(self, ctx: Context, inbox) -> None:
+        for message in inbox:
+            self.received.append((message.sender, message.payload))
+
+
+class Flooder(NodeAlgorithm):
+    """Floods a token from node 0; every node records first-arrival round."""
+
+    def __init__(self) -> None:
+        self.heard_at: int | None = None
+
+    def on_start(self, ctx: Context) -> None:
+        if ctx.node_id == 0:
+            self.heard_at = 0
+            ctx.broadcast("token")
+
+    def on_round(self, ctx: Context, inbox) -> None:
+        if self.heard_at is None and inbox:
+            self.heard_at = ctx.round_number
+            ctx.broadcast("token")
+
+
+class TestDelivery:
+    def test_on_start_messages_arrive_round_one(self):
+        net = SyncNetwork(path_graph(3), lambda v: Echo())
+        net.start()
+        net.step()
+        middle = net.algorithm(1)
+        assert sorted(middle.received) == [(0, ("id", 0)), (2, ("id", 2))]
+
+    def test_inbox_sorted_by_sender(self):
+        net = SyncNetwork(complete_graph(4), lambda v: Echo())
+        net.run_rounds(1)
+        received = net.algorithm(0).received
+        assert [s for s, _ in received] == [1, 2, 3]
+
+    def test_flood_arrival_times_equal_distance(self):
+        g = path_graph(6)
+        net = SyncNetwork(g, lambda v: Flooder())
+        net.run_rounds(6)
+        for v in range(6):
+            assert net.algorithm(v).heard_at == v
+
+    def test_send_to_non_neighbor_rejected(self):
+        class Bad(NodeAlgorithm):
+            def on_start(self, ctx: Context) -> None:
+                ctx.send(2, "oops")
+
+        with pytest.raises(SimulationError, match="non-neighbour"):
+            SyncNetwork(path_graph(3), lambda v: Bad()).start()
+
+    def test_algorithm_count_mismatch(self):
+        with pytest.raises(SimulationError, match="one algorithm per vertex"):
+            SyncNetwork(path_graph(3), [Echo(), Echo()])
+
+
+class TestHalting:
+    def test_halted_node_gets_no_callbacks(self):
+        calls: list[int] = []
+
+        class Quitter(NodeAlgorithm):
+            def on_round(self, ctx: Context, inbox) -> None:
+                calls.append(ctx.round_number)
+                ctx.halt()
+
+        net = SyncNetwork(path_graph(2), lambda v: Quitter())
+        net.run_rounds(3)
+        assert calls == [1, 1]
+
+    def test_messages_to_halted_dropped(self):
+        class HaltFirst(NodeAlgorithm):
+            def __init__(self, vertex: int) -> None:
+                self.vertex = vertex
+                self.got = 0
+
+            def on_round(self, ctx: Context, inbox) -> None:
+                self.got += len(inbox)
+                if ctx.round_number == 1 and self.vertex == 0:
+                    ctx.halt()
+                elif ctx.round_number == 1:
+                    ctx.broadcast("late")
+
+        net = SyncNetwork(path_graph(2), lambda v: HaltFirst(v))
+        net.run_rounds(3)
+        assert net.algorithm(0).got == 0
+        assert net.stats.messages_sent == 1
+        assert net.stats.messages_delivered == 0
+
+    def test_send_after_halt_rejected(self):
+        class Zombie(NodeAlgorithm):
+            def on_round(self, ctx: Context, inbox) -> None:
+                ctx.halt()
+                ctx.send(ctx.neighbors[0], "ghost")
+
+        with pytest.raises(SimulationError, match="after halting"):
+            SyncNetwork(path_graph(2), lambda v: Zombie()).run_rounds(1)
+
+    def test_all_halted(self):
+        class Stop(NodeAlgorithm):
+            def on_round(self, ctx: Context, inbox) -> None:
+                ctx.halt()
+
+        net = SyncNetwork(path_graph(3), lambda v: Stop())
+        assert not net.all_halted
+        net.run_rounds(1)
+        assert net.all_halted
+
+
+class TestStats:
+    def test_round_count(self):
+        net = SyncNetwork(path_graph(2), lambda v: Echo())
+        net.run_rounds(5)
+        assert net.stats.rounds == 5
+        assert net.current_round == 5
+
+    def test_message_and_word_totals(self):
+        net = SyncNetwork(cycle_graph(4), lambda v: Echo())
+        net.run_rounds(1)
+        # Each of 4 nodes broadcasts to 2 neighbours: 8 messages x 2 words.
+        assert net.stats.messages_sent == 8
+        assert net.stats.messages_delivered == 8
+        assert net.stats.words_sent == 16
+        assert net.stats.max_words_per_edge_round == 2
+
+    def test_stats_merge(self):
+        from repro.distributed import NetworkStats
+
+        a = NetworkStats(rounds=2, messages_sent=3, words_sent=5, max_words_per_edge_round=2)
+        b = NetworkStats(rounds=1, messages_sent=1, words_sent=9, max_words_per_edge_round=7)
+        merged = a.merge(b)
+        assert merged.rounds == 3
+        assert merged.messages_sent == 4
+        assert merged.words_sent == 14
+        assert merged.max_words_per_edge_round == 7
+
+    def test_summary_string(self):
+        net = SyncNetwork(path_graph(2), lambda v: Echo())
+        net.run_rounds(1)
+        assert "rounds=1" in net.stats.summary()
+
+
+class TestCongestEnforcement:
+    def test_within_budget_ok(self):
+        net = SyncNetwork(path_graph(2), lambda v: Echo(), word_budget=2)
+        net.run_rounds(1)
+
+    def test_violation_raises(self):
+        class Chatter(NodeAlgorithm):
+            def on_start(self, ctx: Context) -> None:
+                for _ in range(5):
+                    ctx.broadcast(("x", 1, 2, 3))
+
+        with pytest.raises(CongestViolation, match="budget"):
+            SyncNetwork(path_graph(2), lambda v: Chatter(), word_budget=8).start()
+
+    def test_budget_is_per_edge_per_round(self):
+        class OnePerRound(NodeAlgorithm):
+            def on_round(self, ctx: Context, inbox) -> None:
+                ctx.broadcast(("x", 1))
+
+        net = SyncNetwork(path_graph(2), lambda v: OnePerRound(), word_budget=2)
+        net.run_rounds(10)  # 2 words per round per edge, never exceeds
+
+
+class TestRunUntilQuiet:
+    def test_quiet_after_flood(self):
+        net = SyncNetwork(path_graph(4), lambda v: Flooder())
+        rounds = net.run_until_quiet()
+        assert rounds <= 5
+        assert net.messages_in_flight == 0
+
+    def test_liveness_guard(self):
+        class Forever(NodeAlgorithm):
+            def on_start(self, ctx: Context) -> None:
+                ctx.broadcast("ping")
+
+            def on_round(self, ctx: Context, inbox) -> None:
+                ctx.broadcast("ping")
+
+        net = SyncNetwork(path_graph(2), lambda v: Forever())
+        with pytest.raises(SimulationError, match="not quiet"):
+            net.run_until_quiet(max_rounds=10)
+
+
+class TestContext:
+    def test_context_exposes_topology(self):
+        net = SyncNetwork(path_graph(3), lambda v: Echo())
+        ctx = net.context(1)
+        assert ctx.node_id == 1
+        assert ctx.neighbors == (0, 2)
+        assert ctx.degree == 2
+        assert ctx.num_vertices == 3
+
+    def test_private_rngs_differ(self):
+        net = SyncNetwork(path_graph(3), lambda v: Echo(), seed=1)
+        values = [net.context(v).rng.random() for v in range(3)]
+        assert len(set(values)) == 3
+
+    def test_rng_deterministic_across_runs(self):
+        a = SyncNetwork(path_graph(3), lambda v: Echo(), seed=42)
+        b = SyncNetwork(path_graph(3), lambda v: Echo(), seed=42)
+        assert a.context(2).rng.random() == b.context(2).rng.random()

@@ -1,0 +1,102 @@
+"""Unit tests for graph construction helpers and networkx interop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Graph,
+    from_adjacency,
+    from_edge_list,
+    from_networkx,
+    parse_edge_list_text,
+    path_graph,
+    to_networkx,
+)
+
+
+class TestFromEdgeList:
+    def test_basic(self):
+        g = from_edge_list(4, [(0, 1), (1, 2), (2, 3)])
+        assert g == path_graph(4)
+
+    def test_duplicates_ignored(self):
+        g = from_edge_list(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+
+class TestFromAdjacency:
+    def test_mapping_one_directional(self):
+        g = from_adjacency({0: [1], 1: [2]})
+        assert g == path_graph(3)
+
+    def test_mapping_bidirectional(self):
+        g = from_adjacency({0: [1], 1: [0, 2], 2: [1]})
+        assert g == path_graph(3)
+
+    def test_sequence_form(self):
+        g = from_adjacency([[1], [0, 2], [1]])
+        assert g == path_graph(3)
+
+    def test_isolated_key_extends_range(self):
+        g = from_adjacency({5: []})
+        assert g.num_vertices == 6
+        assert g.num_edges == 0
+
+
+class TestParseEdgeListText:
+    def test_basic_document(self):
+        text = """
+        # a comment
+        0 1
+        1 2
+
+        2 3
+        """
+        g = parse_edge_list_text(text)
+        assert g == path_graph(4)
+
+    def test_bad_token_count(self):
+        with pytest.raises(GraphError, match="two endpoints"):
+            parse_edge_list_text("0 1 2")
+
+    def test_non_integer(self):
+        with pytest.raises(GraphError, match="non-integer"):
+            parse_edge_list_text("0 x")
+
+    def test_negative_vertex(self):
+        with pytest.raises(GraphError, match="negative"):
+            parse_edge_list_text("0 -1")
+
+    def test_empty_document(self):
+        g = parse_edge_list_text("# nothing\n")
+        assert g.num_vertices == 0
+
+
+class TestNetworkxInterop:
+    def test_round_trip(self, zoo_graph):
+        nxg = to_networkx(zoo_graph)
+        back, labels = from_networkx(nxg)
+        assert back == zoo_graph
+        assert labels == {v: v for v in zoo_graph.vertices()}
+
+    def test_from_networkx_relabels(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_edge("b", "a")
+        nxg.add_edge("b", "c")
+        g, labels = from_networkx(nxg)
+        assert g.num_vertices == 3
+        assert labels == {"a": 0, "b": 1, "c": 2}
+        assert g.degree(labels["b"]) == 2
+
+    def test_from_networkx_drops_self_loops(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_edge(0, 0)
+        nxg.add_edge(0, 1)
+        g, _ = from_networkx(nxg)
+        assert g.num_edges == 1

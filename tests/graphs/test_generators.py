@@ -1,0 +1,236 @@
+"""Unit tests for topology generators: sizes, structure, determinism."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs import (
+    balanced_tree,
+    barabasi_albert,
+    barbell_graph,
+    binary_tree,
+    caterpillar_graph,
+    cluster_graph,
+    complete_graph,
+    cycle_graph,
+    diameter,
+    empty_graph,
+    erdos_renyi,
+    grid_graph,
+    hypercube_graph,
+    is_connected,
+    lollipop_graph,
+    path_graph,
+    random_connected,
+    random_regular,
+    random_tree,
+    star_graph,
+    torus_graph,
+    watts_strogatz,
+)
+
+
+class TestDeterministicFamilies:
+    def test_empty(self):
+        g = empty_graph(4)
+        assert (g.num_vertices, g.num_edges) == (4, 0)
+
+    def test_path(self):
+        g = path_graph(6)
+        assert g.num_edges == 5
+        assert diameter(g) == 5
+        assert g.degree(0) == 1 and g.degree(3) == 2
+
+    def test_path_trivial(self):
+        assert path_graph(1).num_edges == 0
+        assert path_graph(0).num_vertices == 0
+
+    def test_cycle(self):
+        g = cycle_graph(8)
+        assert g.num_edges == 8
+        assert all(g.degree(v) == 2 for v in g.vertices())
+        assert diameter(g) == 4
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ParameterError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert diameter(g) == 1
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.num_edges == 6
+        assert g.degree(0) == 6
+        assert diameter(g) == 2
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert diameter(g) == (3 - 1) + (4 - 1)
+
+    def test_grid_single(self):
+        assert grid_graph(1, 1).num_edges == 0
+
+    def test_torus(self):
+        g = torus_graph(4, 4)
+        assert g.num_vertices == 16
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_torus_too_small(self):
+        with pytest.raises(ParameterError):
+            torus_graph(2, 5)
+
+    def test_balanced_tree(self):
+        g = balanced_tree(2, 3)
+        assert g.num_vertices == 15  # 1 + 2 + 4 + 8
+        assert g.num_edges == 14
+        assert is_connected(g)
+        assert diameter(g) == 6
+
+    def test_balanced_tree_height_zero(self):
+        g = balanced_tree(3, 0)
+        assert g.num_vertices == 1
+
+    def test_binary_tree(self):
+        g = binary_tree(7)
+        assert g.num_edges == 6
+        assert g.degree(0) == 2
+
+    def test_hypercube(self):
+        g = hypercube_graph(3)
+        assert g.num_vertices == 8
+        assert g.num_edges == 12
+        assert all(g.degree(v) == 3 for v in g.vertices())
+        assert diameter(g) == 3
+
+    def test_hypercube_dim_zero(self):
+        assert hypercube_graph(0).num_vertices == 1
+
+    def test_caterpillar(self):
+        g = caterpillar_graph(4, 2)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 + 8
+        assert is_connected(g)
+
+    def test_lollipop(self):
+        g = lollipop_graph(4, 3)
+        assert g.num_vertices == 7
+        assert g.num_edges == 6 + 3
+        assert is_connected(g)
+
+    def test_barbell(self):
+        g = barbell_graph(3, 2)
+        assert g.num_vertices == 8
+        assert g.num_edges == 3 + 3 + 3  # two triangles + bridge of 3 edges
+        assert is_connected(g)
+
+
+class TestRandomFamilies:
+    def test_er_determinism(self):
+        assert erdos_renyi(30, 0.2, seed=5) == erdos_renyi(30, 0.2, seed=5)
+
+    def test_er_seed_sensitivity(self):
+        assert erdos_renyi(30, 0.2, seed=5) != erdos_renyi(30, 0.2, seed=6)
+
+    def test_er_extremes(self):
+        assert erdos_renyi(10, 0.0, seed=1).num_edges == 0
+        assert erdos_renyi(10, 1.0, seed=1).num_edges == 45
+
+    def test_er_bad_p(self):
+        with pytest.raises(ParameterError):
+            erdos_renyi(10, 1.5)
+
+    def test_random_tree(self):
+        g = random_tree(25, seed=3)
+        assert g.num_edges == 24
+        assert is_connected(g)
+
+    def test_barabasi_albert(self):
+        g = barabasi_albert(40, 3, seed=2)
+        assert g.num_vertices == 40
+        assert is_connected(g)
+        # each of the n - attach - 1 later vertices adds exactly `attach` edges
+        assert g.num_edges == 3 + (40 - 4) * 3
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(ParameterError):
+            barabasi_albert(3, 3)
+        with pytest.raises(ParameterError):
+            barabasi_albert(10, 0)
+
+    def test_watts_strogatz(self):
+        g = watts_strogatz(30, 4, 0.1, seed=4)
+        assert g.num_vertices == 30
+        assert g.num_edges <= 60
+        assert g.num_edges >= 50  # rewiring only drops duplicates
+
+    def test_watts_strogatz_no_rewire(self):
+        g = watts_strogatz(20, 4, 0.0, seed=1)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_watts_strogatz_validation(self):
+        with pytest.raises(ParameterError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(ParameterError):
+            watts_strogatz(4, 4, 0.1)  # n <= k
+
+    def test_random_regular(self):
+        g = random_regular(30, 4, seed=7)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_random_regular_zero_degree(self):
+        assert random_regular(5, 0, seed=1).num_edges == 0
+
+    def test_random_regular_validation(self):
+        with pytest.raises(ParameterError):
+            random_regular(5, 3)  # odd product
+        with pytest.raises(ParameterError):
+            random_regular(4, 4)  # degree >= n
+
+    def test_cluster_graph(self):
+        g = cluster_graph(3, 10, 0.8, 0.02, seed=9)
+        assert g.num_vertices == 30
+        internal = sum(
+            1 for u, v in g.edges() if u // 10 == v // 10
+        )
+        external = g.num_edges - internal
+        assert internal > external
+
+    def test_random_connected_always_connected(self):
+        for seed in range(5):
+            assert is_connected(random_connected(40, 0.01, seed=seed))
+
+    def test_random_connected_validation(self):
+        with pytest.raises(ParameterError):
+            random_connected(0, 0.1)
+        with pytest.raises(ParameterError):
+            random_connected(5, 2.0)
+
+
+class TestNetworkxCrossCheck:
+    """Our generators against networkx reference computations."""
+
+    def test_grid_diameter_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graphs import to_networkx
+
+        g = grid_graph(4, 5)
+        assert diameter(g) == nx.diameter(to_networkx(g))
+
+    def test_hypercube_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graphs import to_networkx
+
+        g = hypercube_graph(4)
+        nxg = to_networkx(g)
+        assert nx.diameter(nxg) == 4
+        assert nx.number_of_edges(nxg) == g.num_edges

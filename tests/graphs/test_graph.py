@@ -1,0 +1,175 @@
+"""Unit tests for the Graph kernel (construction, accessors, invariants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import Graph, GraphBuilder
+
+
+class TestGraphConstruction:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_isolated_vertices(self):
+        g = Graph(5)
+        assert g.num_vertices == 5
+        assert all(g.degree(v) == 0 for v in g.vertices())
+
+    def test_simple_triangle(self):
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        assert g.num_edges == 3
+        assert g.neighbors(0) == (1, 2)
+        assert g.neighbors(1) == (0, 2)
+
+    def test_edges_normalised(self):
+        g = Graph(3, [(2, 0), (1, 0)])
+        assert list(g.edges()) == [(0, 1), (0, 2)]
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self loop"):
+            Graph(2, [(1, 1)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            Graph(3, [(0, 1), (1, 0)])
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(GraphError, match="out of range"):
+            Graph(2, [(0, 2)])
+
+    def test_non_int_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, "1")])  # type: ignore[list-item]
+
+    def test_bool_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, True)])
+
+
+class TestGraphAccessors:
+    def test_neighbors_sorted(self):
+        g = Graph(4, [(0, 3), (0, 1), (0, 2)])
+        assert g.neighbors(0) == (1, 2, 3)
+
+    def test_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_max_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.max_degree() == 3
+        assert Graph(0).max_degree() == 0
+        assert Graph(3).max_degree() == 0
+
+    def test_has_edge(self):
+        g = Graph(5, [(0, 1), (2, 4)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert g.has_edge(4, 2)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(3, 3)
+
+    def test_has_edge_large_adjacency(self):
+        edges = [(0, i) for i in range(1, 30)]
+        g = Graph(30, edges)
+        for i in range(1, 30):
+            assert g.has_edge(0, i)
+        assert not g.has_edge(1, 2)
+
+    def test_len(self):
+        assert len(Graph(7)) == 7
+
+    def test_vertices_range(self):
+        assert list(Graph(3).vertices()) == [0, 1, 2]
+
+    def test_neighbor_of_invalid_vertex(self):
+        with pytest.raises(GraphError):
+            Graph(3).neighbors(5)
+
+
+class TestGraphEquality:
+    def test_equal_graphs(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_vertex_count(self):
+        assert Graph(3, [(0, 1)]) != Graph(4, [(0, 1)])
+
+    def test_unequal_edges(self):
+        assert Graph(3, [(0, 1)]) != Graph(3, [(1, 2)])
+
+    def test_not_equal_other_type(self):
+        assert Graph(1) != "graph"
+
+    def test_repr(self):
+        assert repr(Graph(3, [(0, 1)])) == "Graph(n=3, m=1)"
+
+
+class TestGraphBuilder:
+    def test_builder_dedupes(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1)
+        b.add_edge(1, 0)
+        g = b.build()
+        assert g.num_edges == 1
+
+    def test_builder_rejects_self_loop(self):
+        b = GraphBuilder(3)
+        with pytest.raises(GraphError):
+            b.add_edge(2, 2)
+
+    def test_builder_rejects_out_of_range(self):
+        b = GraphBuilder(2)
+        with pytest.raises(GraphError):
+            b.add_edge(0, 2)
+
+    def test_builder_has_edge(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 2)
+        assert b.has_edge(2, 0)
+        assert not b.has_edge(0, 1)
+
+    def test_builder_num_edges(self):
+        b = GraphBuilder(4)
+        assert b.num_edges == 0
+        b.add_edge(0, 1)
+        b.add_edge(2, 3)
+        assert b.num_edges == 2
+
+    def test_builder_negative_count(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(-2)
+
+    def test_build_deterministic(self):
+        b1, b2 = GraphBuilder(4), GraphBuilder(4)
+        for u, v in [(3, 1), (0, 2), (1, 0)]:
+            b1.add_edge(u, v)
+        for u, v in [(0, 2), (1, 0), (3, 1)]:
+            b2.add_edge(u, v)
+        assert b1.build() == b2.build()
+
+
+class TestHandshakeInvariant:
+    def test_degree_sum_is_twice_edges(self, zoo_graph):
+        total = sum(zoo_graph.degree(v) for v in zoo_graph.vertices())
+        assert total == 2 * zoo_graph.num_edges
+
+    def test_edges_iter_count(self, zoo_graph):
+        assert sum(1 for _ in zoo_graph.edges()) == zoo_graph.num_edges
+
+    def test_adjacency_symmetry(self, zoo_graph):
+        for u, v in zoo_graph.edges():
+            assert u in zoo_graph.neighbors(v)
+            assert v in zoo_graph.neighbors(u)

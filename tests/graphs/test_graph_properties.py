@@ -1,0 +1,111 @@
+"""Tests for structural graph property measurements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.properties import (
+    core_numbers,
+    degeneracy,
+    density,
+    global_clustering_coefficient,
+    local_clustering_coefficient,
+    triangle_count,
+)
+
+
+class TestCoreNumbers:
+    def test_path_is_1_degenerate(self):
+        assert degeneracy(path_graph(10)) == 1
+        assert set(core_numbers(path_graph(10)).values()) == {1}
+
+    def test_cycle_is_2_core(self):
+        assert degeneracy(cycle_graph(8)) == 2
+
+    def test_complete_graph(self):
+        assert degeneracy(complete_graph(6)) == 5
+
+    def test_star_is_1_degenerate(self):
+        cores = core_numbers(star_graph(8))
+        assert cores[0] == 1
+        assert all(cores[v] == 1 for v in range(1, 8))
+
+    def test_empty(self):
+        assert degeneracy(Graph(5)) == 0
+        assert degeneracy(Graph(0)) == 0
+
+    def test_clique_with_tail(self):
+        # K4 with a pendant path: core numbers 3 inside, 1 on the tail.
+        g = Graph(6, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
+        cores = core_numbers(g)
+        assert cores[0] == cores[1] == cores[2] == cores[3] == 3
+        assert cores[4] == cores[5] == 1
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graphs import to_networkx
+
+        g = erdos_renyi(40, 0.15, seed=3)
+        ours = core_numbers(g)
+        theirs = nx.core_number(to_networkx(g))
+        assert ours == theirs
+
+
+class TestTriangles:
+    def test_known_counts(self):
+        assert triangle_count(complete_graph(4)) == 4
+        assert triangle_count(complete_graph(5)) == 10
+        assert triangle_count(cycle_graph(5)) == 0
+        assert triangle_count(path_graph(6)) == 0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graphs import to_networkx
+
+        g = erdos_renyi(40, 0.2, seed=4)
+        assert triangle_count(g) == sum(nx.triangles(to_networkx(g)).values()) // 3
+
+
+class TestClustering:
+    def test_complete_graph_is_one(self):
+        assert global_clustering_coefficient(complete_graph(5)) == 1.0
+        assert local_clustering_coefficient(complete_graph(5), 0) == 1.0
+
+    def test_triangle_free_is_zero(self):
+        assert global_clustering_coefficient(grid_graph(4, 4)) == 0.0
+
+    def test_low_degree_local(self):
+        assert local_clustering_coefficient(path_graph(3), 0) == 0.0
+
+    def test_matches_networkx_transitivity(self):
+        import networkx as nx
+
+        from repro.graphs import to_networkx
+
+        g = erdos_renyi(35, 0.2, seed=5)
+        ours = global_clustering_coefficient(g)
+        theirs = nx.transitivity(to_networkx(g))
+        assert ours == pytest.approx(theirs)
+
+
+class TestDensity:
+    def test_complete(self):
+        assert density(complete_graph(6)) == 1.0
+
+    def test_empty(self):
+        assert density(Graph(6)) == 0.0
+        assert density(Graph(1)) == 0.0
+
+    def test_path(self):
+        assert density(path_graph(5)) == pytest.approx(4 / 10)

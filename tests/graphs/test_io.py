@@ -1,0 +1,79 @@
+"""Tests for graph serialisation (edge lists, DOT export)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Graph,
+    grid_graph,
+    path_graph,
+    read_edge_list,
+    to_dot,
+    write_edge_list,
+)
+
+
+class TestEdgeListRoundTrip:
+    def test_round_trip(self, tmp_path, zoo_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(zoo_graph, path)
+        assert read_edge_list(path) == zoo_graph
+
+    def test_isolated_vertices_preserved(self, tmp_path):
+        g = Graph(5, [(0, 1)])  # vertices 2..4 isolated
+        path = tmp_path / "iso.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_empty_graph(self, tmp_path):
+        g = Graph(3)
+        path = tmp_path / "empty.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_plain_edge_list_without_header(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("0 1\n1 2\n")
+        assert read_edge_list(path) == path_graph(3)
+
+    def test_inconsistent_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# n = 2\n0 3\n")
+        with pytest.raises(GraphError, match="header declares"):
+            read_edge_list(path)
+
+    def test_malformed_header_rejected(self, tmp_path):
+        path = tmp_path / "bad2.txt"
+        path.write_text("# n = abc\n0 1\n")
+        with pytest.raises(GraphError, match="vertex-count header"):
+            read_edge_list(path)
+
+
+class TestDotExport:
+    def test_structure(self):
+        g = path_graph(3)
+        dot = to_dot(g)
+        assert dot.startswith("graph G {")
+        assert "0 -- 1;" in dot
+        assert "1 -- 2;" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_cluster_colors(self):
+        from repro.core import elkin_neiman
+
+        g = grid_graph(3, 3)
+        decomposition, _ = elkin_neiman.decompose(g, k=2, seed=1)
+        dot = to_dot(g, decomposition.cluster_index_map())
+        assert "fillcolor" in dot
+        # Every vertex line carries a colour.
+        assert dot.count("fillcolor") == g.num_vertices
+
+    def test_custom_name(self):
+        assert to_dot(path_graph(2), name="My").startswith("graph My {")
+
+    def test_valid_dot_vertex_count(self):
+        g = path_graph(4)
+        dot = to_dot(g)
+        assert dot.count(";") >= g.num_vertices + g.num_edges

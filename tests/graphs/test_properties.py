@@ -1,0 +1,128 @@
+"""Hypothesis property tests for the graph substrate."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    GraphBuilder,
+    bfs_distances,
+    bfs_distances_bounded,
+    connected_components,
+    diameter,
+    induced_subgraph,
+    quotient_graph,
+    relabel,
+)
+
+
+@st.composite
+def graphs(draw, max_n: int = 24, max_extra_edges: int = 40):
+    """Random simple graphs with up to ``max_n`` vertices."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    if possible:
+        edges = draw(
+            st.lists(st.sampled_from(possible), max_size=max_extra_edges)
+        )
+    else:
+        edges = []
+    builder = GraphBuilder(n)
+    for u, v in edges:
+        builder.add_edge(u, v)
+    return builder.build()
+
+
+@st.composite
+def graphs_with_vertex(draw):
+    g = draw(graphs())
+    v = draw(st.integers(min_value=0, max_value=g.num_vertices - 1))
+    return g, v
+
+
+@given(graphs())
+def test_handshake_lemma(g: Graph):
+    assert sum(g.degree(v) for v in g.vertices()) == 2 * g.num_edges
+
+
+@given(graphs_with_vertex())
+def test_bfs_distances_are_metric_like(pair):
+    g, source = pair
+    distances = bfs_distances(g, source)
+    assert distances[source] == 0
+    # Every non-source reached vertex has a neighbour one step closer.
+    for v, d in distances.items():
+        if v == source:
+            continue
+        assert any(distances.get(w) == d - 1 for w in g.neighbors(v))
+
+
+@given(graphs_with_vertex(), st.integers(min_value=0, max_value=6))
+def test_bounded_bfs_is_prefix_of_bfs(pair, radius):
+    g, source = pair
+    full = bfs_distances(g, source)
+    bounded = bfs_distances_bounded(g, source, radius)
+    assert bounded == {v: d for v, d in full.items() if d <= radius}
+
+
+@given(graphs())
+def test_components_partition_vertices(g: Graph):
+    comps = connected_components(g)
+    flat = [v for comp in comps for v in comp]
+    assert sorted(flat) == list(g.vertices())
+    # No edge crosses two different components.
+    index = {v: i for i, comp in enumerate(comps) for v in comp}
+    for u, v in g.edges():
+        assert index[u] == index[v]
+
+
+@given(graphs_with_vertex())
+def test_bfs_symmetry(pair):
+    g, source = pair
+    distances = bfs_distances(g, source)
+    for v, d in distances.items():
+        back = bfs_distances(g, v)
+        assert back[source] == d
+
+
+@given(graphs())
+def test_induced_subgraph_of_everything_is_isomorphic(g: Graph):
+    sub, mapping = induced_subgraph(g, list(g.vertices()))
+    assert sub.num_vertices == g.num_vertices
+    assert sub.num_edges == g.num_edges
+    assert mapping == {v: v for v in g.vertices()}
+
+
+@given(graphs())
+def test_quotient_by_identity_preserves_adjacency(g: Graph):
+    q = quotient_graph(g, {v: v for v in g.vertices()}, g.num_vertices)
+    assert q == g
+
+
+@given(graphs())
+def test_quotient_by_components_is_edgeless(g: Graph):
+    comps = connected_components(g)
+    cluster_of = {v: i for i, comp in enumerate(comps) for v in comp}
+    q = quotient_graph(g, cluster_of, len(comps))
+    assert q.num_edges == 0
+
+
+@given(graphs(), st.randoms(use_true_random=False))
+def test_relabel_preserves_degree_multiset(g: Graph, rnd):
+    perm = list(g.vertices())
+    rnd.shuffle(perm)
+    h = relabel(g, perm)
+    assert sorted(h.degree(v) for v in h.vertices()) == sorted(
+        g.degree(v) for v in g.vertices()
+    )
+
+
+@given(graphs())
+@settings(max_examples=40)
+def test_diameter_invariant_under_relabel(g: Graph):
+    perm = list(reversed(range(g.num_vertices)))
+    assert diameter(relabel(g, perm)) == diameter(g)

@@ -1,0 +1,170 @@
+"""Unit tests for BFS traversal primitives and active-set filtering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Graph,
+    bfs_distances,
+    bfs_distances_bounded,
+    component_of,
+    connected_components,
+    cycle_graph,
+    grid_graph,
+    is_connected,
+    multi_source_bfs,
+    path_graph,
+    shortest_path,
+)
+
+
+class TestBFSDistances:
+    def test_path_distances(self):
+        g = path_graph(5)
+        assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_cycle_distances(self):
+        g = cycle_graph(6)
+        d = bfs_distances(g, 0)
+        assert d[3] == 3
+        assert d[5] == 1
+
+    def test_unreachable_absent(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        d = bfs_distances(g, 0)
+        assert set(d) == {0, 1}
+
+    def test_active_set_restricts_paths(self):
+        g = path_graph(5)
+        # Removing vertex 2 cuts the path.
+        d = bfs_distances(g, 0, active={0, 1, 3, 4})
+        assert set(d) == {0, 1}
+
+    def test_active_set_detour(self):
+        g = cycle_graph(6)
+        # Block one arc; distance must go the long way.
+        d = bfs_distances(g, 0, active={0, 2, 3, 4, 5})
+        assert d[5] == 1
+        assert d[2] == 4  # 0-5-4-3-2
+
+    def test_inactive_source_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError):
+            bfs_distances(g, 0, active={1, 2})
+
+
+class TestBoundedBFS:
+    def test_radius_zero(self):
+        g = path_graph(5)
+        assert bfs_distances_bounded(g, 2, 0) == {2: 0}
+
+    def test_radius_negative_empty(self):
+        g = path_graph(3)
+        assert bfs_distances_bounded(g, 0, -1) == {}
+
+    def test_radius_cuts(self):
+        g = path_graph(10)
+        d = bfs_distances_bounded(g, 0, 3)
+        assert set(d) == {0, 1, 2, 3}
+
+    def test_radius_none_unbounded(self):
+        g = path_graph(10)
+        assert len(bfs_distances_bounded(g, 0, None)) == 10
+
+    def test_matches_full_bfs_within_radius(self, zoo_graph):
+        full = bfs_distances(zoo_graph, 0)
+        bounded = bfs_distances_bounded(zoo_graph, 0, 2)
+        for v, dist in bounded.items():
+            assert full[v] == dist
+        assert set(bounded) == {v for v, dist in full.items() if dist <= 2}
+
+
+class TestMultiSourceBFS:
+    def test_two_sources_on_path(self):
+        g = path_graph(7)
+        d = multi_source_bfs(g, [0, 6])
+        assert d[3] == 3
+        assert d[1] == 1
+        assert d[5] == 1
+
+    def test_duplicate_sources_ok(self):
+        g = path_graph(3)
+        assert multi_source_bfs(g, [0, 0]) == {0: 0, 1: 1, 2: 2}
+
+    def test_empty_sources(self):
+        assert multi_source_bfs(path_graph(3), []) == {}
+
+    def test_inactive_source_rejected(self):
+        with pytest.raises(GraphError):
+            multi_source_bfs(path_graph(3), [0], active={1, 2})
+
+
+class TestComponents:
+    def test_connected_graph_single_component(self):
+        comps = connected_components(grid_graph(3, 3))
+        assert len(comps) == 1
+        assert comps[0] == list(range(9))
+
+    def test_two_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        comps = connected_components(g)
+        assert comps == [[0, 1], [2, 3], [4]]
+
+    def test_active_filter_splits(self):
+        g = path_graph(5)
+        comps = connected_components(g, active={0, 1, 3, 4})
+        assert comps == [[0, 1], [3, 4]]
+
+    def test_universe_subset(self):
+        g = path_graph(5)
+        comps = connected_components(g, active={3, 4}, universe=[3, 4])
+        assert comps == [[3, 4]]
+
+    def test_component_of(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        assert component_of(g, 3) == [2, 3]
+
+    def test_is_connected(self):
+        assert is_connected(grid_graph(2, 3))
+        assert not is_connected(Graph(3, [(0, 1)]))
+        assert is_connected(Graph(0))
+        assert is_connected(Graph(1))
+
+    def test_is_connected_active(self):
+        g = path_graph(5)
+        assert is_connected(g, active={1, 2, 3})
+        assert not is_connected(g, active={0, 2})
+        assert is_connected(g, active=set())
+
+
+class TestShortestPath:
+    def test_trivial(self):
+        assert shortest_path(path_graph(3), 1, 1) == [1]
+
+    def test_simple_path(self):
+        g = path_graph(5)
+        assert shortest_path(g, 0, 3) == [0, 1, 2, 3]
+
+    def test_unreachable(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert shortest_path(g, 0, 3) is None
+
+    def test_respects_active(self):
+        g = cycle_graph(6)
+        path = shortest_path(g, 0, 3, active={0, 1, 2, 3})
+        assert path == [0, 1, 2, 3]
+
+    def test_target_inactive(self):
+        assert shortest_path(path_graph(3), 0, 2, active={0, 1}) is None
+
+    def test_length_matches_bfs(self, zoo_graph):
+        distances = bfs_distances(zoo_graph, 0)
+        for target, dist in distances.items():
+            path = shortest_path(zoo_graph, 0, target)
+            assert path is not None
+            assert len(path) == dist + 1
+            # Consecutive path vertices are adjacent.
+            for a, b in zip(path, path[1:]):
+                assert zoo_graph.has_edge(a, b)

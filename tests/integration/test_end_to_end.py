@@ -1,0 +1,128 @@
+"""End-to-end integration: the paper's full story on one graph.
+
+Each test walks a complete pipeline — decompose, verify every guarantee,
+run an application on top — the way a downstream user would.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import decompose, decompose_distributed
+from repro.analysis import report
+from repro.applications import run_coloring, run_mis
+from repro.applications.verify import (
+    is_maximal_independent_set,
+    is_proper_vertex_coloring,
+)
+from repro.baselines import linial_saks, mpx
+from repro.core import elkin_neiman, high_radius, staged, theorem1_bounds
+from repro.graphs import erdos_renyi, grid_graph, random_connected, watts_strogatz
+
+
+class TestFullPipelineEN:
+    def test_decompose_verify_solve(self):
+        graph = random_connected(70, 0.03, seed=42)
+        k, c, seed = 3, 4.0, 42
+        decomposition, trace = decompose(graph, k=k, c=c, seed=seed)
+
+        # 1. Structural guarantees.
+        decomposition.validate()
+        bounds = theorem1_bounds(graph.num_vertices, k, c)
+        if not trace.had_truncation_event:
+            assert decomposition.max_strong_diameter() <= bounds.diameter
+        if trace.exhausted_within_nominal:
+            assert decomposition.num_colors <= math.ceil(bounds.colors)
+
+        # 2. Distributed run agrees bit-for-bit.
+        distributed = decompose_distributed(graph, k=k, c=c, seed=seed)
+        assert (
+            distributed.decomposition.cluster_index_map()
+            == decomposition.cluster_index_map()
+        )
+
+        # 3. Applications on top.
+        mis = run_mis(graph, decomposition)
+        assert is_maximal_independent_set(graph, mis.independent_set)
+        coloring = run_coloring(graph, decomposition)
+        assert is_proper_vertex_coloring(
+            graph, coloring.colors, max_colors=graph.max_degree() + 1
+        )
+
+        # 4. O(D·chi) round claim, exactly.
+        chi = decomposition.num_colors
+        diameter = int(decomposition.max_strong_diameter())
+        assert mis.app.rounds == chi * (diameter + 2)
+
+    def test_three_theorems_tradeoff_on_one_graph(self):
+        """Small k -> small diameter, many colours; Theorem 3 inverts."""
+        graph = erdos_renyi(150, 0.04, seed=7)
+        d_small_k, _ = elkin_neiman.decompose(graph, k=2, seed=7)
+        d_big_k, _ = elkin_neiman.decompose(graph, k=6, seed=7)
+        d_lambda, t_lambda = high_radius.decompose(graph, lam=2, seed=7)
+
+        assert d_small_k.max_strong_diameter() <= d_big_k.max_strong_diameter() + 4
+        if t_lambda.exhausted_within_nominal:
+            assert d_lambda.num_colors <= 2
+        # Fewer colours costs diameter.
+        assert d_lambda.num_colors <= d_small_k.num_colors
+
+    def test_theorem2_vs_theorem1_colors_measured(self):
+        graph = erdos_renyi(200, 0.03, seed=8)
+        d1, _ = elkin_neiman.decompose(graph, k=2, c=6.0, seed=8)
+        d2, _ = staged.decompose(graph, k=2, c=6.0, seed=8)
+        # Theorem 2's staged rates should not be much worse, and its
+        # nominal budget is provably smaller; both must be valid.
+        d1.validate()
+        d2.validate()
+
+
+class TestStrongVsWeakStory:
+    """The paper's headline: same (O(log n), O(log n)) but strong."""
+
+    def test_en_strong_where_ls_weak(self):
+        strong_wins = 0
+        for seed in range(6):
+            graph = erdos_renyi(80, 0.06, seed=seed)
+            k = 4
+            en, en_trace = elkin_neiman.decompose(graph, k=k, seed=seed)
+            ls, _ = linial_saks.decompose(graph, k=k, seed=seed)
+
+            en_q = report(en)
+            ls_q = report(ls)
+            # Both are valid decompositions with the same weak-diameter cap.
+            assert en_q.is_valid_partition and ls_q.is_valid_partition
+            assert ls_q.max_weak_diameter <= 2 * k - 2
+            if not en_trace.had_truncation_event:
+                assert en_q.max_strong_diameter <= 2 * k - 2
+            # EN is *always* strongly bounded; LS sometimes is not.
+            assert en_q.num_disconnected_clusters == 0
+            if ls_q.num_disconnected_clusters > 0:
+                strong_wins += 1
+        assert strong_wins > 0  # the phenomenon actually occurs
+
+    def test_mpx_is_single_shot_padded_not_decomposition(self):
+        graph = watts_strogatz(100, 4, 0.1, seed=9)
+        result = mpx.partition(graph, beta=0.4, seed=9)
+        q = report(result.decomposition)
+        assert q.num_disconnected_clusters == 0  # strong clusters
+        # But the colour count is the cluster count: no chi guarantee.
+        assert result.decomposition.num_colors == result.decomposition.num_clusters
+
+
+class TestScaleSanity:
+    def test_medium_graph_runs_fast_enough(self):
+        graph = erdos_renyi(400, 0.01, seed=10)
+        k = math.ceil(math.log(400))
+        decomposition, trace = decompose(graph, k=k, seed=10)
+        decomposition.validate()
+        if not trace.had_truncation_event:
+            assert decomposition.max_strong_diameter() <= 2 * k - 2
+
+    def test_grid_distributed_full_run(self):
+        graph = grid_graph(10, 10)
+        result = decompose_distributed(graph, k=4, seed=11, word_budget=16)
+        result.decomposition.validate()
+        assert result.stats.max_words_per_edge_round <= 16

@@ -1,0 +1,71 @@
+"""Golden regression tests: exact pinned outputs for fixed seeds.
+
+These freeze the byte-level behaviour of the randomized algorithms.  Any
+change to RNG stream derivation, carving order, tie-breaking or phase
+scheduling will flip one of these — deliberately: all recorded experiment
+tables depend on this determinism.
+
+If a change is *intentional* (e.g. an algorithmic fix), regenerate the
+constants with the snippets in each test's docstring and say so in the
+commit message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import linial_saks, mpx
+from repro.core import elkin_neiman
+from repro.core.shifts import sample_radius
+from repro.graphs import erdos_renyi, grid_graph
+
+
+class TestRadiusStream:
+    def test_pinned_draws(self):
+        """`[round(sample_radius(1, t, v, 0.5), 6) for t, v in ...]`"""
+        values = [
+            round(sample_radius(1, t, v, 0.5), 6)
+            for t, v in [(1, 0), (1, 1), (2, 0), (3, 7)]
+        ]
+        assert values == [0.597151, 4.122135, 2.797975, 1.268464]
+
+
+class TestGoldenEN:
+    def test_er_graph_fingerprint(self):
+        """Fingerprint: (num clusters, num colours, block sizes of first 5 phases)."""
+        g = erdos_renyi(60, 0.08, seed=3)
+        decomposition, trace = elkin_neiman.decompose(g, k=3, seed=11)
+        fingerprint = (
+            decomposition.num_clusters,
+            decomposition.num_colors,
+            tuple(p.block_size for p in trace.phases[:5]),
+        )
+        assert fingerprint == (53, 19, (5, 10, 6, 6, 2))
+
+    def test_grid_cluster_of_vertex_zero(self):
+        g = grid_graph(6, 6)
+        decomposition, _ = elkin_neiman.decompose(g, k=3, seed=5)
+        cluster = decomposition.cluster_of(0)
+        assert sorted(cluster.vertices) == [0]
+        assert cluster.color == 2
+        assert cluster.center == 0
+
+
+class TestGoldenLS:
+    def test_er_graph_fingerprint(self):
+        g = erdos_renyi(60, 0.08, seed=3)
+        decomposition, trace = linial_saks.decompose(g, k=3, seed=11)
+        assert (decomposition.num_clusters, decomposition.num_colors, trace.phases) == (
+            51,
+            13,
+            14,
+        )
+
+
+class TestGoldenMPX:
+    def test_center_histogram(self):
+        g = grid_graph(5, 5)
+        result = mpx.partition(g, beta=0.5, seed=13)
+        sizes = tuple(sorted((len(c) for c in result.decomposition.clusters), reverse=True))
+        assert sizes == (14, 8, 3)
+        assert result.cut_edges == 8

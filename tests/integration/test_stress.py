@@ -1,0 +1,122 @@
+"""Stress sweep: every invariant, every topology, many seeds.
+
+A broad parametrised net over the full pipeline — slower than the unit
+tests but the closest thing to "run it in anger".  Every case checks the
+complete contract: partition, proper colouring, connectivity, diameter
+(conditional on Lemma 1, exactly as stated), and exhaustion bookkeeping.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import linial_saks
+from repro.core import elkin_neiman, staged
+from repro.graphs import (
+    balanced_tree,
+    barbell_graph,
+    caterpillar_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    hypercube_graph,
+    lollipop_graph,
+    random_regular,
+    strong_diameter,
+    torus_graph,
+    watts_strogatz,
+)
+
+TOPOLOGIES = [
+    ("cycle", cycle_graph(40)),
+    ("grid", grid_graph(7, 8)),
+    ("torus", torus_graph(6, 6)),
+    ("tree", balanced_tree(3, 3)),
+    ("hypercube", hypercube_graph(5)),
+    ("caterpillar", caterpillar_graph(12, 2)),
+    ("lollipop", lollipop_graph(8, 10)),
+    ("barbell", barbell_graph(6, 4)),
+    ("regular", random_regular(40, 4, seed=1)),
+    ("smallworld", watts_strogatz(48, 4, 0.2, seed=2)),
+    ("er", erdos_renyi(60, 0.06, seed=3)),
+]
+
+
+@pytest.mark.parametrize("name,graph", TOPOLOGIES, ids=[t[0] for t in TOPOLOGIES])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestTheorem1Everywhere:
+    def test_full_contract(self, name, graph, seed):
+        k = 3
+        decomposition, trace = elkin_neiman.decompose(graph, k=k, seed=seed)
+        decomposition.validate()
+        # Clusters always connected, regardless of Lemma-1 events.
+        for cluster in decomposition.clusters:
+            assert not math.isinf(strong_diameter(graph, cluster.vertices))
+        # The 2k-2 bound, conditional on no truncation event (the paper's
+        # exact statement).
+        if not trace.had_truncation_event:
+            assert decomposition.max_strong_diameter() <= 2 * k - 2
+        # Bookkeeping is coherent.
+        assert sum(p.block_size for p in trace.phases) == graph.num_vertices
+        assert decomposition.num_colors <= trace.total_phases
+
+
+@pytest.mark.parametrize("name,graph", TOPOLOGIES[:6], ids=[t[0] for t in TOPOLOGIES[:6]])
+class TestVariantsAgreeOnInvariants:
+    def test_staged_contract(self, name, graph):
+        decomposition, trace = staged.decompose(graph, k=3, c=6.0, seed=9)
+        decomposition.validate()
+        if not trace.had_truncation_event:
+            assert decomposition.max_strong_diameter() <= 4
+
+    def test_ls_weak_contract(self, name, graph):
+        decomposition, _ = linial_saks.decompose(graph, k=3, seed=9)
+        decomposition.validate(max_diameter=4, strong=False)
+
+
+class TestGapThresholdAblationUnit:
+    """Unit-level version of experiment E16."""
+
+    def test_threshold_one_is_default(self):
+        from repro.core.carving import carve_block
+        from repro.core.shifts import sample_phase_radii
+
+        graph = erdos_renyi(50, 0.08, seed=4)
+        active = set(graph.vertices())
+        radii = sample_phase_radii(5, 1, active, 1.0)
+        assert (
+            carve_block(graph, active, radii).block
+            == carve_block(graph, active, radii, gap_threshold=1.0).block
+        )
+
+    def test_smaller_threshold_joins_more(self):
+        from repro.core.carving import carve_block
+        from repro.core.shifts import sample_phase_radii
+
+        graph = erdos_renyi(50, 0.08, seed=4)
+        active = set(graph.vertices())
+        radii = sample_phase_radii(5, 1, active, 1.0)
+        loose = carve_block(graph, active, radii, gap_threshold=0.25).block
+        paper = carve_block(graph, active, radii, gap_threshold=1.0).block
+        tight = carve_block(graph, active, radii, gap_threshold=1.75).block
+        assert tight <= paper <= loose
+
+    def test_sub_unit_threshold_breaks_center_purity_somewhere(self):
+        from repro.core.carving import carve_block
+        from repro.core.shifts import sample_phase_radii
+        from repro.graphs import connected_components
+
+        broken = 0
+        for seed in range(8):
+            graph = erdos_renyi(60, 0.06, seed=seed)
+            active = set(graph.vertices())
+            radii = sample_phase_radii(seed, 1, active, 1.0)
+            outcome = carve_block(graph, active, radii, gap_threshold=0.25)
+            for component in connected_components(
+                graph, active=outcome.block, universe=sorted(outcome.block)
+            ):
+                if len({outcome.center_of[v] for v in component}) > 1:
+                    broken += 1
+        assert broken > 0

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main, parse_graph_spec
+from repro.errors import ParameterError
+from repro.graphs import grid_graph, path_graph
+
+
+class TestParseGraphSpec:
+    def test_er(self):
+        g = parse_graph_spec("er:30:0.2", seed=1)
+        assert g.num_vertices == 30
+
+    def test_grid(self):
+        assert parse_graph_spec("grid:3:4") == grid_graph(3, 4)
+
+    def test_path(self):
+        assert parse_graph_spec("path:7") == path_graph(7)
+
+    def test_cycle_tree_hypercube(self):
+        assert parse_graph_spec("cycle:8").num_edges == 8
+        assert parse_graph_spec("tree:2:3").num_vertices == 15
+        assert parse_graph_spec("hypercube:4").num_vertices == 16
+
+    def test_conn_regular_ws(self):
+        assert parse_graph_spec("conn:40:0.02", seed=2).num_vertices == 40
+        g = parse_graph_spec("regular:20:4", seed=3)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert parse_graph_spec("ws:30:4:0.1", seed=4).num_vertices == 30
+
+    def test_seed_threaded_through(self):
+        a = parse_graph_spec("er:30:0.2", seed=1)
+        b = parse_graph_spec("er:30:0.2", seed=2)
+        assert a != b
+
+    def test_unknown_family(self):
+        with pytest.raises(ParameterError, match="unknown graph family"):
+            parse_graph_spec("torus")
+
+    def test_malformed_args(self):
+        with pytest.raises(ParameterError, match="bad graph spec"):
+            parse_graph_spec("er:notanumber:0.5")
+        with pytest.raises(ParameterError, match="bad graph spec"):
+            parse_graph_spec("grid:3")
+
+
+class TestCommands:
+    def test_decompose_theorem1(self, capsys):
+        assert main(["decompose", "er:60:0.08", "--theorem", "1", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out
+        assert "phases:" in out
+
+    def test_decompose_theorem2(self, capsys):
+        assert main(["decompose", "grid:5:5", "--theorem", "2", "-k", "3"]) == 0
+        assert "Theorem 2" in capsys.readouterr().out
+
+    def test_decompose_theorem3(self, capsys):
+        assert main(["decompose", "grid:5:5", "--theorem", "3", "--colors", "2"]) == 0
+        assert "Theorem 3" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "er:60:0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "EN16" in out and "LS93" in out
+
+    def test_apps_all_verified(self, capsys):
+        assert main(["apps", "grid:5:5", "--problem", "all"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("yes") >= 3
+
+    def test_apps_single_problem(self, capsys):
+        assert main(["apps", "path:10", "--problem", "mis"]) == 0
+        out = capsys.readouterr().out
+        assert "MIS" in out and "matching" not in out
+
+    def test_spanner(self, capsys):
+        assert main(["spanner", "er:40:0.2", "-k", "3"]) == 0
+        assert "stretch" in capsys.readouterr().out
+
+    def test_theory(self, capsys):
+        assert main(["theory", "1024"]) == 0
+        out = capsys.readouterr().out
+        for name in ("AGLP89", "PS92", "LS93", "EN16"):
+            assert name in out
+
+    def test_bad_spec_exit_code(self, capsys):
+        assert main(["decompose", "nope:3"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_seed_changes_output(self, capsys):
+        main(["--seed", "1", "decompose", "er:60:0.08"])
+        first = capsys.readouterr().out
+        main(["--seed", "2", "decompose", "er:60:0.08"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["theory", "256"])
+        assert args.n == 256

@@ -1,0 +1,72 @@
+"""Tests for the exception hierarchy and public package surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import (
+    CongestViolation,
+    DecompositionError,
+    GraphError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [GraphError, SimulationError, CongestViolation, DecompositionError, ParameterError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_congest_is_simulation_error(self):
+        assert issubclass(CongestViolation, SimulationError)
+
+    def test_parameter_error_is_value_error(self):
+        assert issubclass(ParameterError, ValueError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise GraphError("x")
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.analysis
+        import repro.applications
+        import repro.baselines
+        import repro.core
+        import repro.distributed
+        import repro.graphs
+
+        for module in (
+            repro.analysis,
+            repro.applications,
+            repro.baselines,
+            repro.core,
+            repro.distributed,
+            repro.graphs,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_quickstart_docstring_flow(self):
+        # The README / __init__ quickstart must actually work.
+        from repro import decompose, erdos_renyi
+
+        graph = erdos_renyi(200, 0.03, seed=1)
+        decomposition, trace = decompose(graph, k=4)
+        if not trace.had_truncation_event:
+            decomposition.validate(max_diameter=2 * 4 - 2, strong=True)
+        assert decomposition.num_colors <= trace.total_phases
