@@ -4,19 +4,67 @@ Every benchmark prints its experiment table (the rows recorded in
 ``EXPERIMENTS.md``) and also writes it under ``benchmarks/results/`` so
 runs leave a diffable artefact.  Run with ``pytest benchmarks/
 --benchmark-only -s`` to see the tables inline.
+
+Multi-trial benchmarks run through the experiment orchestration runtime
+(:mod:`repro.experiments`) instead of hand-rolled loops: scenarios come
+from the registry, trials fan out over ``BENCH_WORKERS`` processes, and
+setting ``BENCH_CACHE=1`` (or a directory path) reuses the
+content-addressed result cache across invocations.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import Mapping, Sequence
 
 from repro.analysis import format_records
+from repro.experiments import (
+    DEFAULT_ROOT_SEED,
+    ExperimentResult,
+    ResultCache,
+    build_experiment,
+    default_cache,
+    run_experiment,
+)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
-#: Root seed for every benchmark (fully reproducible tables).
-BENCH_SEED = 20160217  # the paper's arXiv date
+#: Root seed for every benchmark (fully reproducible tables) — the same
+#: constant the scenario registry defaults to (the paper's arXiv date).
+BENCH_SEED = DEFAULT_ROOT_SEED
+
+#: Process-pool size for trial fan-out (1 = serial).
+BENCH_WORKERS = int(os.environ.get("BENCH_WORKERS", "1"))
+
+
+def _bench_cache() -> ResultCache | None:
+    """The trial cache selected by ``BENCH_CACHE`` (off by default)."""
+    setting = os.environ.get("BENCH_CACHE", "")
+    if setting.lower() in ("", "0", "false", "no", "off"):
+        return None
+    if setting.lower() in ("1", "true", "yes", "on"):
+        return default_cache()
+    return ResultCache(setting)
+
+
+def run_scenario(
+    name: str,
+    trials: int | None = None,
+    workers: int | None = None,
+) -> ExperimentResult:
+    """Run a registry scenario through the runtime with the bench seed.
+
+    Any trial failure raises — a benchmark table built from a partial
+    sweep would silently weaken the assertions layered on top of it.
+    """
+    spec = build_experiment(name, trials=trials, root_seed=BENCH_SEED)
+    result = run_experiment(
+        spec,
+        workers=BENCH_WORKERS if workers is None else workers,
+        cache=_bench_cache(),
+    )
+    return result.raise_on_failure()
 
 
 def emit(title: str, records: Sequence[Mapping[str, object]], filename: str) -> str:

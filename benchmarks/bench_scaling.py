@@ -3,6 +3,7 @@
 Doubling sweep: measured distributed rounds against ``a·ln²(cn)`` (the
 headline ``O(log² n)``), plus a per-size sanity check that the
 distributed protocol reproduces the centralized reference exactly.
+Trials run through the experiment runtime's ``congest-rounds`` scenario.
 """
 
 from __future__ import annotations
@@ -11,35 +12,26 @@ import math
 
 import pytest
 
-from repro.core import elkin_neiman
 from repro.core.distributed_en import decompose_distributed
 from repro.graphs import random_connected
 
-from _common import BENCH_SEED, emit
+from _common import BENCH_SEED, emit, run_scenario
 
 
 def collect_rows() -> list[dict[str, object]]:
+    result = run_scenario("congest-rounds")
     rows = []
-    c = 4.0
-    for n in (64, 128, 256, 512):
-        graph = random_connected(n, 2.0 / n, seed=BENCH_SEED + n)
-        k = math.ceil(math.log(n))
-        result = decompose_distributed(graph, k=k, c=c, seed=BENCH_SEED)
-        central, _ = elkin_neiman.decompose(graph, k=k, c=c, seed=BENCH_SEED)
-        match = (
-            central.cluster_index_map() == result.decomposition.cluster_index_map()
-        )
-        log2 = math.log(c * n) ** 2
+    for record in result.records:
         rows.append(
             {
-                "n": n,
-                "k": k,
-                "rounds": result.total_rounds,
-                "ln^2(cn)": round(log2, 1),
-                "rounds/ln^2": round(result.total_rounds / log2, 2),
-                "phases": result.phases,
-                "colors": result.decomposition.num_colors,
-                "dist==cent": match,
+                "n": record["n"],
+                "k": record["k"],
+                "rounds": record["rounds"],
+                "ln^2(cn)": record["ln2_cn"],
+                "rounds/ln^2": record["rounds_per_ln2"],
+                "phases": record["phases"],
+                "colors": record["colors"],
+                "dist==cent": record["matches_centralized"],
             }
         )
     return rows

@@ -7,6 +7,9 @@ Two quantitative stories on identical graphs and parameters:
 * **relay overhead** — running the MIS application over an LS
   decomposition forces the weak relay mode, whose non-member relay load
   is pure overhead; the EN decomposition runs in strong mode with zero.
+
+The paired EN-vs-LS trials run through the runtime's ``strong-vs-weak``
+scenario (the ``strong-vs-weak`` adapter verifies both MIS outputs).
 """
 
 from __future__ import annotations
@@ -15,43 +18,34 @@ import math
 
 import pytest
 
-from repro.applications import run_mis
-from repro.applications.verify import is_maximal_independent_set
 from repro.baselines import linial_saks
-from repro.core import elkin_neiman
 from repro.graphs import erdos_renyi
 
-from _common import BENCH_SEED, emit
+from _common import BENCH_SEED, emit, run_scenario
+
+_INF = float("inf")
 
 
 def collect_rows(runs: int = 5) -> list[dict[str, object]]:
+    result = run_scenario("strong-vs-weak", trials=runs)
     rows = []
-    k = 4
-    for n in (80, 160):
-        for run in range(runs):
-            graph = erdos_renyi(n, 4.0 / n, seed=BENCH_SEED + 31 * run + n)
-            seed = BENCH_SEED + run
-            en, _ = elkin_neiman.decompose(graph, k=k, seed=seed)
-            ls, _ = linial_saks.decompose(graph, k=k, seed=seed)
-
-            en_mis = run_mis(graph, en, relay_mode="strong", seed=seed)
-            ls_mis = run_mis(graph, ls, relay_mode="weak", seed=seed)
-            assert is_maximal_independent_set(graph, en_mis.independent_set)
-            assert is_maximal_independent_set(graph, ls_mis.independent_set)
-
-            rows.append(
-                {
-                    "n": n,
-                    "run": run,
-                    "en_disconn": len(en.disconnected_clusters()),
-                    "ls_disconn": len(ls.disconnected_clusters()),
-                    "en_strongD": en.max_strong_diameter(),
-                    "ls_strongD": ls.max_strong_diameter(),
-                    "weak_bound": 2 * k - 2,
-                    "en_relays": en_mis.app.relay_messages_nonmember,
-                    "ls_relays": ls_mis.app.relay_messages_nonmember,
-                }
-            )
+    for trial_result in result.results:
+        record = trial_result.record
+        assert record["en_mis_verified"] and record["ls_mis_verified"]
+        rows.append(
+            {
+                "n": record["n"],
+                "run": trial_result.trial.index,
+                "en_disconn": record["en_disconnected"],
+                "ls_disconn": record["ls_disconnected"],
+                # None encodes a disconnected cluster's infinite diameter.
+                "en_strongD": _INF if record["en_strong_diameter"] is None else record["en_strong_diameter"],
+                "ls_strongD": _INF if record["ls_strong_diameter"] is None else record["ls_strong_diameter"],
+                "weak_bound": record["weak_bound"],
+                "en_relays": record["en_relays"],
+                "ls_relays": record["ls_relays"],
+            }
+        )
     return rows
 
 

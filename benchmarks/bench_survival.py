@@ -3,49 +3,52 @@
 The mean fraction of vertices alive after phase ``t`` must track under
 ``(1 − (cn)^{-1/k})^t``, and the graph must empty within
 ``λ = (cn)^{1/k}·ln(cn)`` phases in a ``≥ 1 − 1/c`` fraction of runs.
+The multi-seed sweep runs through the runtime's ``survival`` scenario
+(one fixed ER graph, twelve algorithm seeds).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis import aggregate_survival, claim6_envelope
+from repro.analysis import claim6_envelope
 from repro.core import elkin_neiman
+from repro.experiments import mean_curve
 from repro.graphs import erdos_renyi
 
-from _common import BENCH_SEED, emit
+from _common import BENCH_SEED, emit, run_scenario
 
 
-def collect_rows(n: int = 200, k: int = 3, c: float = 4.0, runs: int = 12):
-    graph = erdos_renyi(n, 4.0 / n, seed=BENCH_SEED)
-    traces = []
-    for run in range(runs):
-        _, trace = elkin_neiman.decompose(graph, k=k, c=c, seed=BENCH_SEED + run)
-        traces.append(trace)
-    summary = aggregate_survival(traces, n)
-    envelope = claim6_envelope(n, k, c, summary.max_phases_observed)
+def collect_rows(runs: int = 12):
+    result = run_scenario("survival", trials=runs)
+    records = result.records
+    n = records[0]["n"]
+    k = int(records[0]["k"])
+    c = records[0]["c"]
+    curves = [record["survivors"] for record in records]
+    mean_alive = [value / n for value in mean_curve(curves)]
+    max_phases = len(mean_alive)
+    exhausted_fraction = sum(record["in_budget"] for record in records) / len(records)
+    envelope = claim6_envelope(n, k, c, max_phases)
     rows = []
-    checkpoints = sorted(
-        {0, 1, 3, 7, 15, summary.max_phases_observed - 1}
-        & set(range(summary.max_phases_observed))
-    )
+    checkpoints = sorted({0, 1, 3, 7, 15, max_phases - 1} & set(range(max_phases)))
     for t in checkpoints:
         rows.append(
             {
                 "phase": t + 1,
-                "mean_alive_frac": round(summary.mean_curve[t], 4),
+                "mean_alive_frac": round(mean_alive[t], 4),
                 "claim6_bound": round(envelope[t], 4),
-                "under_bound": summary.mean_curve[t] <= envelope[t] + 0.1,
+                "under_bound": mean_alive[t] <= envelope[t] + 0.1,
             }
         )
     meta = {
         "phase": "—",
-        "mean_alive_frac": f"exhausted_in_budget={summary.exhausted_within_nominal_fraction:.2f}",
+        "mean_alive_frac": f"exhausted_in_budget={exhausted_fraction:.2f}",
         "claim6_bound": f">= {1 - 1/c:.2f} expected",
-        "under_bound": summary.exhausted_within_nominal_fraction >= 1 - 1 / c - 0.25,
+        "under_bound": exhausted_fraction >= 1 - 1 / c - 0.25,
     }
     rows.append(meta)
-    return rows, summary
+    return rows, exhausted_fraction
 
 
 def test_survival_table(benchmark):
@@ -57,7 +60,7 @@ def test_survival_table(benchmark):
 
     trace = benchmark(run)
     assert trace.survivors[-1] == 0
-    rows, summary = collect_rows()
+    rows, exhausted_fraction = collect_rows()
     table = emit("E6: Claim 6 / Corollary 7 — survival decay and exhaustion", rows, "e6_survival.txt")
-    assert summary.exhausted_within_nominal_fraction > 0.5
+    assert exhausted_fraction > 0.5
     assert table

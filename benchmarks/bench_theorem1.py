@@ -2,56 +2,41 @@
 
 For each ``(topology, n, k)``: measured strong diameter vs the promised
 ``2k − 2``, measured colours vs ``(cn)^{1/k}·ln(cn)``, measured phases vs
-the nominal ``λ``.  The benchmark times the full centralized decomposition
-on a representative workload.
+the nominal ``λ``.  The grid lives in the runtime's ``theorem1`` scenario;
+the benchmark times the full centralized decomposition on a representative
+workload.
 """
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
-from repro.core import elkin_neiman, theorem1_bounds
-from repro.graphs import erdos_renyi, grid_graph, random_connected
+from repro.core import elkin_neiman
+from repro.graphs import erdos_renyi
 
-from _common import BENCH_SEED, emit
-
-
-def _workloads():
-    for n in (256, 1024):
-        yield f"er-{n}", erdos_renyi(n, 4.0 / n, seed=BENCH_SEED + n)
-    yield "grid-256", grid_graph(16, 16)
-    yield "conn-512", random_connected(512, 0.004, seed=BENCH_SEED)
+from _common import BENCH_SEED, emit, run_scenario
 
 
 def collect_rows() -> list[dict[str, object]]:
+    result = run_scenario("theorem1")
     rows: list[dict[str, object]] = []
-    c = 4.0
-    for name, graph in _workloads():
-        n = graph.num_vertices
-        ks = sorted({2, 3, 5, math.ceil(math.log(n))})
-        for k in ks:
-            decomposition, trace = elkin_neiman.decompose(
-                graph, k=k, c=c, seed=BENCH_SEED + k
-            )
-            decomposition.validate()
-            bounds = theorem1_bounds(n, k, c)
-            rows.append(
-                {
-                    "graph": name,
-                    "n": n,
-                    "k": k,
-                    "strongD": decomposition.max_strong_diameter(),
-                    "D_bound": bounds.diameter,
-                    "colors": decomposition.num_colors,
-                    "chi_bound": round(bounds.colors, 1),
-                    "phases": trace.total_phases,
-                    "lambda": trace.nominal_phases,
-                    "in_budget": trace.exhausted_within_nominal,
-                    "trunc_events": len(trace.truncation_events),
-                }
-            )
+    for trial_result in result.results:
+        record = trial_result.record
+        rows.append(
+            {
+                "graph": trial_result.trial.graph,
+                "n": record["n"],
+                "k": record["k"],
+                "strongD": record["strong_diameter"],
+                "D_bound": record["diameter_bound"],
+                "colors": record["colors"],
+                "chi_bound": round(record["color_bound"], 1),
+                "phases": record["phases"],
+                "lambda": record["nominal_phases"],
+                "in_budget": record["in_budget"],
+                "trunc_events": record["truncation_events"],
+            }
+        )
     return rows
 
 

@@ -24,10 +24,12 @@ Package map
 * :mod:`repro.applications` — MIS, (Δ+1)-colouring and maximal matching on
   top of decompositions (the paper's §1.1 motivation);
 * :mod:`repro.analysis` — quality reports, Monte-Carlo lemma checks, theory
-  tables.
+  tables;
+* :mod:`repro.experiments` — experiment orchestration runtime (trial specs,
+  parallel runner, content-addressed result cache, scenario registry).
 """
 
-from . import analysis, applications, baselines, core, distributed, graphs
+from . import analysis, applications, baselines, core, distributed, experiments, graphs
 from .core.decomposition import Cluster, NetworkDecomposition
 from .core.distributed_en import decompose_distributed
 from .core.elkin_neiman import decompose
@@ -72,6 +74,7 @@ __all__ = [
     "decompose_distributed",
     "distributed",
     "erdos_renyi",
+    "experiments",
     "graphs",
     "grid_graph",
     "path_graph",

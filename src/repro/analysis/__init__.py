@@ -21,6 +21,7 @@ from .survival import (
     aggregate_survival,
     claim6_envelope,
     claim8_envelope,
+    mean_ragged_curves,
     survival_curve,
 )
 from .tables import format_records, format_table, format_value
@@ -57,6 +58,7 @@ __all__ = [
     "join_probability_lower_bound",
     "lemma5_bound",
     "ls_row",
+    "mean_ragged_curves",
     "ps_row",
     "report",
     "survival_curve",

@@ -22,10 +22,28 @@ from ..errors import ParameterError
 __all__ = [
     "claim6_envelope",
     "claim8_envelope",
+    "mean_ragged_curves",
     "survival_curve",
     "aggregate_survival",
     "SurvivalSummary",
 ]
+
+
+def mean_ragged_curves(curves: Sequence[Sequence[float]]) -> list[float]:
+    """Pointwise mean of ragged curves, zero-padded to the longest.
+
+    The Claim 6 aggregation convention: a run that finished early
+    contributes zero survivors afterwards.  Shared by
+    :func:`aggregate_survival` (trace-based) and the experiment
+    runtime's record-based reduction, so the convention has one owner.
+    """
+    if not curves:
+        return []
+    longest = max(len(curve) for curve in curves)
+    return [
+        sum(curve[t] if t < len(curve) else 0.0 for curve in curves) / len(curves)
+        for t in range(longest)
+    ]
 
 
 def claim6_envelope(n: int, k: float, c: float, phases: int) -> list[float]:
@@ -74,14 +92,11 @@ def aggregate_survival(
     if not traces:
         raise ParameterError("need at least one trace")
     longest = max(trace.total_phases for trace in traces)
-    sums = [0.0] * longest
-    for trace in traces:
-        curve = survival_curve(trace, n)
-        for t in range(longest):
-            sums[t] += curve[t] if t < len(curve) else 0.0
+    mean = mean_ragged_curves([survival_curve(trace, n) for trace in traces])
+    mean += [0.0] * (longest - len(mean))
     within = sum(1 for trace in traces if trace.exhausted_within_nominal)
     return SurvivalSummary(
-        mean_curve=[s / len(traces) for s in sums],
+        mean_curve=mean,
         max_phases_observed=longest,
         exhausted_within_nominal_fraction=within / len(traces),
         runs=len(traces),

@@ -13,6 +13,10 @@ Subcommands
     Build and measure the cluster spanner of a decomposition.
 ``theory``
     Print the §1.2 closed-form comparison table for a given ``n``.
+``bench``
+    Run a registered experiment scenario through the orchestration
+    runtime: parallel trials (``--workers``), content-addressed result
+    cache, aggregated table.  ``bench --list`` shows the registry.
 
 Graphs are described by compact specs: ``er:200:0.03``, ``grid:10:12``,
 ``path:50``, ``cycle:64``, ``tree:2:5``, ``hypercube:6``, ``conn:300:0.01``,
@@ -41,52 +45,20 @@ from .applications.verify import (
 from .baselines import linial_saks
 from .core import elkin_neiman, high_radius, staged
 from .errors import ParameterError
-from .graphs import (
-    Graph,
-    balanced_tree,
-    cycle_graph,
-    erdos_renyi,
-    grid_graph,
-    hypercube_graph,
-    path_graph,
-    random_connected,
-    random_regular,
-    watts_strogatz,
+from .experiments import (
+    ResultCache,
+    SCENARIOS,
+    aggregate_experiment,
+    build_experiment,
+    default_cache,
+    per_trial_rows,
+    run_experiment,
+    scenario_names,
 )
+from .graphs import parse_graph_spec
 from .rng import DEFAULT_SEED
 
 __all__ = ["parse_graph_spec", "main"]
-
-
-def parse_graph_spec(spec: str, seed: int = DEFAULT_SEED) -> Graph:
-    """Build a graph from a compact ``family:arg:arg`` spec string."""
-    parts = spec.split(":")
-    family, args = parts[0], parts[1:]
-    try:
-        if family == "er":
-            return erdos_renyi(int(args[0]), float(args[1]), seed=seed)
-        if family == "grid":
-            return grid_graph(int(args[0]), int(args[1]))
-        if family == "path":
-            return path_graph(int(args[0]))
-        if family == "cycle":
-            return cycle_graph(int(args[0]))
-        if family == "tree":
-            return balanced_tree(int(args[0]), int(args[1]))
-        if family == "hypercube":
-            return hypercube_graph(int(args[0]))
-        if family == "conn":
-            return random_connected(int(args[0]), float(args[1]), seed=seed)
-        if family == "regular":
-            return random_regular(int(args[0]), int(args[1]), seed=seed)
-        if family == "ws":
-            return watts_strogatz(int(args[0]), int(args[1]), float(args[2]), seed=seed)
-    except (IndexError, ValueError) as exc:
-        raise ParameterError(f"bad graph spec {spec!r}: {exc}") from exc
-    raise ParameterError(
-        f"unknown graph family {family!r} "
-        "(try er/grid/path/cycle/tree/hypercube/conn/regular/ws)"
-    )
 
 
 def _cmd_decompose(args: argparse.Namespace) -> int:
@@ -210,6 +182,68 @@ def _cmd_theory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.list or args.scenario is None:
+        rows = [
+            {
+                "scenario": name,
+                "algorithm": scenario.algorithm,
+                "points": len(scenario.points),
+                "trials": scenario.trials,
+                "description": scenario.description,
+            }
+            for name, scenario in sorted(SCENARIOS.items())
+        ]
+        print(format_records(rows, title="registered scenarios"))
+        return 0
+    # An explicit --seed overrides the scenario's reproducible root seed;
+    # otherwise the registry default applies.
+    root_seed = args.seed if args.seed_given else None
+    spec = build_experiment(args.scenario, trials=args.trials, root_seed=root_seed)
+    if args.no_cache:
+        cache = None
+    elif args.cache_dir:
+        cache = ResultCache(args.cache_dir)
+    else:
+        cache = default_cache()
+    result = run_experiment(spec, workers=args.workers, cache=cache)
+    rows = per_trial_rows(result) if args.per_trial else aggregate_experiment(result)
+    print(format_records(
+        rows,
+        title=f"{spec.name}: {spec.trials} trial(s) x {len(spec.points)} point(s), "
+        f"algorithm {spec.algorithm!r}, root seed {spec.root_seed}",
+    ))
+    # Run/cache accounting goes to stderr so the aggregate table on stdout
+    # stays byte-identical across --workers settings and warm/cold cache
+    # states (--per-trial rows carry a 'cached' column by design).
+    print(
+        f"trials: {len(result.results)} total, {result.cache_hits} cache hits, "
+        f"{result.executed} executed, {len(result.failures)} failed "
+        f"(workers={args.workers}, cache={'off' if cache is None else cache.root})",
+        file=sys.stderr,
+    )
+    for failure in result.failures:
+        print(
+            f"FAILED trial {failure.trial.index} on {failure.trial.graph}: "
+            f"{(failure.error or '?').splitlines()[0]}",
+            file=sys.stderr,
+        )
+    return 1 if result.failures else 0
+
+
+class _SeedAction(argparse.Action):
+    """Store the seed and record that the user passed it explicitly.
+
+    ``bench`` prefers each scenario's reproducible root seed unless the
+    user chose one — including choosing a value equal to DEFAULT_SEED —
+    so a plain default can't carry that distinction.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        setattr(namespace, self.dest, values)
+        namespace.seed_given = True
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -217,7 +251,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Distributed strong-diameter network decomposition "
         "(Elkin & Neiman, PODC 2016) — reproduction toolkit.",
     )
-    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED, action=_SeedAction)
+    parser.set_defaults(seed_given=False)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("decompose", help="run Theorem 1/2/3 on a graph")
@@ -248,6 +283,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("n", type=int)
     p.add_argument("-k", type=int, default=None)
     p.set_defaults(func=_cmd_theory)
+
+    p = sub.add_parser("bench", help="run a registered experiment scenario")
+    p.add_argument(
+        "scenario",
+        nargs="?",
+        help=f"scenario name ({', '.join(scenario_names())})",
+    )
+    p.add_argument("--list", action="store_true", help="list scenarios and exit")
+    p.add_argument("--trials", type=int, default=None, help="override trials per point")
+    p.add_argument("--workers", type=int, default=1, help="process-pool size (1 = serial)")
+    p.add_argument("--no-cache", action="store_true", help="recompute every trial")
+    p.add_argument("--cache-dir", default=None, help="cache root (default .repro-cache)")
+    p.add_argument("--per-trial", action="store_true", help="one row per trial")
+    p.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -1,0 +1,86 @@
+"""Experiment orchestration runtime: specs, runner, cache, scenarios.
+
+The paper's claims are statistical, so every benchmark is "run many
+seeded trials, aggregate".  This package is the shared machinery behind
+that sentence:
+
+* :mod:`~repro.experiments.spec` — frozen :class:`TrialSpec` /
+  :class:`ExperimentSpec` with deterministic per-trial seed derivation
+  and stable content hashes;
+* :mod:`~repro.experiments.adapters` — algorithm name → record function
+  (:data:`ALGORITHMS` is the extension point);
+* :mod:`~repro.experiments.runner` — serial or multiprocessing trial
+  execution with per-trial failure capture;
+* :mod:`~repro.experiments.cache` — content-addressed on-disk JSON
+  cache so re-runs skip computed trials;
+* :mod:`~repro.experiments.registry` — named scenarios
+  (``er-sweep``, ``strong-vs-weak``, ...) for the ``bench`` CLI;
+* :mod:`~repro.experiments.aggregate` — mean/median/quantile/CI
+  reduction into :func:`repro.analysis.format_records` tables.
+
+Quickstart
+----------
+>>> from repro.experiments import build_experiment, run_experiment
+>>> spec = build_experiment("smoke", trials=2)
+>>> result = run_experiment(spec, workers=1)
+>>> len(result.records) == spec.num_trials
+True
+"""
+
+from .adapters import ALGORITHMS, algorithm_names, run_trial
+from .aggregate import (
+    aggregate_experiment,
+    aggregate_trials,
+    confidence_interval,
+    mean_curve,
+    per_trial_rows,
+    quantile,
+)
+from .cache import DEFAULT_CACHE_DIR, ResultCache, default_cache
+from .registry import (
+    DEFAULT_ROOT_SEED,
+    SCENARIOS,
+    Scenario,
+    build_experiment,
+    get_scenario,
+    scenario_names,
+)
+from .runner import ExperimentResult, TrialResult, run_experiment
+from .spec import (
+    CODE_VERSION,
+    ExperimentPoint,
+    ExperimentSpec,
+    TrialSpec,
+    freeze_params,
+    spec_hash,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "CODE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_ROOT_SEED",
+    "ExperimentPoint",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "ResultCache",
+    "SCENARIOS",
+    "Scenario",
+    "TrialResult",
+    "TrialSpec",
+    "aggregate_experiment",
+    "aggregate_trials",
+    "algorithm_names",
+    "build_experiment",
+    "confidence_interval",
+    "default_cache",
+    "freeze_params",
+    "get_scenario",
+    "mean_curve",
+    "per_trial_rows",
+    "quantile",
+    "run_experiment",
+    "run_trial",
+    "scenario_names",
+    "spec_hash",
+]

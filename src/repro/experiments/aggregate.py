@@ -1,0 +1,233 @@
+"""Statistical reduction of trial records into table-ready rows.
+
+The paper's guarantees are probabilistic, so every experiment ends in
+"aggregate many seeded trials": mean survivor curves, median round
+counts, success *fractions* (``1 − O(1)/c`` events), spread.  This
+module reduces the runner's records to exactly that, feeding the
+existing :func:`repro.analysis.format_records` renderer.
+
+Group identity comes from the trial specs (graph + parameters — the
+experiment point), not from sniffing record columns, so adapters are
+free to emit whatever metrics they like.  Within a group:
+
+* constant metrics collapse to a single column (``n``, ``k``, bounds);
+* boolean metrics become a success fraction (``*_frac``);
+* varying numeric metrics expand to mean / median / max / 95% CI
+  half-width (normal approximation) columns;
+* list-valued metrics (e.g. survivor curves) are skipped here — they
+  have dedicated reducers like :func:`mean_curve`.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.survival import mean_ragged_curves
+from ..errors import ParameterError
+from .runner import ExperimentResult
+
+__all__ = [
+    "aggregate_experiment",
+    "aggregate_trials",
+    "confidence_interval",
+    "mean_curve",
+    "per_trial_rows",
+    "quantile",
+]
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of ``values`` (``0 <= q <= 1``)."""
+    if not values:
+        raise ParameterError("quantile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ParameterError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = q * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    weight = position - low
+    return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)
+
+
+def confidence_interval(values: Sequence[float], z: float = 1.96) -> float:
+    """Half-width of the normal-approximation CI of the mean (default 95%)."""
+    if len(values) < 2:
+        return 0.0
+    return z * statistics.stdev(values) / math.sqrt(len(values))
+
+
+def mean_curve(curves: Sequence[Sequence[float]]) -> List[float]:
+    """Pointwise mean of ragged curves, padded with zeros to the longest.
+
+    Delegates to :func:`repro.analysis.survival.mean_ragged_curves` so the
+    Claim 6 aggregation convention has exactly one implementation.
+    """
+    return mean_ragged_curves(curves)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _metric_names(records: Sequence[Mapping[str, Any]]) -> List[str]:
+    """Keys that are numeric or boolean in every record, in first-seen order."""
+    names: List[str] = []
+    for key in records[0]:
+        values = [record.get(key) for record in records]
+        if all(_is_number(v) or isinstance(v, bool) for v in values):
+            names.append(key)
+    return names
+
+
+def _reduce_metric_columns(
+    rows: List[Dict[str, Any]],
+    values_per_row: List[List[Any]],
+    name: str,
+) -> None:
+    """Reduce one metric into columns, uniformly across all group rows.
+
+    The column shape (plain value vs ``_frac`` vs mean/med/max/ci95) is
+    decided from *every* group together, so each table row carries the
+    same columns even when the metric happens to be constant in one
+    group and varying in another.
+    """
+    populated = [values for values in values_per_row if values]
+    if not populated:
+        return
+    all_values = [value for values in populated for value in values]
+    if all(isinstance(value, bool) for value in all_values):
+        varying = any(len(set(values)) > 1 for values in populated)
+        for row, values in zip(rows, values_per_row):
+            if not values:
+                continue
+            if varying:
+                row[f"{name}_frac"] = round(sum(values) / len(values), 4)
+            else:
+                row[name] = values[0]
+        return
+    varying = any(len({float(v) for v in values}) > 1 for values in populated)
+    for row, values in zip(rows, values_per_row):
+        if not values:
+            continue
+        floats = [float(v) for v in values]
+        if not varying:
+            row[name] = values[0]
+        else:
+            row[f"{name}_mean"] = round(statistics.fmean(floats), 4)
+            row[f"{name}_med"] = round(quantile(floats, 0.5), 4)
+            row[f"{name}_max"] = max(floats)
+            row[f"{name}_ci95"] = round(confidence_interval(floats), 4)
+
+
+def aggregate_trials(
+    records: Sequence[Mapping[str, Any]],
+    group_by: Sequence[str],
+    metrics: Optional[Sequence[str]] = None,
+) -> List[Dict[str, Any]]:
+    """Generic reduction: group ``records`` by columns, reduce ``metrics``.
+
+    When ``metrics`` is omitted, every column that is numeric/boolean in
+    all records (and not a group column) is reduced.  Group order follows
+    first appearance, so output is deterministic for deterministic input.
+    """
+    if not records:
+        return []
+    if not group_by:
+        raise ParameterError("group_by must name at least one column")
+    groups: Dict[Tuple, List[Mapping[str, Any]]] = {}
+    for record in records:
+        try:
+            key = tuple(record[name] for name in group_by)
+        except KeyError as exc:
+            raise ParameterError(f"record missing group column: {exc}") from exc
+        groups.setdefault(key, []).append(record)
+    member_lists = list(groups.values())
+    rows: List[Dict[str, Any]] = []
+    for key, members in groups.items():
+        row: Dict[str, Any] = dict(zip(group_by, key))
+        row["trials"] = len(members)
+        rows.append(row)
+    names = (
+        list(metrics)
+        if metrics is not None
+        else [n for n in _metric_names(list(records)) if n not in group_by]
+    )
+    for name in names:
+        _reduce_metric_columns(
+            rows,
+            [[member[name] for member in members] for members in member_lists],
+            name,
+        )
+    return rows
+
+
+def _point_key(trial) -> Tuple[str, Tuple]:
+    return (trial.graph, trial.params)
+
+
+def aggregate_experiment(
+    result: ExperimentResult,
+    metrics: Optional[Sequence[str]] = None,
+) -> List[Dict[str, Any]]:
+    """One table row per experiment point, metrics reduced across trials.
+
+    Grouping uses trial identity (graph spec + parameters), so two
+    points with coincidentally equal records never merge.  Failed trials
+    are excluded from the statistics; the ``trials`` column counts the
+    successful ones.
+    """
+    order: List[Tuple[str, Tuple]] = []
+    grouped: Dict[Tuple[str, Tuple], List[Mapping[str, Any]]] = {}
+    for trial_result in result.results:
+        key = _point_key(trial_result.trial)
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        if trial_result.record is not None:
+            grouped[key].append(trial_result.record)
+    rows: List[Dict[str, Any]] = []
+    for key in order:
+        graph, params = key
+        row: Dict[str, Any] = {"graph": graph, **dict(params)}
+        row["trials"] = len(grouped[key])
+        rows.append(row)
+    all_records = [record for key in order for record in grouped[key]]
+    if not all_records:
+        return rows
+    group_columns = set().union(*(dict(params) for _, params in order), {"graph"})
+    names = (
+        list(metrics)
+        if metrics is not None
+        else [n for n in _metric_names(all_records) if n not in group_columns]
+    )
+    for name in names:
+        _reduce_metric_columns(
+            rows,
+            [[member[name] for member in grouped[key]] for key in order],
+            name,
+        )
+    return rows
+
+
+def per_trial_rows(result: ExperimentResult) -> List[Dict[str, Any]]:
+    """One row per trial (scalar record fields only), for ``--per-trial``."""
+    rows: List[Dict[str, Any]] = []
+    for trial_result in result.results:
+        row: Dict[str, Any] = {
+            "graph": trial_result.trial.graph,
+            "trial": trial_result.trial.index,
+        }
+        if trial_result.record is None:
+            row["error"] = (trial_result.error or "?").splitlines()[0]
+        else:
+            for name, value in trial_result.record.items():
+                if _is_number(value) or isinstance(value, (bool, str)):
+                    row[name] = value
+        row["cached"] = trial_result.from_cache
+        rows.append(row)
+    return rows

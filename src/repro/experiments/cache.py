@@ -1,0 +1,99 @@
+"""Content-addressed on-disk cache of trial records.
+
+Every trial's record is stored as one small JSON file addressed by the
+trial's content hash (:meth:`TrialSpec.key` — graph spec, seeds,
+algorithm, parameters, plus :data:`~repro.experiments.spec.CODE_VERSION`).
+Re-running a benchmark therefore skips every already-computed trial, and
+growing ``--trials`` only computes the new repetitions: trial seeds are
+derived per-index, so trials 0..7 of a 16-trial run are byte-identical
+to the 8-trial run that preceded it.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` (fan-out keeps directories
+small).  Writes go through a temp file + ``os.replace`` so concurrent
+workers can race on the same key harmlessly — last writer wins with
+identical content.  Corrupt or version-mismatched files read as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Dict, Optional
+
+from .spec import CODE_VERSION, TrialSpec
+
+__all__ = ["DEFAULT_CACHE_DIR", "ResultCache", "default_cache"]
+
+#: Default cache location, overridable with ``REPRO_CACHE_DIR``.
+DEFAULT_CACHE_DIR = pathlib.Path(".repro-cache") / "experiments"
+
+
+def default_cache() -> "ResultCache":
+    """The cache at ``$REPRO_CACHE_DIR`` or ``./.repro-cache/experiments``."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    return ResultCache(pathlib.Path(root) if root else DEFAULT_CACHE_DIR)
+
+
+class ResultCache:
+    """A content-addressed store of ``trial key -> record`` JSON files."""
+
+    def __init__(self, root: pathlib.Path | str):
+        self.root = pathlib.Path(root)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """On-disk location of ``key``'s record."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, trial: TrialSpec) -> Optional[Dict[str, Any]]:
+        """The cached record for ``trial``, or ``None`` on a miss."""
+        path = self.path_for(trial.key())
+        try:
+            payload = json.loads(path.read_text(encoding="utf8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("version") != CODE_VERSION:
+            return None
+        record = payload.get("record")
+        return record if isinstance(record, dict) else None
+
+    def put(self, trial: TrialSpec, record: Dict[str, Any]) -> pathlib.Path:
+        """Store ``record`` for ``trial``; returns the file written."""
+        key = trial.key()
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CODE_VERSION,
+            "key": key,
+            "trial": trial.content(),
+            "record": record,
+        }
+        # No sort_keys: the record's insertion order is the adapters' column
+        # order, and cached trials must render identically to fresh ones.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf8")
+        os.replace(tmp, path)
+        return path
+
+    def contains(self, trial: TrialSpec) -> bool:
+        """Whether a valid record for ``trial`` is on disk."""
+        return self.get(trial) is not None
+
+    def __len__(self) -> int:
+        """Number of record files currently stored."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every stored record; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,219 @@
+"""Named scenario registry: ``bench er-sweep`` instead of a bespoke loop.
+
+A :class:`Scenario` is a declarative experiment template — algorithm,
+grid points, default trial count and seeding policy.  Adding a new
+comparison workload (a Ghaffari–Portmann-style sweep, a new topology
+family, a different ``k`` schedule) is one entry in :data:`SCENARIOS`;
+the runner, cache, CLI and aggregation all pick it up for free.
+
+``ExperimentPoint.of("er:256:0.015625", k=6)`` pairs a compact graph
+spec with per-point parameter overrides; anything an adapter in
+:mod:`~repro.experiments.adapters` understands is a valid parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import ParameterError
+from .spec import ExperimentPoint, ExperimentSpec
+
+__all__ = [
+    "DEFAULT_ROOT_SEED",
+    "SCENARIOS",
+    "Scenario",
+    "build_experiment",
+    "get_scenario",
+    "scenario_names",
+]
+
+#: Root seed shared by scenario defaults — the paper's arXiv date, the
+#: same constant the benchmark harness has always used.
+DEFAULT_ROOT_SEED = 20160217
+
+_P = ExperimentPoint.of
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A reusable experiment template (see module docstring)."""
+
+    description: str
+    algorithm: str
+    points: Tuple[ExperimentPoint, ...]
+    trials: int = 4
+    root_seed: int = DEFAULT_ROOT_SEED
+    vary_graph_seed: bool = True
+
+    def spec(
+        self,
+        name: str,
+        trials: Optional[int] = None,
+        root_seed: Optional[int] = None,
+    ) -> ExperimentSpec:
+        """Materialise the template as a concrete :class:`ExperimentSpec`."""
+        return ExperimentSpec(
+            name=name,
+            algorithm=self.algorithm,
+            points=self.points,
+            trials=self.trials if trials is None else trials,
+            root_seed=self.root_seed if root_seed is None else root_seed,
+            vary_graph_seed=self.vary_graph_seed,
+        )
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    "er-sweep": Scenario(
+        description="Theorem 1 quality over a doubling Erdős–Rényi sweep "
+        "(k = ceil(ln n), p = 4/n)",
+        algorithm="en",
+        points=(
+            _P("er:64:0.0625", k=5),
+            _P("er:128:0.03125", k=5),
+            _P("er:256:0.015625", k=6),
+            _P("er:512:0.0078125", k=7),
+        ),
+        trials=4,
+    ),
+    "grid-vs-tree": Scenario(
+        description="Theorem 1 across structured topologies at fixed k=4",
+        algorithm="en",
+        points=(
+            _P("grid:16:16", k=4),
+            _P("tree:2:7", k=4),
+            _P("cycle:256", k=4),
+            _P("hypercube:8", k=4),
+        ),
+        trials=3,
+    ),
+    "strong-vs-weak": Scenario(
+        description="EN16 vs LS93 on identical inputs: disconnected clusters "
+        "and MIS relay overhead (the paper's §1.1 story)",
+        algorithm="strong-vs-weak",
+        points=(
+            _P("er:80:0.05", k=4),
+            _P("er:160:0.025", k=4),
+        ),
+        trials=5,
+    ),
+    "high-radius": Scenario(
+        description="Theorem 3 trade-off: few colours (λ) vs radius growth",
+        algorithm="high-radius",
+        points=(
+            _P("er:200:0.02", lam=2),
+            _P("er:200:0.02", lam=3),
+            _P("er:200:0.02", lam=4),
+        ),
+        trials=4,
+    ),
+    "congest-rounds": Scenario(
+        description="Distributed protocol rounds vs O(log² n), with exact "
+        "centralized cross-validation (k = ceil(ln n))",
+        algorithm="congest",
+        points=(
+            _P("conn:64:0.03125", k=5),
+            _P("conn:128:0.015625", k=5),
+            _P("conn:256:0.0078125", k=6),
+            _P("conn:512:0.00390625", k=7),
+        ),
+        trials=1,
+        vary_graph_seed=False,
+    ),
+    "survival": Scenario(
+        description="Claim 6 / Corollary 7 survivor curves on one fixed "
+        "ER graph, many algorithm seeds",
+        algorithm="survival",
+        points=(_P("er:200:0.02", k=3, c=4.0),),
+        trials=12,
+        vary_graph_seed=False,
+    ),
+    "theorem1": Scenario(
+        description="Theorem 1 validation grid: (topology, n, k) vs the "
+        "2k−2 and (cn)^{1/k}·ln(cn) bounds",
+        algorithm="en",
+        points=(
+            _P("er:256:0.015625", k=2),
+            _P("er:256:0.015625", k=3),
+            _P("er:256:0.015625", k=5),
+            _P("er:256:0.015625", k=6),
+            _P("er:1024:0.00390625", k=2),
+            _P("er:1024:0.00390625", k=3),
+            _P("er:1024:0.00390625", k=5),
+            _P("er:1024:0.00390625", k=7),
+            _P("grid:16:16", k=2),
+            _P("grid:16:16", k=3),
+            _P("grid:16:16", k=5),
+            _P("grid:16:16", k=6),
+            _P("conn:512:0.004", k=2),
+            _P("conn:512:0.004", k=3),
+            _P("conn:512:0.004", k=5),
+            _P("conn:512:0.004", k=7),
+        ),
+        trials=1,
+        vary_graph_seed=False,
+    ),
+    "staged-sweep": Scenario(
+        description="Theorem 2 staged variant across sparse random and grid "
+        "workloads",
+        algorithm="staged",
+        points=(
+            _P("er:128:0.03125", k=3),
+            _P("grid:12:12", k=3),
+        ),
+        trials=3,
+    ),
+    "ls-baseline": Scenario(
+        description="LS93 weak-diameter baseline quality across k",
+        algorithm="linial-saks",
+        points=(
+            _P("er:128:0.03125", k=3),
+            _P("er:128:0.03125", k=4),
+            _P("er:128:0.03125", k=5),
+        ),
+        trials=4,
+    ),
+    "tradeoff-k": Scenario(
+        description="Theorem 1 diameter/colour trade-off as k grows on one "
+        "workload",
+        algorithm="en",
+        points=(
+            _P("er:256:0.015625", k=2),
+            _P("er:256:0.015625", k=3),
+            _P("er:256:0.015625", k=4),
+            _P("er:256:0.015625", k=6),
+            _P("er:256:0.015625", k=8),
+        ),
+        trials=3,
+    ),
+    "smoke": Scenario(
+        description="Tiny end-to-end exercise of the runtime (CI smoke test)",
+        algorithm="en",
+        points=(_P("er:24:0.2", k=3),),
+        trials=2,
+    ),
+}
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up ``name`` or raise :class:`ParameterError` with suggestions."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown scenario {name!r} (try one of: {', '.join(scenario_names())})"
+        ) from None
+
+
+def build_experiment(
+    name: str,
+    trials: Optional[int] = None,
+    root_seed: Optional[int] = None,
+) -> ExperimentSpec:
+    """Materialise scenario ``name`` with optional trial/seed overrides."""
+    return get_scenario(name).spec(name, trials=trials, root_seed=root_seed)

@@ -1,0 +1,151 @@
+"""Trial executor: serial or fanned out over a ``multiprocessing`` pool.
+
+:func:`run_experiment` is the one entry point every benchmark and the
+``bench`` CLI subcommand go through:
+
+1. expand the :class:`ExperimentSpec` into trials (deterministic order);
+2. resolve cache hits (when a :class:`ResultCache` is supplied);
+3. execute the misses — serially for ``workers<=1``, otherwise over a
+   process pool with explicit chunking;
+4. store fresh records back into the cache and reassemble everything in
+   the original trial order.
+
+Because adapters are pure functions of the trial spec and seeds are
+derived per trial (never from execution order), the assembled records
+are identical whatever ``workers`` is — the parallel path changes only
+wall-clock time.  A failing trial is captured as a :class:`TrialResult`
+with ``error`` set instead of killing the whole sweep.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ParameterError
+from .adapters import run_trial
+from .cache import ResultCache
+from .spec import ExperimentSpec, TrialSpec
+
+__all__ = ["ExperimentResult", "TrialResult", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one trial: a record, or a captured failure."""
+
+    trial: TrialSpec
+    record: Optional[Dict[str, Any]]
+    error: Optional[str] = None
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the trial produced a record."""
+        return self.record is not None
+
+
+@dataclass
+class ExperimentResult:
+    """All trial results of one experiment, in spec order."""
+
+    spec: ExperimentSpec
+    results: List[TrialResult] = field(default_factory=list)
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """Successful records, in trial order."""
+        return [result.record for result in self.results if result.record is not None]
+
+    @property
+    def failures(self) -> List[TrialResult]:
+        """Trials that raised, with their captured tracebacks."""
+        return [result for result in self.results if result.error is not None]
+
+    @property
+    def cache_hits(self) -> int:
+        """How many trials were served from the cache."""
+        return sum(1 for result in self.results if result.from_cache)
+
+    @property
+    def executed(self) -> int:
+        """How many trials actually ran (hit or failed, not cached)."""
+        return len(self.results) - self.cache_hits
+
+    def raise_on_failure(self) -> "ExperimentResult":
+        """Raise ``RuntimeError`` summarising failures, if any; else ``self``."""
+        if self.failures:
+            first = self.failures[0]
+            raise RuntimeError(
+                f"{len(self.failures)}/{len(self.results)} trials of "
+                f"{self.spec.name!r} failed; first: {first.error}"
+            )
+        return self
+
+
+def _execute_captured(trial: TrialSpec) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+    """Run one trial, converting any exception into a string (picklable)."""
+    try:
+        return run_trial(trial), None
+    except Exception as exc:  # noqa: BLE001 — sweep survival is the contract
+        return None, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+
+
+def _pool_chunksize(pending: int, workers: int) -> int:
+    """Chunk so each worker gets ~4 batches (amortise IPC, keep balance)."""
+    return max(1, pending // (workers * 4))
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    chunksize: Optional[int] = None,
+) -> ExperimentResult:
+    """Execute every trial of ``spec``; see the module docstring.
+
+    Parameters
+    ----------
+    spec:
+        The experiment to run.
+    workers:
+        ``<=1`` runs in-process; ``N>1`` fans the cache misses out over a
+        ``multiprocessing.Pool(N)``.
+    cache:
+        Optional :class:`ResultCache`; hits skip execution, fresh records
+        are written back.
+    chunksize:
+        Trials per pool task; defaults to :func:`_pool_chunksize`.
+    """
+    if workers < 0:
+        raise ParameterError(f"workers must be >= 0, got {workers}")
+    trials = spec.trial_specs()
+    resolved: List[Optional[TrialResult]] = [None] * len(trials)
+
+    pending: List[Tuple[int, TrialSpec]] = []
+    for position, trial in enumerate(trials):
+        hit = cache.get(trial) if cache is not None else None
+        if hit is not None:
+            resolved[position] = TrialResult(trial=trial, record=hit, from_cache=True)
+        else:
+            pending.append((position, trial))
+
+    if pending:
+        todo = [trial for _, trial in pending]
+        if workers > 1 and len(todo) > 1:
+            with multiprocessing.Pool(processes=workers) as pool:
+                outcomes = pool.map(
+                    _execute_captured,
+                    todo,
+                    chunksize or _pool_chunksize(len(todo), workers),
+                )
+        else:
+            outcomes = [_execute_captured(trial) for trial in todo]
+        for (position, trial), (record, error) in zip(pending, outcomes):
+            resolved[position] = TrialResult(trial=trial, record=record, error=error)
+            if record is not None and cache is not None:
+                cache.put(trial, record)
+
+    return ExperimentResult(spec=spec, results=[r for r in resolved if r is not None])

@@ -1,0 +1,236 @@
+"""Frozen, hashable experiment descriptions.
+
+An experiment is "run algorithm A on graph family G with parameters P,
+``trials`` times, from a root seed" — the statistical unit behind every
+claim in the paper (success probability ``1 − O(1)/c``, round complexity
+``O(log² n)``, trade-off sweeps).  This module gives that sentence a
+canonical, content-addressable form:
+
+* :class:`TrialSpec` — one seeded trial, fully self-contained: graph
+  spec string, graph seed, algorithm name, frozen parameter tuple and
+  the trial's own algorithm seed.  Its :meth:`~TrialSpec.key` is a
+  stable BLAKE2b hash of the trial content plus :data:`CODE_VERSION`,
+  used by :mod:`~repro.experiments.cache` as the on-disk address.
+* :class:`ExperimentSpec` — a named bundle of grid points × trials that
+  expands deterministically into :class:`TrialSpec` instances.
+
+Seed derivation flows through :func:`repro.rng.derive_seed`, so trial
+seeds depend only on the root seed and the trial's content — never on
+the scenario name, the worker that ran it, or the order trials execute
+in.  Renaming a scenario therefore keeps its cache entries valid, and a
+parallel run draws exactly the radii a serial run would.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Tuple
+
+from ..errors import ParameterError
+from ..rng import derive_seed
+
+__all__ = [
+    "CODE_VERSION",
+    "ExperimentPoint",
+    "ExperimentSpec",
+    "TrialSpec",
+    "canonical_json",
+    "freeze_params",
+    "spec_hash",
+]
+
+#: Bumped whenever trial semantics change in a way that invalidates cached
+#: records (new metrics, different seed plumbing).  Part of every cache key.
+CODE_VERSION = "en16.experiments.v1"
+
+ParamItems = Tuple[Tuple[str, Any], ...]
+
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+def freeze_params(params: Mapping[str, Any] | ParamItems | None) -> ParamItems:
+    """Normalise a parameter mapping into a sorted, hashable tuple.
+
+    Only JSON scalars are allowed as values so that specs round-trip
+    through the on-disk cache without ambiguity.
+    """
+    if params is None:
+        return ()
+    items = params.items() if isinstance(params, Mapping) else params
+    frozen = []
+    for name, value in items:
+        if not isinstance(name, str):
+            raise ParameterError(f"parameter names must be str, got {name!r}")
+        if not isinstance(value, _SCALAR_TYPES):
+            raise ParameterError(
+                f"parameter {name!r} must be a JSON scalar, got {type(value).__name__}"
+            )
+        frozen.append((name, value))
+    frozen.sort(key=lambda item: item[0])
+    return tuple(frozen)
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialise ``payload`` deterministically (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def spec_hash(payload: Any, *, version: str = CODE_VERSION) -> str:
+    """Content-address ``payload``: BLAKE2b over its canonical JSON + version."""
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(version.encode("utf8"))
+    hasher.update(b"\x1f")
+    hasher.update(canonical_json(payload).encode("utf8"))
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One seeded trial: everything needed to recompute its record.
+
+    Attributes
+    ----------
+    algorithm:
+        Name in :data:`repro.experiments.adapters.ALGORITHMS`.
+    graph:
+        Compact graph spec (``er:200:0.03``, ``grid:16:16``, ...) as
+        accepted by :func:`repro.graphs.parse_graph_spec`.
+    graph_seed:
+        Seed handed to the graph generator.
+    params:
+        Sorted ``(name, value)`` tuple of algorithm parameters.
+    seed:
+        The trial's algorithm seed (derived, not chosen).
+    index:
+        Repetition index inside the owning experiment — informational
+        (ordering/labels); deliberately **excluded** from :meth:`key`.
+    """
+
+    algorithm: str
+    graph: str
+    graph_seed: int
+    params: ParamItems
+    seed: int
+    index: int = 0
+
+    def param_dict(self) -> dict[str, Any]:
+        """The parameters as a plain dict."""
+        return dict(self.params)
+
+    def content(self) -> dict[str, Any]:
+        """The hashed identity of this trial (excludes ``index``)."""
+        return {
+            "algorithm": self.algorithm,
+            "graph": self.graph,
+            "graph_seed": self.graph_seed,
+            "params": [list(item) for item in self.params],
+            "seed": self.seed,
+        }
+
+    def key(self) -> str:
+        """Stable content hash — the cache address of this trial."""
+        return spec_hash(self.content())
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One grid point of an experiment: a graph plus parameter overrides."""
+
+    graph: str
+    params: ParamItems = ()
+
+    @classmethod
+    def of(cls, graph: str, **params: Any) -> "ExperimentPoint":
+        return cls(graph=graph, params=freeze_params(params))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named experiment: ``points × trials`` seeded trials.
+
+    Attributes
+    ----------
+    name:
+        Display name (scenario registry key); not part of trial identity.
+    algorithm:
+        Adapter name shared by every trial.
+    points:
+        Grid points (graph spec + per-point parameters).
+    trials:
+        Repetitions per point.
+    root_seed:
+        Root of all per-trial seed derivation.
+    vary_graph_seed:
+        When true (default), each repetition regenerates random graph
+        families with a fresh derived seed; deterministic families
+        (grids, trees) are unaffected.  When false, all repetitions
+        share one derived graph seed — only the algorithm's coins vary.
+    """
+
+    name: str
+    algorithm: str
+    points: Tuple[ExperimentPoint, ...]
+    trials: int = 1
+    root_seed: int = 0
+    vary_graph_seed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ParameterError(f"trials must be >= 1, got {self.trials}")
+        if not self.points:
+            raise ParameterError(f"experiment {self.name!r} has no points")
+
+    def with_overrides(
+        self,
+        trials: int | None = None,
+        root_seed: int | None = None,
+    ) -> "ExperimentSpec":
+        """A copy with ``trials`` and/or ``root_seed`` replaced."""
+        return dataclasses.replace(
+            self,
+            trials=self.trials if trials is None else trials,
+            root_seed=self.root_seed if root_seed is None else root_seed,
+        )
+
+    def trial_seed(self, point: ExperimentPoint, index: int) -> int:
+        """Derived algorithm seed for repetition ``index`` of ``point``."""
+        return derive_seed(
+            self.root_seed,
+            "trial",
+            self.algorithm,
+            point.graph,
+            canonical_json([list(item) for item in point.params]),
+            index,
+        )
+
+    def graph_seed(self, point: ExperimentPoint, index: int) -> int:
+        """Derived generator seed for repetition ``index`` of ``point``."""
+        labels: tuple[object, ...] = ("graph", point.graph)
+        if self.vary_graph_seed:
+            labels += (index,)
+        return derive_seed(self.root_seed, *labels)
+
+    def trial_specs(self) -> list[TrialSpec]:
+        """Expand into concrete trials, in deterministic order."""
+        specs: list[TrialSpec] = []
+        for point in self.points:
+            for index in range(self.trials):
+                specs.append(
+                    TrialSpec(
+                        algorithm=self.algorithm,
+                        graph=point.graph,
+                        graph_seed=self.graph_seed(point, index),
+                        params=point.params,
+                        seed=self.trial_seed(point, index),
+                        index=index,
+                    )
+                )
+        return specs
+
+    @property
+    def num_trials(self) -> int:
+        """Total trial count (``points × trials``)."""
+        return len(self.points) * self.trials

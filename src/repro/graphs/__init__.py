@@ -21,6 +21,7 @@ from .builders import (
     from_edge_list,
     from_networkx,
     parse_edge_list_text,
+    parse_graph_spec,
     to_networkx,
 )
 from .generators import (
@@ -85,6 +86,7 @@ __all__ = [
     "from_edge_list",
     "from_networkx",
     "parse_edge_list_text",
+    "parse_graph_spec",
     "to_networkx",
     # generators
     "balanced_tree",

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
-from ..errors import GraphError
+from ..errors import GraphError, ParameterError
+from ..rng import DEFAULT_SEED
+from . import generators
 from .graph import Edge, Graph, GraphBuilder
 
 __all__ = [
@@ -19,7 +21,48 @@ __all__ = [
     "from_networkx",
     "to_networkx",
     "parse_edge_list_text",
+    "parse_graph_spec",
 ]
+
+
+def parse_graph_spec(spec: str, seed: int = DEFAULT_SEED) -> Graph:
+    """Build a graph from a compact ``family:arg:arg`` spec string.
+
+    Understood families: ``er:n:p``, ``grid:rows:cols``, ``path:n``,
+    ``cycle:n``, ``tree:branch:height``, ``hypercube:dim``, ``conn:n:p``,
+    ``regular:n:d`` and ``ws:n:k:beta``.  Random families thread ``seed``
+    through to the generator; deterministic families ignore it, which is
+    what lets the experiment runtime treat every workload uniformly.
+    """
+    parts = spec.split(":")
+    family, args = parts[0], parts[1:]
+    try:
+        if family == "er":
+            return generators.erdos_renyi(int(args[0]), float(args[1]), seed=seed)
+        if family == "grid":
+            return generators.grid_graph(int(args[0]), int(args[1]))
+        if family == "path":
+            return generators.path_graph(int(args[0]))
+        if family == "cycle":
+            return generators.cycle_graph(int(args[0]))
+        if family == "tree":
+            return generators.balanced_tree(int(args[0]), int(args[1]))
+        if family == "hypercube":
+            return generators.hypercube_graph(int(args[0]))
+        if family == "conn":
+            return generators.random_connected(int(args[0]), float(args[1]), seed=seed)
+        if family == "regular":
+            return generators.random_regular(int(args[0]), int(args[1]), seed=seed)
+        if family == "ws":
+            return generators.watts_strogatz(
+                int(args[0]), int(args[1]), float(args[2]), seed=seed
+            )
+    except (IndexError, ValueError) as exc:
+        raise ParameterError(f"bad graph spec {spec!r}: {exc}") from exc
+    raise ParameterError(
+        f"unknown graph family {family!r} "
+        "(try er/grid/path/cycle/tree/hypercube/conn/regular/ws)"
+    )
 
 
 def from_edge_list(num_vertices: int, edges: Iterable[Edge]) -> Graph:

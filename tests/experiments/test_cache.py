@@ -1,0 +1,72 @@
+"""Content-addressed cache: round-trips, invalidation, robustness."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import ResultCache, TrialSpec
+from repro.experiments.spec import CODE_VERSION
+
+
+def trial(seed: int = 2) -> TrialSpec:
+    return TrialSpec("en", "er:24:0.2", 1, (("k", 3),), seed)
+
+
+class TestResultCache:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(trial()) is None
+        record = {"colors": 4, "strong_diameter": 2.0, "in_budget": True}
+        cache.put(trial(), record)
+        assert cache.get(trial()) == record
+        assert cache.contains(trial())
+        assert len(cache) == 1
+
+    def test_record_key_order_preserved(self, tmp_path):
+        # Table column order comes from record insertion order; the cache
+        # must not alphabetise it (cached and fresh runs render identically).
+        cache = ResultCache(tmp_path)
+        record = {"zebra": 1, "alpha": 2, "mid": 3}
+        cache.put(trial(), record)
+        assert list(cache.get(trial())) == ["zebra", "alpha", "mid"]
+
+    def test_distinct_trials_distinct_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(trial(seed=1), {"colors": 1})
+        cache.put(trial(seed=2), {"colors": 2})
+        assert cache.get(trial(seed=1)) == {"colors": 1}
+        assert cache.get(trial(seed=2)) == {"colors": 2}
+        assert len(cache) == 2
+
+    def test_corrupt_file_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(trial(), {"colors": 4})
+        cache.path_for(trial().key()).write_text("{not json", encoding="utf8")
+        assert cache.get(trial()) is None
+
+    def test_version_mismatch_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(trial(), {"colors": 4})
+        payload = json.loads(path.read_text(encoding="utf8"))
+        assert payload["version"] == CODE_VERSION
+        payload["version"] = "stale"
+        path.write_text(json.dumps(payload), encoding="utf8")
+        assert cache.get(trial()) is None
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(trial(), {"colors": 4})
+        cache.put(trial(), {"colors": 5})
+        assert cache.get(trial()) == {"colors": 5}
+        assert len(cache) == 1
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(trial(seed=1), {"a": 1})
+        cache.put(trial(seed=2), {"a": 2})
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.get(trial(seed=1)) is None
+
+    def test_empty_cache_len(self, tmp_path):
+        assert len(ResultCache(tmp_path / "nonexistent")) == 0

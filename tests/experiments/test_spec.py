@@ -1,0 +1,137 @@
+"""Spec hashing and seed derivation: the cache-correctness foundations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments import (
+    CODE_VERSION,
+    ExperimentPoint,
+    ExperimentSpec,
+    TrialSpec,
+    freeze_params,
+    spec_hash,
+)
+
+
+def make_spec(**overrides) -> ExperimentSpec:
+    defaults = dict(
+        name="unit",
+        algorithm="en",
+        points=(ExperimentPoint.of("er:24:0.2", k=3),),
+        trials=3,
+        root_seed=7,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestFreezeParams:
+    def test_sorted_and_hashable(self):
+        frozen = freeze_params({"k": 3, "c": 4.0})
+        assert frozen == (("c", 4.0), ("k", 3))
+        hash(frozen)
+
+    def test_rejects_non_scalar_values(self):
+        with pytest.raises(ParameterError, match="JSON scalar"):
+            freeze_params({"grid": [1, 2]})
+
+    def test_rejects_non_string_names(self):
+        with pytest.raises(ParameterError, match="names must be str"):
+            freeze_params({3: "k"})
+
+
+class TestSpecHash:
+    def test_stable_across_processes(self):
+        # A pinned digest: changing trial identity semantics (or forgetting
+        # to bump CODE_VERSION with them) must fail loudly.
+        trial = TrialSpec(
+            algorithm="en",
+            graph="er:24:0.2",
+            graph_seed=1,
+            params=(("k", 3),),
+            seed=2,
+        )
+        assert trial.key() == spec_hash(trial.content())
+        if CODE_VERSION == "en16.experiments.v1":
+            assert trial.key() == "613dbec384b29d6160b3671d77394ebb"
+
+    def test_index_excluded_from_identity(self):
+        a = TrialSpec("en", "er:24:0.2", 1, (("k", 3),), 2, index=0)
+        b = TrialSpec("en", "er:24:0.2", 1, (("k", 3),), 2, index=5)
+        assert a.key() == b.key()
+
+    def test_every_content_field_changes_key(self):
+        base = TrialSpec("en", "er:24:0.2", 1, (("k", 3),), 2)
+        variants = [
+            TrialSpec("staged", "er:24:0.2", 1, (("k", 3),), 2),
+            TrialSpec("en", "er:25:0.2", 1, (("k", 3),), 2),
+            TrialSpec("en", "er:24:0.2", 9, (("k", 3),), 2),
+            TrialSpec("en", "er:24:0.2", 1, (("k", 4),), 2),
+            TrialSpec("en", "er:24:0.2", 1, (("k", 3),), 9),
+        ]
+        keys = {base.key()} | {v.key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_version_tag_changes_key(self):
+        payload = {"x": 1}
+        assert spec_hash(payload) != spec_hash(payload, version="other-version")
+
+
+class TestSeedDerivation:
+    def test_deterministic_expansion(self):
+        spec = make_spec()
+        assert spec.trial_specs() == spec.trial_specs()
+
+    def test_trials_have_distinct_seeds(self):
+        spec = make_spec(trials=16)
+        seeds = [trial.seed for trial in spec.trial_specs()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_prefix_stability_under_trial_growth(self):
+        # Growing --trials must keep already-computed trials cache-valid.
+        small = make_spec(trials=4).trial_specs()
+        large = make_spec(trials=9).trial_specs()
+        assert large[: len(small)] == small
+
+    def test_root_seed_changes_trial_seeds(self):
+        a = make_spec(root_seed=1).trial_specs()
+        b = make_spec(root_seed=2).trial_specs()
+        assert all(x.seed != y.seed for x, y in zip(a, b))
+
+    def test_scenario_name_does_not_affect_trials(self):
+        # Renaming a scenario must not invalidate its cache entries.
+        a = make_spec(name="alpha").trial_specs()
+        b = make_spec(name="beta").trial_specs()
+        assert a == b
+
+    def test_vary_graph_seed_toggle(self):
+        varied = make_spec(vary_graph_seed=True, trials=3).trial_specs()
+        fixed = make_spec(vary_graph_seed=False, trials=3).trial_specs()
+        assert len({trial.graph_seed for trial in varied}) == 3
+        assert len({trial.graph_seed for trial in fixed}) == 1
+        # Algorithm seeds still differ when the graph is pinned.
+        assert len({trial.seed for trial in fixed}) == 3
+
+    def test_validation(self):
+        with pytest.raises(ParameterError, match="trials"):
+            make_spec(trials=0)
+        with pytest.raises(ParameterError, match="no points"):
+            make_spec(points=())
+
+    def test_with_overrides(self):
+        spec = make_spec().with_overrides(trials=10)
+        assert spec.trials == 10 and spec.root_seed == 7
+        spec = make_spec().with_overrides(root_seed=99)
+        assert spec.trials == 3 and spec.root_seed == 99
+
+    def test_num_trials(self):
+        spec = make_spec(
+            points=(
+                ExperimentPoint.of("er:24:0.2", k=3),
+                ExperimentPoint.of("path:10", k=2),
+            ),
+            trials=5,
+        )
+        assert spec.num_trials == 10 == len(spec.trial_specs())

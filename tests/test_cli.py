@@ -102,3 +102,40 @@ class TestCommands:
         parser = build_parser()
         args = parser.parse_args(["theory", "256"])
         assert args.n == 256
+
+
+class TestBench:
+    def test_list_scenarios(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("er-sweep", "strong-vs-weak", "congest-rounds", "smoke"):
+            assert name in out
+
+    def test_no_scenario_lists(self, capsys):
+        assert main(["bench"]) == 0
+        assert "registered scenarios" in capsys.readouterr().out
+
+    def test_smoke_scenario_runs(self, capsys):
+        assert main(["bench", "smoke", "--trials", "2", "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "er:24:0.2" in captured.out
+        assert "0 cache hits, 2 executed" in captured.err
+
+    def test_cache_round_trip_and_byte_identical_output(self, capsys, tmp_path):
+        argv = ["bench", "smoke", "--trials", "2", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "0 cache hits, 2 executed" in cold.err
+        assert main(argv + ["--workers", "2"]) == 0
+        warm = capsys.readouterr()
+        assert "2 cache hits, 0 executed" in warm.err
+        assert warm.out == cold.out
+
+    def test_per_trial_rows(self, capsys):
+        assert main(["bench", "smoke", "--trials", "2", "--no-cache", "--per-trial"]) == 0
+        out = capsys.readouterr().out
+        assert "trial" in out and "cached" in out
+
+    def test_unknown_scenario_exit_code(self, capsys):
+        assert main(["bench", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
