@@ -1,10 +1,33 @@
-"""Setuptools shim.
+"""Packaging for the Elkin–Neiman reproduction.
 
-Kept so the package installs on environments without the ``wheel``
-package (``python setup.py develop`` / legacy editable installs); all
-metadata lives in ``pyproject.toml``.
+Metadata lives here (not in a ``pyproject.toml``) on purpose: a bare
+``setup.py`` keeps ``pip install -e .`` on the legacy code path, which
+needs no build isolation and therefore no network access — matching the
+stdlib-only runtime story.  Package discovery is rooted under ``src/``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-strong-diameter-decomposition",
+    version="0.2.0",
+    description=(
+        "Reproduction of Elkin & Neiman, 'Distributed Strong Diameter "
+        "Network Decomposition' (PODC 2016): CSR graph kernel, CONGEST "
+        "simulator, Theorems 1-3, baselines, applications, experiments."
+    ),
+    long_description=open("README.md", encoding="utf8").read(),
+    long_description_content_type="text/markdown",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=[],  # stdlib-only runtime; numpy is optional
+    extras_require={
+        "test": ["pytest", "pytest-benchmark"],
+        "docs": ["mkdocs"],
+        "accel": ["numpy"],
+    },
+    entry_points={
+        "console_scripts": ["repro = repro.cli:main"],
+    },
+)

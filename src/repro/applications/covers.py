@@ -38,7 +38,7 @@ from ..errors import ParameterError
 from ..graphs.graph import Graph
 from ..graphs.metrics import weak_diameter
 from ..graphs.transforms import power_graph
-from ..graphs.traversal import bfs_distances, bfs_distances_bounded
+from ..graphs.traversal import bfs_distances_bounded, bfs_levels
 from ..rng import DEFAULT_SEED
 
 __all__ = ["NeighborhoodCover", "build_cover"]
@@ -121,10 +121,9 @@ def build_cover(
     clusters: list[frozenset[int]] = []
     colors: list[int] = []
     for cluster in decomposition.clusters:
-        grown: set[int] = set()
-        for v in cluster.vertices:
-            grown.update(bfs_distances_bounded(graph, v, radius))
-        clusters.append(frozenset(grown))
+        # One multi-source bounded BFS grows the whole fringe N_W[C].
+        levels = bfs_levels(graph, cluster.vertices, radius=radius)
+        clusters.append(frozenset(v for level in levels for v in level))
         colors.append(cluster.color)
     strong = decomposition.max_strong_diameter()
     diameter_bound = (2 * radius + 1) * strong + 2 * radius

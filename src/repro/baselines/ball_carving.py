@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from ..core.decomposition import Cluster, NetworkDecomposition
 from ..errors import ParameterError
+from ..graphs.activeset import ActiveSet
 from ..graphs.graph import Graph
 from ..graphs.subgraph import quotient_graph
 from ..graphs.traversal import bfs_distances_bounded
@@ -76,11 +77,12 @@ def decompose(graph: Graph, k: int) -> tuple[NetworkDecomposition, BallCarvingTr
         raise ParameterError(f"k must be >= 1, got {k}")
     n = graph.num_vertices
     threshold = float(max(n, 2)) ** (1.0 / k)
-    active: set[int] = set(graph.vertices())
+    active = ActiveSet.full(graph.num_vertices)
     raw_clusters: list[tuple[int, list[int]]] = []  # (center, members)
     trace = BallCarvingTrace()
     while active:
-        center = min(active)
+        center = active.first()
+        assert center is not None
         radius = 0
         ball = {center}
         while True:

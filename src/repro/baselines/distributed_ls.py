@@ -31,6 +31,7 @@ from ..distributed.metrics import NetworkStats
 from ..distributed.network import SyncNetwork
 from ..distributed.node import Context, NodeAlgorithm
 from ..errors import ParameterError, SimulationError
+from ..graphs.activeset import ActiveSet
 from ..graphs.graph import Graph
 from ..rng import DEFAULT_SEED
 from .linial_saks import sample_ls_radius
@@ -161,7 +162,7 @@ def decompose_distributed(
         word_budget=word_budget,
     )
     network.start()
-    active = set(range(n))
+    active = ActiveSet.full(n)
     clusters: list[Cluster] = []
     rounds_per_phase: list[int] = []
     phase = 0

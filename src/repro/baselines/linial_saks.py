@@ -39,6 +39,7 @@ from typing import Mapping
 
 from ..core.decomposition import Cluster, NetworkDecomposition
 from ..errors import ParameterError, SimulationError
+from ..graphs.activeset import ActiveSet
 from ..graphs.graph import Graph
 from ..graphs.traversal import bfs_distances_bounded
 from ..rng import DEFAULT_SEED, stream
@@ -89,7 +90,7 @@ def sample_ls_radius(seed: int, phase: int, vertex: int, p: float, k: int) -> in
 
 def ls_phase(
     graph: Graph,
-    active: set[int],
+    active: "set[int] | ActiveSet",
     radii: Mapping[int, int],
 ) -> tuple[set[int], dict[int, int]]:
     """One Linial–Saks phase: block membership and chosen centers.
@@ -157,7 +158,7 @@ def decompose(
     nominal = max(1, math.ceil(2.0 * max(n, 2) ** (1.0 / k) * math.log(max(n, 2)) / max(1.0 - p, 1e-9)))
     if max_phases is None:
         max_phases = 10 * nominal + 100
-    active: set[int] = set(graph.vertices())
+    active = ActiveSet.full(graph.num_vertices)
     trace = LSTrace(nominal_phases=nominal)
     clusters: list[Cluster] = []
     phase = 0

@@ -26,7 +26,9 @@ Graphs are described by compact specs: ``er:200:0.03``, ``grid:10:12``,
 from __future__ import annotations
 
 import argparse
+import json
 import math
+import pathlib
 import sys
 from typing import Sequence
 
@@ -208,6 +210,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         cache = default_cache()
     result = run_experiment(spec, workers=args.workers, cache=cache)
     rows = per_trial_rows(result) if args.per_trial else aggregate_experiment(result)
+    if args.json:
+        payload = {
+            "scenario": spec.name,
+            "algorithm": spec.algorithm,
+            "points": len(spec.points),
+            "trials": spec.trials,
+            "root_seed": spec.root_seed,
+            "rows": rows,
+            "failures": len(result.failures),
+        }
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+            encoding="utf8",
+        )
     print(format_records(
         rows,
         title=f"{spec.name}: {spec.trials} trial(s) x {len(spec.points)} point(s), "
@@ -296,6 +314,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true", help="recompute every trial")
     p.add_argument("--cache-dir", default=None, help="cache root (default .repro-cache)")
     p.add_argument("--per-trial", action="store_true", help="one row per trial")
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the result rows as JSON to PATH (CI artifact)",
+    )
     p.set_defaults(func=_cmd_bench)
     return parser
 

@@ -25,11 +25,12 @@ guarantees.
 from __future__ import annotations
 
 import math
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Container, Mapping
 
 from ..errors import ParameterError
+from ..graphs._kernel import bfs_levels
+from ..graphs.activeset import ActiveSet, blocked_from_active
 from ..graphs.graph import Graph
 
 __all__ = ["TopTwo", "PhaseOutcome", "carve_block", "broadcast_reach"]
@@ -124,7 +125,7 @@ def broadcast_reach(radius: float, range_cap: int | None) -> int:
 
 def carve_block(
     graph: Graph,
-    active: Container[int],
+    active: Container[int] | ActiveSet,
     radii: Mapping[int, float],
     range_cap: int | None = None,
     gap_threshold: float = 1.0,
@@ -162,31 +163,31 @@ def carve_block(
     """
     outcome = PhaseOutcome()
     top_two = outcome.top_two
+    # One shared scratch mask (1 = inactive-or-visited) serves every
+    # broadcast of the phase: each bounded BFS marks the vertices it
+    # reaches and un-marks them afterwards, so the phase allocates O(n)
+    # once instead of per broadcast.
+    scratch = blocked_from_active(graph.num_vertices, active)
     for v in sorted(radii):
-        if v not in active:
+        if not 0 <= v < graph.num_vertices or scratch[v]:
             raise ParameterError(f"radius given for inactive vertex {v}")
         top_two[v] = TopTwo()
     for v in sorted(radii):
         r_v = radii[v]
         reach = broadcast_reach(r_v, range_cap)
         # Bounded BFS from v over the active set, offering r_v - d to
-        # every vertex reached.
-        distances = {v: 0}
+        # every vertex reached (level d).
         top_two[v].offer(r_v, v)
         if reach == 0:
             continue
-        frontier = deque([v])
-        while frontier:
-            u = frontier.popleft()
-            du = distances[u]
-            if du >= reach:
-                continue
-            for w in graph.neighbors(u):
-                if w in distances or w not in active:
-                    continue
-                distances[w] = du + 1
-                top_two[w].offer(r_v - (du + 1), v)
-                frontier.append(w)
+        levels = bfs_levels(graph, [v], scratch, radius=reach)
+        for distance in range(1, len(levels)):
+            value = r_v - distance
+            for w in levels[distance]:
+                top_two[w].offer(value, v)
+        for level in levels:
+            for w in level:
+                scratch[w] = 0
     for y, record in top_two.items():
         if record.joins_with_threshold(gap_threshold):
             outcome.block.add(y)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 from ..errors import DecompositionError
+from ..graphs.activeset import ActiveSet
 from ..graphs.graph import Graph
 from ..graphs.metrics import strong_diameter, weak_diameter
 from ..graphs.subgraph import quotient_graph
@@ -99,8 +100,9 @@ class NetworkDecomposition:
         """
         clusters: list[Cluster] = []
         for color, block in enumerate(blocks):
-            members = set(block)
-            for component in connected_components(graph, active=members, universe=sorted(members)):
+            members = sorted(set(block))
+            block_set = ActiveSet.from_iterable(graph.num_vertices, members)
+            for component in connected_components(graph, active=block_set, universe=members):
                 center: int | None = None
                 if centers is not None:
                     chosen = {centers[v] for v in component if v in centers}

@@ -50,6 +50,7 @@ from ..distributed.metrics import NetworkStats
 from ..distributed.network import SyncNetwork
 from ..distributed.node import Context, NodeAlgorithm
 from ..errors import ParameterError, SimulationError
+from ..graphs.activeset import ActiveSet
 from ..graphs.graph import Graph
 from ..rng import DEFAULT_SEED
 from .decomposition import NetworkDecomposition
@@ -277,7 +278,7 @@ def decompose_distributed(
         word_budget=word_budget,
     )
     network.start()
-    active = set(range(n))
+    active = ActiveSet.full(n)
     blocks: list[list[int]] = []
     centers: dict[int, int] = {}
     rounds_per_phase: list[int] = []

@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass, field
 
 from ..errors import ParameterError, SimulationError
+from ..graphs.activeset import ActiveSet
 from ..graphs.graph import Graph
 from ..rng import DEFAULT_SEED
 from .carving import carve_block
@@ -113,7 +114,7 @@ def run_carving_process(
     """
     if max_phases is None:
         max_phases = 10 * schedule.nominal_phases + 100
-    active: set[int] = set(graph.vertices())
+    active = ActiveSet.full(graph.num_vertices)
     blocks: list[list[int]] = []
     centers: dict[int, int] = {}
     trace = DecompositionTrace(nominal_phases=schedule.nominal_phases)

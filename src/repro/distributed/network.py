@@ -81,6 +81,10 @@ class SyncNetwork:
         ]
         self._word_budget = word_budget
         self._tracer = tracer
+        # Live-node list (ascending): rebuilt only on rounds where some
+        # node halts, so late rounds of a mostly-carved graph dispatch
+        # O(survivors) instead of rescanning all n vertices.
+        self._live: list[int] = list(range(n))
         self._halted_seen: set[int] = set()
         self._outbox: list[Message] = []
         self._pending: list[Message] = []
@@ -147,13 +151,19 @@ class SyncNetwork:
         for message in self._pending:
             inboxes[message.receiver].append(message)
         self._pending = []
-        for v, algorithm in enumerate(self._algorithms):
+        any_halted = False
+        for v in self._live:
             ctx = self._contexts[v]
             if ctx.halted:
+                any_halted = True
                 continue
             inbox = sorted(inboxes.get(v, ()), key=lambda msg: msg.sender)
             self.stats.messages_delivered += len(inbox)
-            algorithm.on_round(ctx, inbox)
+            self._algorithms[v].on_round(ctx, inbox)
+            if ctx.halted:
+                any_halted = True
+        if any_halted:
+            self._live = [v for v in self._live if not self._contexts[v].halted]
         self._flush_outbox()
 
     def run_rounds(self, count: int) -> None:

@@ -21,7 +21,15 @@ from ..baselines import linial_saks
 from ..core import elkin_neiman, high_radius, staged, theorem1_bounds
 from ..core.distributed_en import decompose_distributed
 from ..errors import ParameterError
-from ..graphs import Graph, parse_graph_spec
+from ..graphs import (
+    ActiveSet,
+    Graph,
+    bfs_distances,
+    bfs_distances_bounded,
+    connected_components,
+    multi_source_bfs,
+    parse_graph_spec,
+)
 from .spec import TrialSpec
 
 __all__ = ["ALGORITHMS", "Adapter", "algorithm_names", "run_trial"]
@@ -195,6 +203,55 @@ def _adapt_strong_vs_weak(graph: Graph, trial: TrialSpec) -> Record:
     }
 
 
+def _adapt_kernel(graph: Graph, trial: TrialSpec) -> Record:
+    """Traversal-kernel workload: BFS-dominated, structurally checksummed.
+
+    Exercises every traversal primitive the CSR kernel serves — full BFS,
+    multi-source BFS, bounded BFS over a shrinking active set, connected
+    components — and records *structural invariants* (reach, depth,
+    distance checksums) rather than wall-clock times or environment
+    facts, so records are pure functions of the trial spec and
+    cache/parallelise byte-identically.  (The active kernel backend is
+    deliberately absent: cached records outlive backend switches.)
+    Wall-clock speedups over the legacy kernel are measured by
+    ``benchmarks/bench_kernel.py``.
+    """
+    params = trial.param_dict()
+    n = graph.num_vertices
+    if n == 0:
+        return {"n": 0, "m": 0}
+    full = bfs_distances(graph, 0)
+    components = connected_components(graph)
+    num_sources = int(params.get("sources", 16))
+    step = max(1, n // max(num_sources, 1))
+    near = multi_source_bfs(graph, range(0, n, step))
+    # Shrinking-graph simulation: keep the half-depth ball around the
+    # source active and rerun a bounded broadcast over it (the carving
+    # access pattern: bounded BFS over a strict subset of the graph).
+    depth = max(full.values(), default=0)
+    active = ActiveSet.from_iterable(
+        n, (v for v, d in full.items() if 2 * d <= depth)
+    )
+    start = active.first()
+    bounded = (
+        bfs_distances_bounded(graph, start, radius=int(params.get("radius", 4)), active=active)
+        if start is not None
+        else {}
+    )
+    return {
+        "n": n,
+        "m": graph.num_edges,
+        "reached": len(full),
+        "depth": depth,
+        "components": len(components),
+        "multi_sources": len(range(0, n, step)),
+        "multi_depth": max(near.values(), default=0),
+        "active_size": len(active),
+        "bounded_reached": len(bounded),
+        "checksum": sum(full.values()) % 1_000_003,
+    }
+
+
 #: Algorithm name → adapter.  Registering here exposes the algorithm to
 #: every scenario and to ``python -m repro bench``.
 ALGORITHMS: Dict[str, Adapter] = {
@@ -205,6 +262,7 @@ ALGORITHMS: Dict[str, Adapter] = {
     "congest": _adapt_congest,
     "survival": _adapt_survival,
     "strong-vs-weak": _adapt_strong_vs_weak,
+    "kernel": _adapt_kernel,
 }
 
 

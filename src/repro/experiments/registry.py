@@ -186,6 +186,21 @@ SCENARIOS: Dict[str, Scenario] = {
         ),
         trials=3,
     ),
+    "kernel-scaling": Scenario(
+        description="CSR traversal kernel over a doubling BFS-dominated "
+        "sweep (structural checksums; wall-clock lives in "
+        "benchmarks/bench_kernel.py)",
+        algorithm="kernel",
+        points=(
+            _P("torus:16:16"),
+            _P("torus:32:32"),
+            _P("torus:64:64"),
+            _P("regular:1024:8"),
+            _P("regular:4096:8"),
+            _P("ws:4096:8:0.05"),
+        ),
+        trials=2,
+    ),
     "smoke": Scenario(
         description="Tiny end-to-end exercise of the runtime (CI smoke test)",
         algorithm="en",

@@ -4,7 +4,9 @@ This package is self-contained (stdlib only) and provides everything the
 decomposition algorithms need from a graph library:
 
 * :class:`~repro.graphs.graph.Graph` / :class:`~repro.graphs.graph.GraphBuilder`
-  — the immutable adjacency-list graph type;
+  — the immutable flat-CSR graph type;
+* :class:`~repro.graphs.activeset.ActiveSet` — byte-mask vertex subsets
+  (the paper's shrinking graph :math:`G_t`) feeding the traversal kernel;
 * :mod:`~repro.graphs.generators` — deterministic and seeded random
   topology families used as workloads;
 * :mod:`~repro.graphs.traversal` — BFS primitives with *active-set*
@@ -16,6 +18,7 @@ decomposition algorithms need from a graph library:
 * :mod:`~repro.graphs.builders` — edge-list parsing and networkx interop.
 """
 
+from .activeset import ActiveSet, as_active_mask
 from .builders import (
     from_adjacency,
     from_edge_list,
@@ -70,6 +73,7 @@ from .transforms import line_graph, power_graph
 from .traversal import (
     bfs_distances,
     bfs_distances_bounded,
+    bfs_levels,
     component_of,
     connected_components,
     is_connected,
@@ -78,9 +82,11 @@ from .traversal import (
 )
 
 __all__ = [
+    "ActiveSet",
     "Edge",
     "Graph",
     "GraphBuilder",
+    "as_active_mask",
     # builders
     "from_adjacency",
     "from_edge_list",
@@ -138,6 +144,7 @@ __all__ = [
     # traversal
     "bfs_distances",
     "bfs_distances_bounded",
+    "bfs_levels",
     "component_of",
     "connected_components",
     "is_connected",

@@ -1,5 +1,9 @@
 """Graph construction helpers and optional networkx interop.
 
+Paper context: none (infrastructure) — the boundary where external graph
+descriptions (compact spec strings, edge lists, networkx objects) become
+the library's CSR :class:`~repro.graphs.graph.Graph`.
+
 The library's own :class:`~repro.graphs.graph.Graph` is the primary type;
 networkx is used only at the boundary (cross-checking our generators and
 metrics in tests, importing external edge lists).  The import of networkx
@@ -28,11 +32,12 @@ __all__ = [
 def parse_graph_spec(spec: str, seed: int = DEFAULT_SEED) -> Graph:
     """Build a graph from a compact ``family:arg:arg`` spec string.
 
-    Understood families: ``er:n:p``, ``grid:rows:cols``, ``path:n``,
-    ``cycle:n``, ``tree:branch:height``, ``hypercube:dim``, ``conn:n:p``,
-    ``regular:n:d`` and ``ws:n:k:beta``.  Random families thread ``seed``
-    through to the generator; deterministic families ignore it, which is
-    what lets the experiment runtime treat every workload uniformly.
+    Understood families: ``er:n:p``, ``grid:rows:cols``, ``torus:rows:cols``,
+    ``path:n``, ``cycle:n``, ``tree:branch:height``, ``hypercube:dim``,
+    ``conn:n:p``, ``regular:n:d`` and ``ws:n:k:beta``.  Random families
+    thread ``seed`` through to the generator; deterministic families ignore
+    it, which is what lets the experiment runtime treat every workload
+    uniformly.
     """
     parts = spec.split(":")
     family, args = parts[0], parts[1:]
@@ -41,6 +46,8 @@ def parse_graph_spec(spec: str, seed: int = DEFAULT_SEED) -> Graph:
             return generators.erdos_renyi(int(args[0]), float(args[1]), seed=seed)
         if family == "grid":
             return generators.grid_graph(int(args[0]), int(args[1]))
+        if family == "torus":
+            return generators.torus_graph(int(args[0]), int(args[1]))
         if family == "path":
             return generators.path_graph(int(args[0]))
         if family == "cycle":
@@ -61,7 +68,7 @@ def parse_graph_spec(spec: str, seed: int = DEFAULT_SEED) -> Graph:
         raise ParameterError(f"bad graph spec {spec!r}: {exc}") from exc
     raise ParameterError(
         f"unknown graph family {family!r} "
-        "(try er/grid/path/cycle/tree/hypercube/conn/regular/ws)"
+        "(try er/grid/torus/path/cycle/tree/hypercube/conn/regular/ws)"
     )
 
 

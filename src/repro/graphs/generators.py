@@ -1,5 +1,9 @@
 """Graph topology generators.
 
+Paper context: §3 (experiments) — the workload families the empirical
+sections run on; the theory makes no topology assumptions, so breadth of
+families is the point.
+
 Deterministic families (paths, cycles, grids, trees, hypercubes, ...) and
 seeded random families (Erdős–Rényi, Barabási–Albert, Watts–Strogatz,
 random regular) used as workloads in the benchmark harness.  Every random

@@ -1,18 +1,27 @@
-"""Adjacency-list graph kernel.
+"""Flat CSR (compressed sparse row) graph kernel.
 
-:class:`Graph` is the single graph type used throughout the library: a
-simple, undirected, unweighted graph whose vertices are the integers
-``0..n-1``.  It is designed for the access patterns of distributed graph
-algorithms:
+Paper context: §1.1 — the decomposed graph ``G`` is simple, undirected and
+unweighted; everything the algorithms do to it is breadth-first expansion
+over a shrinking vertex subset.  :class:`Graph` is the single graph type
+used throughout the library, designed for exactly that access pattern:
 
-* ``neighbors(v)`` is an O(1) tuple lookup (the hot path of every BFS),
+* adjacency is stored as two flat ``array('l')`` buffers built once at
+  construction — ``indptr`` (n+1 row offsets) and ``indices`` (the 2m
+  neighbour entries, each row sorted ascending).  The traversal kernel in
+  :mod:`repro.graphs._kernel` iterates these buffers directly (and, when
+  numpy is present, maps them zero-copy into vectorised gathers);
 * the structure is immutable after construction, so simulated nodes can
-  share it safely and algorithm results can hold references to it,
+  share it safely and algorithm results can hold references to it;
 * vertex subsets ("the current graph :math:`G_t`") are represented as
-  *active sets* passed to the traversal routines in
-  :mod:`repro.graphs.traversal` instead of materialised subgraphs, which is
-  how the paper's phase structure (carve a block, continue on the rest)
-  is implemented without copying the graph once per phase.
+  *active sets* (:mod:`repro.graphs.activeset`) passed to the traversal
+  routines in :mod:`repro.graphs.traversal` instead of materialised
+  subgraphs, which is how the paper's phase structure (carve a block,
+  continue on the rest) is implemented without copying the graph once per
+  phase.
+
+``neighbors(v)`` still returns a sorted tuple for API compatibility, but
+it now materialises a slice of the CSR buffer per call — hot loops should
+use :meth:`Graph.csr` (or the traversal primitives, which already do).
 
 Use :class:`GraphBuilder` (or the helpers in :mod:`repro.graphs.builders`)
 to construct instances.
@@ -20,7 +29,9 @@ to construct instances.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from array import array
+from bisect import bisect_left
+from typing import Iterable, Iterator
 
 from ..errors import GraphError
 
@@ -31,7 +42,7 @@ Edge = tuple[int, int]
 
 
 class Graph:
-    """Immutable simple undirected graph on vertices ``0..n-1``.
+    """Immutable simple undirected graph on vertices ``0..n-1``, stored CSR.
 
     Parameters
     ----------
@@ -43,20 +54,18 @@ class Graph:
 
     Notes
     -----
-    Construction sorts each adjacency list, so iteration order over
-    neighbours is deterministic — a requirement for reproducible
-    simulations.
+    Construction sorts each CSR row, so iteration order over neighbours
+    is deterministic — a requirement for reproducible simulations.
     """
 
-    __slots__ = ("_n", "_adjacency", "_num_edges")
+    __slots__ = ("_n", "_indptr", "_indices", "_num_edges", "_np_csr", "_hash")
 
     def __init__(self, num_vertices: int, edges: Iterable[Edge] = ()) -> None:
         if num_vertices < 0:
             raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
         self._n = num_vertices
-        adjacency: list[list[int]] = [[] for _ in range(num_vertices)]
         seen: set[Edge] = set()
-        count = 0
+        directed: list[Edge] = []
         for u, v in edges:
             self._check_vertex(u)
             self._check_vertex(v)
@@ -66,13 +75,22 @@ class Graph:
             if key in seen:
                 raise GraphError(f"duplicate edge {key}")
             seen.add(key)
-            adjacency[u].append(v)
-            adjacency[v].append(u)
-            count += 1
-        self._adjacency: tuple[tuple[int, ...], ...] = tuple(
-            tuple(sorted(nbrs)) for nbrs in adjacency
-        )
-        self._num_edges = count
+            directed.append((u, v))
+            directed.append((v, u))
+        # One global sort yields every CSR row contiguous and pre-sorted.
+        directed.sort()
+        indptr = array("l", bytes(array("l").itemsize * (num_vertices + 1)))
+        indices = array("l", bytes(array("l").itemsize * len(directed)))
+        for position, (u, v) in enumerate(directed):
+            indptr[u + 1] += 1
+            indices[position] = v
+        for u in range(num_vertices):
+            indptr[u + 1] += indptr[u]
+        self._indptr = indptr
+        self._indices = indices
+        self._num_edges = len(directed) // 2
+        self._np_csr: tuple | None = None
+        self._hash: int | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -91,50 +109,74 @@ class Graph:
         """The vertex set as ``range(n)``."""
         return range(self._n)
 
+    def csr(self) -> tuple[array, array]:
+        """The raw CSR buffers ``(indptr, indices)``.
+
+        ``indices[indptr[v]:indptr[v+1]]`` is the sorted neighbour row of
+        ``v``.  The buffers are the graph's actual storage — callers must
+        treat them as read-only.
+        """
+        return self._indptr, self._indices
+
+    def _numpy_csr(self):
+        """Zero-copy numpy views of the CSR buffers (kernel internal).
+
+        Lazily built on first use; returns ``None`` when numpy is
+        unavailable so the caller can fall back to the Python path.
+        """
+        if self._np_csr is None:
+            try:
+                import numpy as np
+            except ImportError:  # pragma: no cover - stdlib-only installs
+                return None
+            self._np_csr = (
+                np.frombuffer(self._indptr, dtype=np.dtype("l")),
+                np.frombuffer(self._indices, dtype=np.dtype("l")),
+            )
+        return self._np_csr
+
     def neighbors(self, v: int) -> tuple[int, ...]:
-        """Sorted tuple of neighbours of ``v``."""
+        """Sorted tuple of neighbours of ``v`` (materialised per call)."""
         self._check_vertex(v)
-        return self._adjacency[v]
+        return tuple(self._indices[self._indptr[v] : self._indptr[v + 1]])
 
     def degree(self, v: int) -> int:
         """Degree of vertex ``v``."""
         self._check_vertex(v)
-        return len(self._adjacency[v])
+        return self._indptr[v + 1] - self._indptr[v]
 
     def max_degree(self) -> int:
         """Maximum degree Δ of the graph (0 for the empty graph)."""
-        if self._n == 0:
-            return 0
-        return max(len(nbrs) for nbrs in self._adjacency)
+        indptr = self._indptr
+        return max(
+            (indptr[v + 1] - indptr[v] for v in range(self._n)),
+            default=0,
+        )
 
     def edges(self) -> Iterator[Edge]:
         """Iterate over edges as normalised ``(u, v)`` pairs with ``u < v``."""
+        indptr, indices = self._indptr, self._indices
         for u in range(self._n):
-            for v in self._adjacency[u]:
+            for position in range(indptr[u], indptr[u + 1]):
+                v = indices[position]
                 if u < v:
                     yield (u, v)
 
     def has_edge(self, u: int, v: int) -> bool:
         """Return ``True`` iff ``{u, v}`` is an edge.
 
-        Binary search over the sorted adjacency list of the lower-degree
+        Binary search over the sorted CSR row of the lower-degree
         endpoint: O(log deg).
         """
         self._check_vertex(u)
         self._check_vertex(v)
         if u == v:
             return False
-        if len(self._adjacency[u]) > len(self._adjacency[v]):
+        indptr, indices = self._indptr, self._indices
+        if indptr[u + 1] - indptr[u] > indptr[v + 1] - indptr[v]:
             u, v = v, u
-        nbrs = self._adjacency[u]
-        lo, hi = 0, len(nbrs)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if nbrs[mid] < v:
-                lo = mid + 1
-            else:
-                hi = mid
-        return lo < len(nbrs) and nbrs[lo] == v
+        position = bisect_left(indices, v, indptr[u], indptr[u + 1])
+        return position < indptr[u + 1] and indices[position] == v
 
     # ------------------------------------------------------------------
     # Dunder protocol
@@ -145,10 +187,18 @@ class Graph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
-        return self._n == other._n and self._adjacency == other._adjacency
+        return (
+            self._n == other._n
+            and self._indptr == other._indptr
+            and self._indices == other._indices
+        )
 
     def __hash__(self) -> int:
-        return hash((self._n, self._adjacency))
+        if self._hash is None:
+            self._hash = hash(
+                (self._n, self._indptr.tobytes(), self._indices.tobytes())
+            )
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Graph(n={self._n}, m={self._num_edges})"

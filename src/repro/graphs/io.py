@@ -1,5 +1,8 @@
 """Graph serialisation: edge-list files and Graphviz DOT export.
 
+Paper context: none (infrastructure) — persistence and visualisation for
+the graphs and decompositions the algorithms produce.
+
 Round-trippable plain-text edge lists (the format
 :func:`repro.graphs.builders.parse_edge_list_text` reads) plus a DOT
 writer that can colour vertices by decomposition cluster — the quickest

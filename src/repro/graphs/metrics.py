@@ -1,10 +1,12 @@
 """Exact metric computations: eccentricity, diameter, radius.
 
-These are the verification tools used to check the paper's guarantees: the
-*strong* diameter of a cluster is the diameter of its induced subgraph, the
-*weak* diameter is measured in the host graph (both defined in §1.1 of the
-paper).  All computations are exact (one BFS per vertex); they are meant for
-validation on laptop-scale graphs, not for asymptotic efficiency.
+Paper context: §1.1 — the *strong* diameter of a cluster is the diameter
+of its induced subgraph, the *weak* diameter is measured in the host
+graph.  These are the verification tools used to check every diameter
+guarantee (Theorems 1–3, the ``2k−2`` bound, experiment E10's
+disconnected-cluster counts).  All computations are exact (one BFS per
+vertex); eccentricities run on the level kernel directly, so no distance
+dicts are materialised on the ``n``-BFS diameter sweeps.
 """
 
 from __future__ import annotations
@@ -13,8 +15,9 @@ import math
 from typing import Collection, Container, Iterable
 
 from ..errors import GraphError
+from .activeset import ActiveSet
 from .graph import Graph
-from .traversal import bfs_distances
+from .traversal import bfs_distances, bfs_levels
 
 __all__ = [
     "eccentricity",
@@ -25,6 +28,16 @@ __all__ = [
     "average_distance",
     "all_pairs_distances",
 ]
+
+
+
+def _universe(graph: Graph, active: Container[int] | None) -> list[int]:
+    """Sorted list of active vertices (all vertices when ``active`` is None)."""
+    if active is None:
+        return list(graph.vertices())
+    if isinstance(active, ActiveSet):
+        return list(active)
+    return [v for v in graph.vertices() if v in active]
 
 
 def eccentricity(
@@ -39,7 +52,6 @@ def eccentricity(
     induced subgraph is disconnected).  ``universe_size`` is the number of
     active vertices; it is required when ``active`` has no ``__len__``.
     """
-    distances = bfs_distances(graph, vertex, active=active)
     if universe_size is None:
         if active is None:
             universe_size = graph.num_vertices
@@ -47,9 +59,10 @@ def eccentricity(
             universe_size = len(active)
         else:
             raise GraphError("universe_size required for sized-less active sets")
-    if len(distances) < universe_size:
+    levels = bfs_levels(graph, [vertex], active=active)
+    if sum(len(level) for level in levels) < universe_size:
         return math.inf
-    return float(max(distances.values(), default=0))
+    return float(len(levels) - 1)
 
 
 def diameter(graph: Graph, active: Container[int] | None = None) -> float:
@@ -57,10 +70,7 @@ def diameter(graph: Graph, active: Container[int] | None = None) -> float:
 
     The diameter of an empty or single-vertex graph is 0.
     """
-    if active is None:
-        universe = list(graph.vertices())
-    else:
-        universe = [v for v in graph.vertices() if v in active]
+    universe = _universe(graph, active)
     if len(universe) <= 1:
         return 0.0
     best = 0.0
@@ -75,10 +85,7 @@ def diameter(graph: Graph, active: Container[int] | None = None) -> float:
 
 def radius(graph: Graph, active: Container[int] | None = None) -> float:
     """Exact radius (minimum eccentricity); ``math.inf`` if disconnected."""
-    if active is None:
-        universe = list(graph.vertices())
-    else:
-        universe = [v for v in graph.vertices() if v in active]
+    universe = _universe(graph, active)
     if len(universe) <= 1:
         return 0.0
     size = len(universe)
@@ -93,7 +100,7 @@ def strong_diameter(graph: Graph, cluster: Collection[int]) -> float:
     the paper's algorithm provably avoids and the Linial–Saks baseline does
     not (experiment E10).
     """
-    members = set(cluster)
+    members = ActiveSet.from_iterable(graph.num_vertices, cluster)
     return diameter(graph, active=members)
 
 
@@ -122,10 +129,7 @@ def average_distance(graph: Graph, active: Container[int] | None = None) -> floa
 
     Returns 0 when there are no such pairs.
     """
-    if active is None:
-        universe = list(graph.vertices())
-    else:
-        universe = [v for v in graph.vertices() if v in active]
+    universe = _universe(graph, active)
     total = 0
     pairs = 0
     for v in universe:
@@ -141,8 +145,5 @@ def all_pairs_distances(
     graph: Graph, active: Container[int] | None = None
 ) -> dict[int, dict[int, int]]:
     """All-pairs hop distances of ``G[active]`` (missing = unreachable)."""
-    if active is None:
-        universe = list(graph.vertices())
-    else:
-        universe = [v for v in graph.vertices() if v in active]
+    universe = _universe(graph, active)
     return {v: bfs_distances(graph, v, active=active) for v in universe}

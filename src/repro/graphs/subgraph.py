@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Collection, Mapping, Sequence
 
 from ..errors import GraphError
+from .activeset import as_active_mask
 from .graph import Graph, GraphBuilder
 
 __all__ = ["induced_subgraph", "quotient_graph", "relabel"]
@@ -22,6 +23,9 @@ def induced_subgraph(
 ) -> tuple[Graph, dict[int, int]]:
     """The subgraph induced by ``vertices``, relabelled to ``0..len-1``.
 
+    Membership is tested against a byte mask while scanning the CSR rows
+    of the selected vertices, so the cost is O(sum of their degrees).
+
     Returns
     -------
     (Graph, dict)
@@ -29,11 +33,16 @@ def induced_subgraph(
         Labels follow ascending vertex order, so results are deterministic.
     """
     ordered = sorted(set(vertices))
+    for v in ordered:
+        graph._check_vertex(v)
     to_new = {v: i for i, v in enumerate(ordered)}
+    mask = as_active_mask(graph.num_vertices, ordered)
+    assert mask is not None
+    indptr, indices = graph.csr()
     builder = GraphBuilder(len(ordered))
     for v in ordered:
-        for w in graph.neighbors(v):
-            if w > v and w in to_new:
+        for w in indices[indptr[v] : indptr[v + 1]]:
+            if w > v and mask[w]:
                 builder.add_edge(to_new[v], to_new[w])
     return builder.build(), to_new
 

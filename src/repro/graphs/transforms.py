@@ -1,5 +1,9 @@
 """Graph transforms: line graphs and graph powers.
 
+Paper context: §1.1 (applications) — maximal matching reduces to MIS on
+the line graph, and neighborhood covers decompose the power graph
+``G^{2W+1}``.
+
 * :func:`line_graph` supports the classic reduction *maximal matching =
   MIS on the line graph* used by :mod:`repro.applications.matching`.
 * :func:`power_graph` (``G^t``: edges between vertices at distance ≤ t)

@@ -1,28 +1,39 @@
 """Breadth-first traversal primitives with active-set filtering.
 
-The paper's algorithm repeatedly operates on the *current graph*
-:math:`G_t`, the subgraph of :math:`G` induced by the vertices that have not
-yet been carved into a block.  Rather than materialising an induced subgraph
-every phase, all traversal routines here accept an optional ``active`` set:
-vertices outside it are treated as absent (never visited, never relayed
-through).  This matches the distributed reality, where carved vertices have
-halted and no longer forward messages.
+Paper context: §2 ("Construction") — the algorithm repeatedly operates on
+the *current graph* :math:`G_t`, the subgraph of :math:`G` induced by the
+vertices that have not yet been carved into a block.  Rather than
+materialising an induced subgraph every phase, all traversal routines here
+accept an optional ``active`` argument: vertices outside it are treated as
+absent (never visited, never relayed through).  This matches the
+distributed reality, where carved vertices have halted and no longer
+forward messages.
 
-All functions are deterministic: vertices are expanded in sorted adjacency
-order.
+``active`` may be an :class:`~repro.graphs.activeset.ActiveSet` (the fast
+path — its byte mask feeds the kernel directly), or any ``Container[int]``
+(``set``, ``frozenset``, list, …) for backwards compatibility, adapted via
+:func:`~repro.graphs.activeset.as_active_mask`.
+
+All functions are deterministic: BFS levels are expanded over sorted CSR
+rows and emitted in ascending vertex order within each level, identically
+on every backend (see :mod:`repro.graphs._kernel`).  Returned distance
+dicts are therefore ordered by ``(distance, vertex)``.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Container, Iterable, Mapping, Sequence
+from typing import Container, Iterable, Sequence
 
 from ..errors import GraphError
+from ._kernel import bfs_levels as _bfs_levels
+from .activeset import ActiveSet, blocked_from_active
 from .graph import Graph
 
 __all__ = [
     "bfs_distances",
     "bfs_distances_bounded",
+    "bfs_levels",
     "multi_source_bfs",
     "connected_components",
     "component_of",
@@ -30,15 +41,40 @@ __all__ = [
     "shortest_path",
 ]
 
+def _distances_from_levels(levels: list[list[int]]) -> dict[int, int]:
+    distances: dict[int, int] = {}
+    for depth, level in enumerate(levels):
+        for v in level:
+            distances[v] = depth
+    return distances
 
-def _is_active(active: Container[int] | None, v: int) -> bool:
-    return active is None or v in active
+
+def bfs_levels(
+    graph: Graph,
+    sources: Iterable[int],
+    active: Container[int] | ActiveSet | None = None,
+    radius: int | None = None,
+) -> list[list[int]]:
+    """BFS levels from ``sources``: ``levels[d]`` = vertices at distance ``d``.
+
+    The raw form of the kernel's output — cheaper than a distance dict
+    when only level membership or the reached count is needed (cluster
+    eccentricities, ball growing, broadcast simulation).  Sources must be
+    active; each level is sorted ascending.
+    """
+    ordered = sorted(set(sources))
+    blocked = blocked_from_active(graph.num_vertices, active)
+    for s in ordered:
+        graph._check_vertex(s)
+        if blocked[s]:
+            raise GraphError(f"source {s} is not in the active set")
+    return _bfs_levels(graph, ordered, blocked, radius=radius)
 
 
 def bfs_distances(
     graph: Graph,
     source: int,
-    active: Container[int] | None = None,
+    active: Container[int] | ActiveSet | None = None,
 ) -> dict[int, int]:
     """Distances from ``source`` to every reachable active vertex.
 
@@ -66,7 +102,7 @@ def bfs_distances_bounded(
     graph: Graph,
     source: int,
     radius: int | None,
-    active: Container[int] | None = None,
+    active: Container[int] | ActiveSet | None = None,
 ) -> dict[int, int]:
     """Distances from ``source``, truncated at ``radius`` hops.
 
@@ -80,51 +116,34 @@ def bfs_distances_bounded(
     """
     if radius is not None and radius < 0:
         return {}
-    if not _is_active(active, source):
+    graph._check_vertex(source)
+    blocked = blocked_from_active(graph.num_vertices, active)
+    if blocked[source]:
         raise GraphError(f"source {source} is not in the active set")
-    distances: dict[int, int] = {source: 0}
-    frontier = deque([source])
-    while frontier:
-        u = frontier.popleft()
-        du = distances[u]
-        if radius is not None and du >= radius:
-            continue
-        for w in graph.neighbors(u):
-            if w not in distances and _is_active(active, w):
-                distances[w] = du + 1
-                frontier.append(w)
-    return distances
+    return _distances_from_levels(_bfs_levels(graph, [source], blocked, radius=radius))
 
 
 def multi_source_bfs(
     graph: Graph,
     sources: Iterable[int],
-    active: Container[int] | None = None,
+    active: Container[int] | ActiveSet | None = None,
 ) -> dict[int, int]:
     """Distances to the nearest of several sources (all at distance 0).
 
     Used e.g. to compute cluster eccentricities from a set of centers.
     """
-    distances: dict[int, int] = {}
-    frontier: deque[int] = deque()
-    for s in sorted(set(sources)):
-        if not _is_active(active, s):
+    ordered = sorted(set(sources))
+    blocked = blocked_from_active(graph.num_vertices, active)
+    for s in ordered:
+        graph._check_vertex(s)
+        if blocked[s]:
             raise GraphError(f"source {s} is not in the active set")
-        distances[s] = 0
-        frontier.append(s)
-    while frontier:
-        u = frontier.popleft()
-        du = distances[u]
-        for w in graph.neighbors(u):
-            if w not in distances and _is_active(active, w):
-                distances[w] = du + 1
-                frontier.append(w)
-    return distances
+    return _distances_from_levels(_bfs_levels(graph, ordered, blocked))
 
 
 def connected_components(
     graph: Graph,
-    active: Container[int] | None = None,
+    active: Container[int] | ActiveSet | None = None,
     universe: Sequence[int] | None = None,
 ) -> list[list[int]]:
     """Connected components of ``G[active]`` as sorted vertex lists.
@@ -146,16 +165,25 @@ def connected_components(
     list[list[int]]
         Components sorted by their smallest vertex; each component's
         vertices sorted ascending.
+
+    Notes
+    -----
+    All starts share one blocked mask, so the total cost is one BFS sweep
+    of ``G[active]`` regardless of how many components there are.
     """
     if universe is None:
         universe = graph.vertices()
-    seen: set[int] = set()
+    blocked = blocked_from_active(graph.num_vertices, active)
     components: list[list[int]] = []
     for start in universe:
-        if start in seen or not _is_active(active, start):
+        if not 0 <= start < graph.num_vertices:
+            if active is not None:
+                continue  # not active, skip (matches the Container probe)
+            graph._check_vertex(start)
+        if blocked[start]:
             continue
-        component = sorted(bfs_distances(graph, start, active=active))
-        seen.update(component)
+        levels = _bfs_levels(graph, [start], blocked)
+        component = sorted(v for level in levels for v in level)
         components.append(component)
     components.sort(key=lambda comp: comp[0])
     return components
@@ -164,29 +192,31 @@ def connected_components(
 def component_of(
     graph: Graph,
     vertex: int,
-    active: Container[int] | None = None,
+    active: Container[int] | ActiveSet | None = None,
 ) -> list[int]:
     """Sorted vertices of the connected component containing ``vertex``."""
     return sorted(bfs_distances(graph, vertex, active=active))
 
 
-def is_connected(graph: Graph, active: Container[int] | None = None) -> bool:
+def is_connected(
+    graph: Graph, active: Container[int] | ActiveSet | None = None
+) -> bool:
     """``True`` iff ``G[active]`` is connected (empty graphs count as connected)."""
-    if active is None:
-        universe = list(graph.vertices())
-    else:
-        universe = sorted(v for v in graph.vertices() if v in active)
-    if not universe:
+    blocked = blocked_from_active(graph.num_vertices, active)
+    try:
+        start = blocked.index(0)
+    except ValueError:
         return True
-    reached = bfs_distances(graph, universe[0], active=active)
-    return len(reached) == len(universe)
+    universe_size = len(blocked) - sum(blocked)
+    levels = _bfs_levels(graph, [start], blocked)
+    return sum(len(level) for level in levels) == universe_size
 
 
 def shortest_path(
     graph: Graph,
     source: int,
     target: int,
-    active: Container[int] | None = None,
+    active: Container[int] | ActiveSet | None = None,
 ) -> list[int] | None:
     """One shortest ``source -> target`` path inside ``G[active]``.
 
@@ -194,19 +224,24 @@ def shortest_path(
     preferring the smallest predecessor, so the returned path is
     deterministic.
     """
-    if not _is_active(active, source):
+    graph._check_vertex(source)
+    blocked = blocked_from_active(graph.num_vertices, active)
+    if blocked[source]:
         raise GraphError(f"source {source} is not in the active set")
-    if not _is_active(active, target):
+    if not 0 <= target < graph.num_vertices or (blocked[target] and target != source):
         return None
     if source == target:
         return [source]
+    indptr, indices = graph.csr()
     parents: dict[int, int] = {source: -1}
+    blocked[source] = 1
     frontier = deque([source])
     while frontier:
         u = frontier.popleft()
-        for w in graph.neighbors(u):
-            if w in parents or not _is_active(active, w):
+        for w in indices[indptr[u] : indptr[u + 1]]:
+            if blocked[w]:
                 continue
+            blocked[w] = 1
             parents[w] = u
             if w == target:
                 path = [w]

@@ -1,0 +1,126 @@
+"""ActiveSet semantics: the byte-mask subset type behind the kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import ActiveSet, as_active_mask
+from repro.graphs.activeset import blocked_from_active
+
+
+class TestConstruction:
+    def test_empty(self):
+        s = ActiveSet(5)
+        assert len(s) == 0
+        assert not s
+        assert list(s) == []
+
+    def test_full(self):
+        s = ActiveSet.full(4)
+        assert len(s) == 4
+        assert list(s) == [0, 1, 2, 3]
+
+    def test_from_iterable_dedupes(self):
+        s = ActiveSet.from_iterable(10, [3, 1, 3, 7, 1])
+        assert len(s) == 3
+        assert list(s) == [1, 3, 7]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            ActiveSet.from_iterable(3, [5])
+        with pytest.raises(GraphError):
+            ActiveSet(3).add(-1)
+
+    def test_negative_universe_rejected(self):
+        with pytest.raises(GraphError):
+            ActiveSet(-1)
+
+
+class TestSetSurface:
+    def test_contains(self):
+        s = ActiveSet.from_iterable(6, [0, 2])
+        assert 0 in s and 2 in s
+        assert 1 not in s
+        assert 17 not in s
+        assert -1 not in s
+        assert True not in s  # bools are not vertices
+        assert "x" not in s
+
+    def test_iteration_is_ascending(self):
+        s = ActiveSet.from_iterable(100, [40, 3, 99, 7])
+        assert list(s) == [3, 7, 40, 99]
+
+    def test_eq_against_set(self):
+        s = ActiveSet.from_iterable(8, [1, 5])
+        assert s == {1, 5}
+        assert s != {1, 4}
+        assert s == ActiveSet.from_iterable(8, [5, 1])
+        assert s != ActiveSet.from_iterable(9, [1, 5])
+
+    def test_first(self):
+        assert ActiveSet(4).first() is None
+        assert ActiveSet.from_iterable(9, [6, 2]).first() == 2
+
+
+class TestMutation:
+    def test_add_discard_idempotent(self):
+        s = ActiveSet(4)
+        s.add(2)
+        s.add(2)
+        assert len(s) == 1
+        s.discard(2)
+        s.discard(2)
+        assert len(s) == 0
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(GraphError):
+            ActiveSet(4).remove(1)
+
+    def test_isub_with_set_and_range(self):
+        s = ActiveSet.full(10)
+        s -= {0, 1, 2}
+        assert len(s) == 7
+        s -= range(5, 100)  # out-of-range members silently ignored
+        assert list(s) == [3, 4]
+
+    def test_copy_is_independent(self):
+        s = ActiveSet.full(3)
+        t = s.copy()
+        t.discard(0)
+        assert 0 in s and 0 not in t
+
+
+class TestAdapters:
+    def test_none_passthrough(self):
+        assert as_active_mask(4, None) is None
+        assert blocked_from_active(4, None) == bytearray(4)
+
+    def test_activeset_mask_copied(self):
+        s = ActiveSet.from_iterable(4, [1])
+        mask = as_active_mask(4, s)
+        assert mask == bytearray([0, 1, 0, 0])
+        mask[0] = 1  # mutating the copy must not touch the set
+        assert 0 not in s
+
+    def test_container_and_iterables(self):
+        assert as_active_mask(4, {1, 3}) == bytearray([0, 1, 0, 1])
+        assert as_active_mask(4, [3, 1, 3]) == bytearray([0, 1, 0, 1])
+        assert as_active_mask(4, range(2)) == bytearray([1, 1, 0, 0])
+
+    def test_pure_container_probe(self):
+        class OddOnly:
+            def __contains__(self, v):
+                return v % 2 == 1
+
+        assert as_active_mask(5, OddOnly()) == bytearray([0, 1, 0, 1, 0])
+
+    def test_blocked_inverts(self):
+        s = ActiveSet.from_iterable(3, [0, 2])
+        assert blocked_from_active(3, s) == bytearray([0, 1, 0])
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(GraphError):
+            as_active_mask(5, ActiveSet.full(4))
+        with pytest.raises(GraphError):
+            as_active_mask(5, bytearray(3))

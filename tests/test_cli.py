@@ -31,6 +31,11 @@ class TestParseGraphSpec:
         assert all(g.degree(v) == 4 for v in g.vertices())
         assert parse_graph_spec("ws:30:4:0.1", seed=4).num_vertices == 30
 
+    def test_torus(self):
+        g = parse_graph_spec("torus:4:5")
+        assert g.num_vertices == 20
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
     def test_seed_threaded_through(self):
         a = parse_graph_spec("er:30:0.2", seed=1)
         b = parse_graph_spec("er:30:0.2", seed=2)
@@ -38,7 +43,7 @@ class TestParseGraphSpec:
 
     def test_unknown_family(self):
         with pytest.raises(ParameterError, match="unknown graph family"):
-            parse_graph_spec("torus")
+            parse_graph_spec("mobius:4")
 
     def test_malformed_args(self):
         with pytest.raises(ParameterError, match="bad graph spec"):

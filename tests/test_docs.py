@@ -1,0 +1,61 @@
+"""Docs-site integrity: what `mkdocs build --strict` would fail on.
+
+CI runs the real `mkdocs build --strict`; this test covers the same
+failure modes (nav entries pointing at missing files, dead relative
+links between pages) without requiring mkdocs at test time, so breakage
+is caught by the tier-1 suite too.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).parent.parent
+DOCS = ROOT / "docs"
+MKDOCS_YML = ROOT / "mkdocs.yml"
+
+
+def nav_pages() -> list[str]:
+    """The .md files referenced by mkdocs.yml's nav section."""
+    pages = re.findall(r"^\s*-\s+[^:]+:\s+(\S+\.md)\s*$", MKDOCS_YML.read_text(), re.M)
+    assert pages, "mkdocs.yml nav is empty or unparsable"
+    return pages
+
+
+def test_mkdocs_config_exists_and_is_strict():
+    text = MKDOCS_YML.read_text()
+    assert "site_name:" in text
+    assert "strict: true" in text
+
+
+def test_nav_targets_exist():
+    for page in nav_pages():
+        assert (DOCS / page).is_file(), f"nav references missing docs/{page}"
+
+
+def test_all_docs_pages_are_in_nav():
+    on_disk = {p.name for p in DOCS.glob("*.md")}
+    assert on_disk == set(nav_pages())
+
+
+def test_internal_links_resolve():
+    link = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+    for page in DOCS.glob("*.md"):
+        for target in link.findall(page.read_text()):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            resolved = (page.parent / target).resolve()
+            assert resolved.exists(), f"{page.name}: dead link -> {target}"
+
+
+def test_required_coverage():
+    """The docs must cover architecture, the paper map and the CLI."""
+    names = {p.name for p in DOCS.glob("*.md")}
+    assert {"index.md", "architecture.md", "paper-map.md", "cli.md"} <= names
+    cli = (DOCS / "cli.md").read_text()
+    # every CLI subcommand documented
+    for command in ("decompose", "compare", "apps", "spanner", "theory", "bench"):
+        assert f"## `{command}`" in cli, f"cli.md missing section for {command}"
+    bench = (DOCS / "benchmarks.md").read_text()
+    assert "BENCH_WORKERS" in bench and "BENCH_CACHE" in bench
