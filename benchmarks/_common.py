@@ -75,3 +75,30 @@ def emit(title: str, records: Sequence[Mapping[str, object]], filename: str) -> 
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf8")
     return text
+
+
+def median_time(fn, reps: int):
+    """``(median wall-clock seconds, last result)`` over ``reps`` calls.
+
+    The shared race harness of the kernel/engine benchmarks: timing both
+    contestants with the same helper in one process means machine noise
+    hits them alike.
+    """
+    import statistics
+    import time
+
+    times = []
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times), result
+
+
+def strip_private(rows: Sequence[Mapping[str, object]]) -> list[dict]:
+    """Drop ``_``-prefixed bookkeeping columns before display."""
+    return [
+        {key: value for key, value in row.items() if not key.startswith("_")}
+        for row in rows
+    ]

@@ -1,0 +1,187 @@
+"""E17 — batch round-engine vs the object-per-message SyncNetwork.
+
+Races the columnar engine (:mod:`repro.engine`) against the reference
+simulator on the workloads it was built for: the distributed
+Elkin–Neiman protocol end-to-end (``backend="batch"`` vs
+``backend="sync"``) and the standard protocols (flood, BFS tree, leader
+election).  Every race first asserts bit-identical results — outputs
+*and* :class:`~repro.distributed.metrics.NetworkStats` — so the table
+can only ever show a speedup on equal work.
+
+Two modes:
+
+* ``pytest benchmarks/bench_engine.py -s`` — CI-sized workloads
+  (n ≈ 10³), asserts equivalence and emits the table; no wall-clock
+  gate (shared runners are too noisy);
+* ``python benchmarks/bench_engine.py`` — the full sweep behind the
+  PR-acceptance numbers: the n ≈ 10⁵ EN race (gate: ≥ 5x) plus a
+  million-node batch-only EN run that must complete (exit code covers
+  both).  Set ``BENCH_ENGINE_SKIP_MILLION=1`` to skip the n ≈ 10⁶ leg.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.distributed_en import decompose_distributed
+from repro.distributed import (
+    FloodNode,
+    BFSTreeNode,
+    LeaderElectionNode,
+    SyncNetwork,
+)
+from repro.engine import backend_name, bfs_tree, flood, leader_election
+from repro.graphs import Graph, gnp_fast, torus_graph
+
+from _common import emit, median_time, strip_private
+
+SEED = 20160217
+#: EN protocol timing reps (end-to-end runs are seconds-long; medians of
+#: many reps would make the full sweep take an hour).
+EN_REPS = 1
+PROTOCOL_REPS = 3
+
+
+def _row(workload, op, n, sync_t, batch_t):
+    return {
+        "workload": workload,
+        "op": op,
+        "n": n,
+        "sync s": round(sync_t, 2),
+        "batch s": round(batch_t, 2),
+        "speedup": round(sync_t / max(batch_t, 1e-9), 2),
+        "_raw_speedup": sync_t / max(batch_t, 1e-9),
+    }
+
+
+# ----------------------------------------------------------------------
+# Races (each asserts bit-identical results before timing counts)
+# ----------------------------------------------------------------------
+def race_en(name: str, graph: Graph, k: float, reps: int = EN_REPS):
+    sync_t, sync_r = median_time(
+        lambda: decompose_distributed(graph, k=k, seed=SEED, backend="sync"), reps
+    )
+    batch_t, batch_r = median_time(
+        lambda: decompose_distributed(graph, k=k, seed=SEED, backend="batch"), reps
+    )
+    assert sync_r.stats == batch_r.stats, f"{name}: stats diverge"
+    assert (
+        sync_r.decomposition.cluster_index_map()
+        == batch_r.decomposition.cluster_index_map()
+    ), f"{name}: decompositions diverge"
+    assert sync_r.rounds_per_phase == batch_r.rounds_per_phase
+    return _row(name, "distributed-en", graph.num_vertices, sync_t, batch_t)
+
+
+def race_protocols(name: str, graph: Graph, reps: int = PROTOCOL_REPS):
+    n = graph.num_vertices
+
+    def sync_flood():
+        net = SyncNetwork(graph, lambda v: FloodNode(v, 0))
+        net.run_until_quiet(n + 1)
+        return (
+            {v: net.algorithm(v).heard_at for v in range(n) if net.algorithm(v).heard_at is not None},
+            net.stats,
+        )
+
+    def sync_tree():
+        net = SyncNetwork(graph, lambda v: BFSTreeNode(v, 0))
+        net.run_until_quiet(n + 2)
+        return (
+            {v: net.algorithm(v).depth for v in range(n) if net.algorithm(v).depth is not None},
+            net.stats,
+        )
+
+    def sync_leader():
+        net = SyncNetwork(graph, lambda v: LeaderElectionNode(v))
+        net.run_until_quiet(n + 2)
+        return ({v: net.algorithm(v).leader for v in range(n)}, net.stats)
+
+    rows = []
+    races = [
+        ("flood", sync_flood, lambda: flood(graph, 0), lambda b: (b.arrival, b.stats)),
+        ("bfs-tree", sync_tree, lambda: bfs_tree(graph, 0), lambda b: (b.depths, b.stats)),
+        ("leader", sync_leader, lambda: leader_election(graph), lambda b: (b.leader, b.stats)),
+    ]
+    for op, sync_fn, batch_fn, view in races:
+        sync_t, sync_out = median_time(sync_fn, reps)
+        batch_t, batch_out = median_time(batch_fn, reps)
+        assert view(batch_out) == sync_out, f"{name}/{op}: engines disagree"
+        rows.append(_row(name, op, n, sync_t, batch_t))
+    return rows
+
+
+def run_sweep(full_scale: bool):
+    if full_scale:
+        torus = torus_graph(316, 316)
+        # gnp_fast builds the n=1e5 workload in O(n + m) — the point of
+        # the skip-sampled family (low diameter, so protocol rounds stay
+        # reduction-dominated rather than dispatch-dominated).
+        sparse_gnp = gnp_fast(100_000, 6.0 / 100_000, seed=2)
+        rows = [race_en("torus:316:316", torus, k=12)]
+        rows += race_protocols("gnp_fast:1e5:6/n", sparse_gnp)
+    else:
+        rows = [race_en("torus:16:16", torus_graph(16, 16), k=6, reps=1)]
+        rows += race_protocols("gnp_fast:2048:0.004", gnp_fast(2048, 0.004, seed=2), reps=1)
+    return rows
+
+
+def million_node_run():
+    """The scale leg: distributed EN at n = 10⁶, batch engine only."""
+    graph = torus_graph(1000, 1000)
+    k = max(2, math.ceil(math.log(graph.num_vertices)))
+    t0 = time.perf_counter()
+    result = decompose_distributed(graph, k=k, seed=1, backend="batch")
+    elapsed = time.perf_counter() - t0
+    return {
+        "workload": "torus:1000:1000",
+        "op": "distributed-en (batch only)",
+        "n": graph.num_vertices,
+        "batch s": round(elapsed, 1),
+        "phases": result.phases,
+        "rounds": result.total_rounds,
+        "messages": result.stats.messages_sent,
+        "colors": result.decomposition.num_colors,
+        "in_budget": result.exhausted_within_nominal,
+    }
+
+
+def test_engine_bench():
+    """CI-sized race: equivalence asserted, table emitted, no timing gate."""
+    rows = run_sweep(full_scale=False)
+    table = emit(
+        f"E17: batch engine vs SyncNetwork (CI scale, backend={backend_name()})",
+        strip_private(rows),
+        "e17_engine_small.txt",
+    )
+    assert table
+    print(f"EN speedup (informational): {rows[0]['_raw_speedup']:.2f}x")
+
+
+def main() -> int:
+    rows = run_sweep(full_scale=True)
+    en_speedup = rows[0]["_raw_speedup"]
+    emit(
+        f"E17: batch engine vs SyncNetwork (n~1e5, backend={backend_name()})",
+        strip_private(rows),
+        "e17_engine_full.txt",
+    )
+    print(f"distributed-EN speedup at n~1e5: {en_speedup:.2f}x  [acceptance: >= 5x]")
+    ok = en_speedup >= 5.0
+    if os.environ.get("BENCH_ENGINE_SKIP_MILLION", "") not in ("1", "true", "yes"):
+        row = million_node_run()
+        emit("E17b: million-node distributed EN (batch engine)", [row], "e17_engine_million.txt")
+        print(f"n=1e6 completed in {row['batch s']}s: {row['messages']} messages, "
+              f"{row['rounds']} rounds, {row['colors']} colors")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,9 +21,7 @@ hits both kernels alike.
 from __future__ import annotations
 
 import math
-import statistics
 import sys
-import time
 from collections import deque
 from typing import Callable, Container, Iterable
 
@@ -44,7 +42,7 @@ from repro.graphs import (
 )
 from repro.graphs._kernel import backend_name
 
-from _common import emit
+from _common import emit, median_time, strip_private
 
 REPS = 5
 
@@ -118,16 +116,6 @@ def _legacy_components(
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
-def _median_time(fn: Callable[[], object]) -> tuple[float, object]:
-    times = []
-    result = None
-    for _ in range(REPS):
-        t0 = time.perf_counter()
-        result = fn()
-        times.append(time.perf_counter() - t0)
-    return statistics.median(times), result
-
-
 def _spread_sources(n: int, count: int = 16) -> list[int]:
     return list(range(0, n, max(1, n // count)))
 
@@ -163,8 +151,8 @@ def race(name: str, graph: Graph) -> list[dict[str, object]]:
     ]
     rows = []
     for op, legacy_fn, csr_fn in ops:
-        legacy_t, legacy_out = _median_time(legacy_fn)
-        csr_t, csr_out = _median_time(csr_fn)
+        legacy_t, legacy_out = median_time(legacy_fn, REPS)
+        csr_t, csr_out = median_time(csr_fn, REPS)
         assert legacy_out == csr_out, f"{name}/{op}: kernels disagree"
         rows.append(
             {
@@ -185,10 +173,6 @@ def race(name: str, graph: Graph) -> list[dict[str, object]]:
 def geomean_speedup(rows: list[dict[str, object]]) -> float:
     speedups = [max(float(row["_raw_speedup"]), 1e-9) for row in rows]
     return math.exp(sum(math.log(s) for s in speedups) / len(speedups))
-
-
-def _display(rows: list[dict[str, object]]) -> list[dict[str, object]]:
-    return [{k: v for k, v in row.items() if not k.startswith("_")} for row in rows]
 
 
 def run_sweep(full_scale: bool) -> list[dict[str, object]]:
@@ -220,7 +204,7 @@ def test_kernel_bench():
     rows = run_sweep(full_scale=False)
     table = emit(
         f"K1: CSR kernel vs legacy kernel (CI scale, backend={backend_name()})",
-        _display(rows),
+        strip_private(rows),
         "k1_kernel_small.txt",
     )
     assert table
@@ -234,7 +218,7 @@ def main() -> int:
     gm_bfs = geomean_speedup(bfs_rows)
     emit(
         f"K1: CSR kernel vs legacy kernel (n~1e5, backend={backend_name()})",
-        _display(rows),
+        strip_private(rows),
         "k1_kernel_full.txt",
     )
     print(f"geomean speedup (all ops): {gm:.2f}x")

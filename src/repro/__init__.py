@@ -17,6 +17,9 @@ Package map
 -----------
 * :mod:`repro.graphs` — graph kernel, generators, metrics (substrate);
 * :mod:`repro.distributed` — synchronous LOCAL/CONGEST simulator (substrate);
+* :mod:`repro.engine` — columnar batch round engine: the same round
+  semantics over flat state arrays, bit-identical to the simulator,
+  built for million-node runs (``backend="batch"``);
 * :mod:`repro.core` — the paper's algorithms (Theorems 1–3, centralized and
   distributed);
 * :mod:`repro.baselines` — Linial–Saks, Miller–Peng–Xu, deterministic ball

@@ -128,6 +128,38 @@ class DistributedLSResult:
         return sum(self.rounds_per_phase)
 
 
+class _SyncLSPhases:
+    """Reference phase executor (one :class:`LSNodeAlgorithm` per vertex)."""
+
+    def __init__(self, graph: Graph, seed: int, p: float, k: int, word_budget) -> None:
+        self._network = SyncNetwork(
+            graph,
+            [LSNodeAlgorithm(v, seed, p, k) for v in range(graph.num_vertices)],
+            seed=seed,
+            word_budget=word_budget,
+        )
+        self._network.start()
+
+    @property
+    def stats(self) -> NetworkStats:
+        return self._network.stats
+
+    def run_phase(self, phase, budget, radii):
+        for v in radii:
+            algorithm = self._network.algorithm(v)
+            assert isinstance(algorithm, LSNodeAlgorithm)
+            algorithm.begin_phase(phase, budget)
+        self._network.run_rounds(budget + 2)
+        joined: dict[int, int] = {}
+        for v in radii:
+            algorithm = self._network.algorithm(v)
+            assert isinstance(algorithm, LSNodeAlgorithm)
+            if algorithm.joined_phase == phase:
+                assert algorithm.center is not None
+                joined[v] = algorithm.center
+        return joined
+
+
 def decompose_distributed(
     graph: Graph,
     k: int,
@@ -136,15 +168,21 @@ def decompose_distributed(
     adaptive_phase_length: bool = True,
     word_budget: int | None = None,
     max_phases: int | None = None,
+    backend: str = "sync",
 ) -> DistributedLSResult:
     """Run the distributed LS protocol to completion.
 
     Parameters mirror :func:`repro.baselines.linial_saks.decompose`;
     ``adaptive_phase_length`` chooses ``B_t = max r_v`` (driver-computed)
-    instead of the fixed worst case ``k``.
+    instead of the fixed worst case ``k``.  ``backend="batch"`` runs the
+    identical protocol on the columnar round engine
+    (:class:`repro.engine.ls.BatchLSPhases`) — bit-identical outputs and
+    stats, engine-speed execution.
     """
     if k < 1:
         raise ParameterError(f"k must be >= 1, got {k}")
+    if backend not in ("sync", "batch"):
+        raise ParameterError(f"backend must be 'sync' or 'batch', got {backend!r}")
     n = graph.num_vertices
     if p is None:
         p = float(max(n, 2)) ** (-1.0 / k)
@@ -155,13 +193,12 @@ def decompose_distributed(
     )
     if max_phases is None:
         max_phases = 10 * nominal + 100
-    network = SyncNetwork(
-        graph,
-        [LSNodeAlgorithm(v, seed, p, k) for v in range(n)],
-        seed=seed,
-        word_budget=word_budget,
-    )
-    network.start()
+    if backend == "sync":
+        runner = _SyncLSPhases(graph, seed, p, k, word_budget)
+    else:
+        from ..engine.ls import BatchLSPhases
+
+        runner = BatchLSPhases(graph, word_budget)
     active = ActiveSet.full(n)
     clusters: list[Cluster] = []
     rounds_per_phase: list[int] = []
@@ -174,21 +211,11 @@ def decompose_distributed(
             )
         radii = {v: sample_ls_radius(seed, phase, v, p, k) for v in active}
         budget = max(radii.values(), default=0) if adaptive_phase_length else k
-        for v in active:
-            algorithm = network.algorithm(v)
-            assert isinstance(algorithm, LSNodeAlgorithm)
-            algorithm.begin_phase(phase, budget)
-        network.run_rounds(budget + 2)
+        joined = runner.run_phase(phase, budget, radii)
         rounds_per_phase.append(budget + 2)
         by_center: dict[int, list[int]] = {}
-        joined: set[int] = set()
-        for v in active:
-            algorithm = network.algorithm(v)
-            assert isinstance(algorithm, LSNodeAlgorithm)
-            if algorithm.joined_phase == phase:
-                joined.add(v)
-                assert algorithm.center is not None
-                by_center.setdefault(algorithm.center, []).append(v)
+        for v, center in joined.items():
+            by_center.setdefault(center, []).append(v)
         for center in sorted(by_center):
             clusters.append(
                 Cluster(
@@ -198,10 +225,10 @@ def decompose_distributed(
                     center=center,
                 )
             )
-        active -= joined
+        active -= joined.keys()
     return DistributedLSResult(
         decomposition=NetworkDecomposition(graph, clusters),
-        stats=network.stats,
+        stats=runner.stats,
         phases=phase,
         rounds_per_phase=rounds_per_phase,
     )

@@ -123,32 +123,46 @@ def partition_distributed(
     seed: int = DEFAULT_SEED,
     mode: Literal["full", "topone"] = "topone",
     word_budget: int | None = None,
+    backend: str = "sync",
 ) -> DistributedMPXResult:
     """Run the distributed MPX partition on ``graph`` with rate ``beta``.
 
     The flood length ``B = max ⌊δ_v⌋`` is computed by the driver from the
     shared shift streams (the standard w.h.p. bound is
     ``O(log n / β)``); the run then takes ``B + 1`` rounds.
+    ``backend="batch"`` runs the identical competition on the columnar
+    round engine (:func:`repro.engine.mpx.run_mpx_batch`) — bit-identical
+    assignment and stats.
     """
     if beta <= 0:
         raise ParameterError(f"beta must be positive, got {beta}")
+    if mode not in ("full", "topone"):
+        raise ParameterError(f"mode must be 'full' or 'topone', got {mode!r}")
+    if backend not in ("sync", "batch"):
+        raise ParameterError(f"backend must be 'sync' or 'batch', got {backend!r}")
     n = graph.num_vertices
     shifts = {
         v: stream(seed, "mpx-shift", v).expovariate(beta) for v in range(n)
     }
     budget = max((math.floor(s) for s in shifts.values()), default=0)
-    algorithms = [MPXNodeAlgorithm(v, seed, beta, mode) for v in range(n)]
-    for algorithm in algorithms:
-        algorithm.configure(budget)
-    network = SyncNetwork(graph, algorithms, seed=seed, word_budget=word_budget)
-    network.start()
-    network.run_rounds(budget + 1)
-    center_of: dict[int, int] = {}
-    for v in range(n):
-        algorithm = network.algorithm(v)
-        assert isinstance(algorithm, MPXNodeAlgorithm)
-        assert algorithm.center is not None, "every vertex must be assigned"
-        center_of[v] = algorithm.center
+    if backend == "batch":
+        from ..engine.mpx import run_mpx_batch
+
+        center_of, stats = run_mpx_batch(graph, shifts, budget, mode, word_budget)
+    else:
+        algorithms = [MPXNodeAlgorithm(v, seed, beta, mode) for v in range(n)]
+        for algorithm in algorithms:
+            algorithm.configure(budget)
+        network = SyncNetwork(graph, algorithms, seed=seed, word_budget=word_budget)
+        network.start()
+        network.run_rounds(budget + 1)
+        stats = network.stats
+        center_of = {}
+        for v in range(n):
+            algorithm = network.algorithm(v)
+            assert isinstance(algorithm, MPXNodeAlgorithm)
+            assert algorithm.center is not None, "every vertex must be assigned"
+            center_of[v] = algorithm.center
     by_center: dict[int, list[int]] = {}
     for v, center in center_of.items():
         by_center.setdefault(center, []).append(v)
@@ -160,7 +174,7 @@ def partition_distributed(
     return DistributedMPXResult(
         decomposition=NetworkDecomposition(graph, clusters),
         center_of=center_of,
-        stats=network.stats,
+        stats=stats,
         rounds=budget + 1,
         cut_edges=cut,
         cut_fraction=cut / graph.num_edges if graph.num_edges else 0.0,

@@ -223,6 +223,44 @@ class DistributedRunResult:
         return sum(self.rounds_per_phase)
 
 
+class _SyncENPhases:
+    """Reference phase executor: one :class:`ENNodeAlgorithm` per vertex
+    stepped by :class:`SyncNetwork` (the pre-batch-engine behaviour,
+    preserved verbatim)."""
+
+    def __init__(
+        self, graph: Graph, seed: int, mode: ForwardMode, word_budget: int | None
+    ) -> None:
+        self._seed = seed
+        self._network = SyncNetwork(
+            graph,
+            [ENNodeAlgorithm(v, seed, mode) for v in range(graph.num_vertices)],
+            seed=seed,
+            word_budget=word_budget,
+        )
+        self._network.start()
+
+    @property
+    def stats(self) -> NetworkStats:
+        return self._network.stats
+
+    def run_phase(self, phase, beta, budget, radii):
+        # Nodes re-derive their own radii from (seed, phase, beta); the
+        # driver's ``radii`` dict doubles as the live-vertex list here.
+        for v in radii:
+            algorithm = self._network.algorithm(v)
+            assert isinstance(algorithm, ENNodeAlgorithm)
+            algorithm.begin_phase(phase, beta, budget)
+        self._network.run_rounds(budget + 2)
+        joined: dict[int, int] = {}
+        for v in radii:
+            algorithm = self._network.algorithm(v)
+            assert isinstance(algorithm, ENNodeAlgorithm)
+            if algorithm.joined_phase == phase:
+                joined[v] = algorithm.center if algorithm.center is not None else v
+        return joined
+
+
 def decompose_distributed(
     graph: Graph,
     k: float | None = None,
@@ -233,6 +271,7 @@ def decompose_distributed(
     adaptive_phase_length: bool = True,
     word_budget: int | None = None,
     max_phases: int | None = None,
+    backend: str = "sync",
 ) -> DistributedRunResult:
     """Run the distributed protocol to completion on ``graph``.
 
@@ -259,11 +298,22 @@ def decompose_distributed(
         :class:`~repro.errors.CongestViolation` when exceeded.
     max_phases:
         Hard safety cap (default ``10 × nominal + 100``).
+    backend:
+        ``"sync"`` (default) steps one :class:`ENNodeAlgorithm` per vertex
+        through :class:`SyncNetwork` — the reference implementation.
+        ``"batch"`` executes the identical protocol columnarly on the
+        batch round engine (:class:`repro.engine.en.BatchENPhases`);
+        outputs, round counts and stats are bit-identical, only the
+        wall-clock differs (see ``benchmarks/bench_engine.py``).
 
     Returns
     -------
     DistributedRunResult
     """
+    if mode not in ("full", "toptwo"):
+        raise ParameterError(f"mode must be 'full' or 'toptwo', got {mode!r}")
+    if backend not in ("sync", "batch"):
+        raise ParameterError(f"backend must be 'sync' or 'batch', got {backend!r}")
     if schedule is None:
         if k is None:
             raise ParameterError("either k or an explicit schedule is required")
@@ -271,13 +321,12 @@ def decompose_distributed(
     if max_phases is None:
         max_phases = 10 * schedule.nominal_phases + 100
     n = graph.num_vertices
-    network = SyncNetwork(
-        graph,
-        [ENNodeAlgorithm(v, seed, mode) for v in range(n)],
-        seed=seed,
-        word_budget=word_budget,
-    )
-    network.start()
+    if backend == "sync":
+        runner = _SyncENPhases(graph, seed, mode, word_budget)
+    else:
+        from ..engine.en import BatchENPhases
+
+        runner = BatchENPhases(graph, mode, word_budget)
     active = ActiveSet.full(n)
     blocks: list[list[int]] = []
     centers: dict[int, int] = {}
@@ -293,7 +342,8 @@ def decompose_distributed(
             )
         beta = schedule.beta(phase)
         # Driver-side rederivation of the radii (control plane bookkeeping
-        # only — each node draws its own value from the same stream).
+        # only — each node draws its own value from the same stream; the
+        # batch executor consumes these exact values).
         radii = sample_phase_radii(seed, phase, active, beta)
         truncations.extend(
             find_truncation_events(radii, phase, getattr(schedule, "k", math.inf))
@@ -304,25 +354,15 @@ def decompose_distributed(
             )
         else:
             budget = schedule.range_cap(phase)
-        for v in active:
-            algorithm = network.algorithm(v)
-            assert isinstance(algorithm, ENNodeAlgorithm)
-            algorithm.begin_phase(phase, beta, budget)
-        network.run_rounds(budget + 2)
+        joined = runner.run_phase(phase, beta, budget, radii)
         rounds_per_phase.append(budget + 2)
-        joined = set()
-        for v in active:
-            algorithm = network.algorithm(v)
-            assert isinstance(algorithm, ENNodeAlgorithm)
-            if algorithm.joined_phase == phase:
-                joined.add(v)
-                centers[v] = algorithm.center if algorithm.center is not None else v
         blocks.append(sorted(joined))
-        active -= joined
+        centers.update(joined)
+        active -= joined.keys()
     decomposition = NetworkDecomposition.from_blocks(graph, blocks, centers)
     return DistributedRunResult(
         decomposition=decomposition,
-        stats=network.stats,
+        stats=runner.stats,
         phases=phase,
         rounds_per_phase=rounds_per_phase,
         nominal_phases=schedule.nominal_phases,

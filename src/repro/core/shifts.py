@@ -17,11 +17,12 @@ Lemma 1 shows all such events are avoided with probability ``≥ 1 − 2/c``.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
 from typing import Iterable
 
 from ..errors import ParameterError
-from ..rng import stream
+from ..rng import seed_prefix, stream
 
 __all__ = ["sample_radius", "sample_phase_radii", "TruncationEvent", "find_truncation_events"]
 
@@ -53,8 +54,25 @@ def sample_radius(seed: int, phase: int, vertex: int, beta: float) -> float:
 def sample_phase_radii(
     seed: int, phase: int, vertices: Iterable[int], beta: float
 ) -> dict[int, float]:
-    """Radii for all of ``vertices`` at ``phase`` (one independent draw each)."""
-    return {v: sample_radius(seed, phase, v, beta) for v in vertices}
+    """Radii for all of ``vertices`` at ``phase`` (one independent draw each).
+
+    Bit-identical to calling :func:`sample_radius` per vertex, but the
+    whole-phase form amortises the stream derivation: the hash prefix
+    over ``(seed, "radius", phase)`` is computed once
+    (:func:`repro.rng.seed_prefix`), and a single reseeded
+    :class:`random.Random` replaces one fresh generator per draw.  At
+    :math:`n \\approx 10^5` vertices per phase this is the driver's hot
+    loop (see ``benchmarks/bench_engine.py``).
+    """
+    if beta <= 0:
+        raise ParameterError(f"beta must be positive, got {beta}")
+    derive = seed_prefix(seed, "radius", phase)
+    rng = random.Random()
+    radii: dict[int, float] = {}
+    for v in vertices:
+        rng.seed(derive(v))
+        radii[v] = rng.expovariate(beta)
+    return radii
 
 
 def find_truncation_events(

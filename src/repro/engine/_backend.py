@@ -1,0 +1,35 @@
+"""Backend selection for the batch round engine.
+
+There is exactly **one** numpy on/off decision in the library, and it
+lives in :mod:`repro.graphs._kernel` (numpy is an optional accelerator;
+``REPRO_KERNEL=py`` forces the pure-Python paths).  This module is a
+thin delegating facade so the engine's primitives and the BFS kernel
+can never disagree about the active backend: flipping
+``repro.graphs._kernel.USE_NUMPY`` (as the backend-parity tests do)
+switches the *entire* stack — ``bfs_levels`` and every engine primitive
+alike.  Both backends are bit-identical by contract, so the switch can
+never change a simulation result, only its wall-clock time.
+"""
+
+from __future__ import annotations
+
+from ..graphs import _kernel
+from ..graphs._kernel import backend_name, numpy_enabled
+
+np = _kernel._np
+
+__all__ = ["np", "WIDE_THRESHOLD", "enabled", "numpy_enabled", "backend_name"]
+
+#: Fan-out width at which the vectorised paths start to win over the
+#: plain-Python loops — the kernel's measured crossover (see
+#: ``benchmarks/bench_kernel.py``).
+WIDE_THRESHOLD = _kernel._NUMPY_FRONTIER_THRESHOLD
+
+
+def enabled() -> bool:
+    """Whether the vectorised primitive paths are active right now.
+
+    Reads the kernel's flag dynamically so in-process toggles (test
+    monkeypatches) take effect everywhere at once.
+    """
+    return _kernel.USE_NUMPY and np is not None

@@ -1,0 +1,124 @@
+"""The batch-synchronous round engine core.
+
+:class:`BatchEngine` is the columnar counterpart of
+:class:`~repro.distributed.network.SyncNetwork`: it owns the round
+counter, the halt mask, the :class:`~repro.distributed.metrics.NetworkStats`
+accumulator, CONGEST budget enforcement and (optional) tracing — but it
+never materialises per-message objects.  Protocols report each round's
+traffic in aggregate (message count, word count, the peak per-directed-
+edge word load and the offending edge), which is all the simulator-level
+bookkeeping ever consumed.
+
+Equivalence contract (pinned by ``tests/engine``): for every ported
+protocol, the engine's stats, round counts, halt rounds and — with a
+tracer attached — the full event stream are bit-identical to a
+:class:`SyncNetwork` run of the reference node algorithms.  In
+particular a ``word_budget`` violation raises
+:class:`~repro.errors.CongestViolation` in the *exact* round (and with
+the exact offending edge) the reference engine would report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..distributed.message import Message
+from ..distributed.metrics import NetworkStats
+from ..distributed.tracing import TraceRecorder
+from ..errors import CongestViolation
+from ..graphs.graph import Graph
+
+__all__ = ["BatchEngine"]
+
+
+class BatchEngine:
+    """Shared round/halt/stats state for columnar protocol simulations.
+
+    Parameters
+    ----------
+    graph:
+        Communication topology.
+    word_budget:
+        Per-directed-edge, per-round word limit (CONGEST mode), or
+        ``None`` for the LOCAL model (unbounded but measured).
+    tracer:
+        Optional :class:`TraceRecorder`; when attached, protocols emit
+        the same send/halt events the reference engine would.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        word_budget: int | None = None,
+        tracer: TraceRecorder | None = None,
+    ) -> None:
+        self.graph = graph
+        self.word_budget = word_budget
+        self.tracer = tracer
+        self.stats = NetworkStats()
+        self.halted = bytearray(graph.num_vertices)
+        self.round = 0
+
+    # ------------------------------------------------------------------
+    # Round lifecycle
+    # ------------------------------------------------------------------
+    def begin_round(self) -> None:
+        """Advance to the next synchronous round (mirrors one ``step()``)."""
+        self.round += 1
+        self.stats.rounds += 1
+
+    def deliver(self, count: int) -> None:
+        """Record ``count`` messages handed to live receivers this round."""
+        self.stats.messages_delivered += count
+
+    def account_sends(
+        self,
+        messages: int,
+        words: int,
+        peak_words: int,
+        offender: tuple[int, int] | None = None,
+    ) -> None:
+        """Record one round's aggregate outgoing traffic.
+
+        ``peak_words`` is the largest word total that crossed a single
+        directed edge this round; ``offender`` names such an edge (only
+        consulted when the budget is exceeded).  Raises
+        :class:`CongestViolation` exactly when the reference engine's
+        flush would.
+        """
+        self.stats.messages_sent += messages
+        self.stats.words_sent += words
+        if peak_words > self.stats.max_words_per_edge_round:
+            self.stats.max_words_per_edge_round = peak_words
+        if self.word_budget is not None and peak_words > self.word_budget:
+            raise CongestViolation(
+                f"edge {offender} carried {peak_words} words in round "
+                f"{self.round}, budget is {self.word_budget}"
+            )
+
+    # ------------------------------------------------------------------
+    # Halting
+    # ------------------------------------------------------------------
+    def halt(self, vertices: Iterable[int]) -> None:
+        """Mark ``vertices`` halted; emits trace events in ascending order."""
+        for v in sorted(vertices) if self.tracer is not None else vertices:
+            self.halted[v] = 1
+            if self.tracer is not None:
+                self.tracer.on_halt(v, self.round)
+
+    def is_halted(self, v: int) -> bool:
+        """Whether vertex ``v`` has halted."""
+        return bool(self.halted[v])
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def trace_broadcast(
+        self, sender: int, receivers: Sequence[int], payload, words: int
+    ) -> None:
+        """Emit one send event per receiver (no-op without a tracer)."""
+        tracer = self.tracer
+        if tracer is None:
+            return
+        for receiver in receivers:
+            tracer.on_send(Message(sender, receiver, payload, self.round, words))

@@ -1,0 +1,76 @@
+"""Batch-engine port of the distributed Elkin–Neiman protocol.
+
+:class:`BatchENPhases` executes the per-phase data plane of
+:mod:`repro.core.distributed_en` columnarly: one
+:class:`~repro.engine.broadcast.ShiftedFlood` epoch per phase
+(``B_t`` broadcast rounds + the decision merge round), then the shared
+announce round.  The phase *control* plane — schedule, radii, budgets,
+truncation bookkeeping — stays in :func:`repro.core.distributed_en.decompose_distributed`,
+which drives either this class or the reference
+:class:`~repro.distributed.network.SyncNetwork` through the same loop,
+selected by its ``backend=`` parameter.
+
+Equivalence contract (``tests/engine/test_en_equivalence.py``): for any
+fixed ``(graph, seed, mode, schedule)`` both backends produce the same
+decomposition, the same ``rounds_per_phase`` and bit-identical
+:class:`~repro.distributed.metrics.NetworkStats` — including the peak
+words-per-edge-per-round CONGEST figure and the exact round of a
+``word_budget`` violation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping
+
+from ..graphs.graph import Graph
+from .broadcast import LiveTopology, ShiftedFlood, announce_round
+from .core import BatchEngine
+
+__all__ = ["BatchENPhases"]
+
+
+class BatchENPhases:
+    """Columnar phase executor for the distributed EN protocol."""
+
+    def __init__(
+        self, graph: Graph, mode: str, word_budget: int | None = None
+    ) -> None:
+        self.engine = BatchEngine(graph, word_budget)
+        self.topology = LiveTopology(graph)
+        self._policy = "full" if mode == "full" else 2
+        self._carry = 0  # announce messages in flight into the next phase
+
+    @property
+    def stats(self):
+        """The accumulated :class:`NetworkStats` of the run so far."""
+        return self.engine.stats
+
+    def run_phase(
+        self, phase: int, beta: float, budget: int, radii: Mapping[int, float]
+    ) -> Dict[int, int]:
+        """Run one phase (``budget + 2`` rounds); returns ``joiner -> center``.
+
+        ``radii`` are the driver's per-vertex draws for this phase — the
+        same ``Exp(beta)`` values the reference nodes derive from the
+        shared streams (``beta`` itself is therefore not re-used here).
+        """
+        caps = {v: math.floor(r) for v, r in radii.items()}
+        flood = ShiftedFlood(
+            self.engine,
+            self.topology,
+            radii,
+            caps,
+            self._policy,
+            first_round_delivered=self._carry,
+        )
+        flood.run(budget)
+        joined: Dict[int, int] = {}
+        best_value, second_value = flood.best_value, flood.second_value
+        best_origin, num_entries = flood.best_origin, flood.num_entries
+        for v in self.topology.live_list:
+            second = second_value[v] if num_entries[v] > 1 else 0.0
+            if best_value[v] - second > 1.0:
+                joined[v] = best_origin[v]
+        self._carry = announce_round(self.engine, self.topology, list(joined))
+        return joined

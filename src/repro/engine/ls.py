@@ -1,0 +1,61 @@
+"""Batch-engine port of the distributed Linial–Saks protocol.
+
+Same split as :mod:`repro.engine.en`: the phase control plane stays in
+:func:`repro.baselines.distributed_ls.decompose_distributed` (which
+selects this executor with ``backend="batch"``); each phase's data plane
+is one full-forwarding :class:`~repro.engine.broadcast.ShiftedFlood`
+epoch over integer radii, followed by the shared announce round.
+
+LS-specific wrinkles, both carried by the flood core's summaries:
+
+* the broadcast range of an integer radius ``r`` is ``r`` itself
+  (a value may take a hop while ``distance + 1 <= r``);
+* the decision is minimum-**id**, not maximum-value: a vertex joins the
+  smallest origin it heard iff that origin's value arrived with
+  ``distance < radius`` — i.e. its shifted value is still positive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..graphs.graph import Graph
+from .broadcast import LiveTopology, ShiftedFlood, announce_round
+from .core import BatchEngine
+
+__all__ = ["BatchLSPhases"]
+
+
+class BatchLSPhases:
+    """Columnar phase executor for the distributed LS protocol."""
+
+    def __init__(self, graph: Graph, word_budget: int | None = None) -> None:
+        self.engine = BatchEngine(graph, word_budget)
+        self.topology = LiveTopology(graph)
+        self._carry = 0
+
+    @property
+    def stats(self):
+        """The accumulated :class:`NetworkStats` of the run so far."""
+        return self.engine.stats
+
+    def run_phase(
+        self, phase: int, budget: int, radii: Mapping[int, int]
+    ) -> Dict[int, int]:
+        """Run one phase (``budget + 2`` rounds); returns ``joiner -> center``."""
+        flood = ShiftedFlood(
+            self.engine,
+            self.topology,
+            radii,
+            radii,  # integer radii are their own broadcast caps
+            "full",
+            first_round_delivered=self._carry,
+        )
+        flood.run(budget)
+        joined: Dict[int, int] = {}
+        min_origin, min_shifted = flood.min_origin, flood.min_shifted
+        for v in self.topology.live_list:
+            if min_shifted[v] > 0:  # winner's value arrived with distance < radius
+                joined[v] = min_origin[v]
+        self._carry = announce_round(self.engine, self.topology, list(joined))
+        return joined

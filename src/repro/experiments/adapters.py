@@ -252,6 +252,57 @@ def _adapt_kernel(graph: Graph, trial: TrialSpec) -> Record:
     }
 
 
+def _adapt_engine(graph: Graph, trial: TrialSpec) -> Record:
+    """Batch round-engine workload: distributed EN on ``backend="batch"``.
+
+    Records the protocol's cost profile (rounds, messages, words, peak
+    per-edge bandwidth) plus a deterministic checksum of the resulting
+    decomposition, so cached records pin the engine's behaviour exactly.
+    With ``compare="sync"`` the same trial also runs on the reference
+    :class:`~repro.distributed.network.SyncNetwork` backend and records
+    whether outputs and stats match bit-for-bit (used at the small
+    points of the ``engine-scaling`` scenario; the batch leg alone runs
+    at the scale points).  Wall-clock racing lives in
+    ``benchmarks/bench_engine.py``.
+    """
+    params = trial.param_dict()
+    k = _default_k(graph, params)
+    c = params.get("c", 4.0)
+    mode = params.get("mode", "toptwo")
+    result = decompose_distributed(
+        graph, k=k, c=c, seed=trial.seed, mode=mode, backend="batch"
+    )
+    cluster_map = result.decomposition.cluster_index_map()
+    checksum = (
+        sum((v + 1) * (cluster + 3) for v, cluster in cluster_map.items())
+        % 1_000_003
+    )
+    record: Record = {
+        "n": graph.num_vertices,
+        "m": graph.num_edges,
+        "k": k,
+        "mode": mode,
+        "phases": result.phases,
+        "rounds": result.total_rounds,
+        "colors": result.decomposition.num_colors,
+        "clusters": result.decomposition.num_clusters,
+        "messages": result.stats.messages_sent,
+        "words": result.stats.words_sent,
+        "max_words_edge_round": result.stats.max_words_per_edge_round,
+        "checksum": checksum,
+    }
+    if params.get("compare") == "sync":
+        reference = decompose_distributed(
+            graph, k=k, c=c, seed=trial.seed, mode=mode, backend="sync"
+        )
+        record["matches_sync"] = (
+            reference.decomposition.cluster_index_map() == cluster_map
+            and reference.stats == result.stats
+            and reference.rounds_per_phase == result.rounds_per_phase
+        )
+    return record
+
+
 #: Algorithm name → adapter.  Registering here exposes the algorithm to
 #: every scenario and to ``python -m repro bench``.
 ALGORITHMS: Dict[str, Adapter] = {
@@ -263,6 +314,7 @@ ALGORITHMS: Dict[str, Adapter] = {
     "survival": _adapt_survival,
     "strong-vs-weak": _adapt_strong_vs_weak,
     "kernel": _adapt_kernel,
+    "engine": _adapt_engine,
 }
 
 

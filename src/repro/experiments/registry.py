@@ -201,6 +201,21 @@ SCENARIOS: Dict[str, Scenario] = {
         ),
         trials=2,
     ),
+    "engine-scaling": Scenario(
+        description="Batch round-engine over a doubling sweep: distributed "
+        "EN on backend='batch' with deterministic structural checksums, "
+        "cross-validated against SyncNetwork at the small points "
+        "(wall-clock lives in benchmarks/bench_engine.py)",
+        algorithm="engine",
+        points=(
+            _P("conn:96:0.02", k=4, compare="sync"),
+            _P("gnp_fast:256:0.03", k=5, compare="sync"),
+            _P("torus:32:32", k=6),
+            _P("gnp_fast:4096:0.0015", k=7),
+            _P("regular:4096:6", k=7),
+        ),
+        trials=2,
+    ),
     "smoke": Scenario(
         description="Tiny end-to-end exercise of the runtime (CI smoke test)",
         algorithm="en",

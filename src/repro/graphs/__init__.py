@@ -38,6 +38,7 @@ from .generators import (
     cycle_graph,
     empty_graph,
     erdos_renyi,
+    gnp_fast,
     grid_graph,
     hypercube_graph,
     lollipop_graph,
@@ -105,6 +106,7 @@ __all__ = [
     "cycle_graph",
     "empty_graph",
     "erdos_renyi",
+    "gnp_fast",
     "grid_graph",
     "hypercube_graph",
     "lollipop_graph",

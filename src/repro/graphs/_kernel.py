@@ -36,7 +36,7 @@ try:  # numpy is an optional accelerator, never a requirement
 except ImportError:  # pragma: no cover - exercised on stdlib-only installs
     _np = None
 
-__all__ = ["bfs_levels", "backend_name", "numpy_enabled"]
+__all__ = ["bfs_levels", "backend_name", "gather_frontier_rows", "numpy_enabled"]
 
 #: Frontier width at which vectorised expansion starts to win over the
 #: plain-Python loop (measured on CPython 3.11; the crossover is flat
@@ -58,6 +58,27 @@ def numpy_enabled() -> bool:
 def backend_name() -> str:
     """Human-readable backend tag (``"numpy"`` or ``"python"``)."""
     return "numpy" if numpy_enabled() else "python"
+
+
+def gather_frontier_rows(np_indptr, np_indices, frontier):
+    """Concatenated CSR rows of ``frontier`` plus per-row counts.
+
+    The vectorised row-gather idiom shared by the BFS kernel and the
+    batch engine's scatter primitives: for a frontier of vertices,
+    returns ``(neighbors, counts)`` where ``neighbors`` is the
+    concatenation of each frontier vertex's CSR row (in frontier order)
+    and ``counts[i]`` is the degree of ``frontier[i]``.  ``neighbors``
+    is ``None`` when the frontier has no outgoing entries.
+    """
+    starts = np_indptr[frontier]
+    counts = np_indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return None, counts
+    ends = _np.cumsum(counts)
+    gather = _np.repeat(starts - (ends - counts), counts)
+    gather += _np.arange(total, dtype=gather.dtype)
+    return np_indices[gather], counts
 
 
 def bfs_levels(
@@ -108,15 +129,9 @@ def bfs_levels(
             # Vectorised expansion: gather all frontier rows from the CSR
             # buffers, drop blocked targets, dedupe into a sorted level.
             frontier = _np.asarray(level, dtype=np_indptr.dtype)
-            starts = np_indptr[frontier]
-            counts = np_indptr[frontier + 1] - starts
-            total = int(counts.sum())
-            if total == 0:
+            neighbors, _counts = gather_frontier_rows(np_indptr, np_indices, frontier)
+            if neighbors is None:
                 break
-            ends = _np.cumsum(counts)
-            gather = _np.repeat(starts - (ends - counts), counts)
-            gather += _np.arange(total, dtype=gather.dtype)
-            neighbors = np_indices[gather]
             neighbors = neighbors[np_blocked[neighbors] == 0]
             if neighbors.size > shrink_threshold:
                 # Wide level: O(n) flag-array dedupe beats sorting.

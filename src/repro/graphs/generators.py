@@ -38,6 +38,7 @@ __all__ = [
     "lollipop_graph",
     "barbell_graph",
     "erdos_renyi",
+    "gnp_fast",
     "random_tree",
     "barabasi_albert",
     "watts_strogatz",
@@ -208,7 +209,15 @@ def barbell_graph(clique_size: int, bridge_length: int) -> Graph:
 # Random families
 # ----------------------------------------------------------------------
 def erdos_renyi(n: int, p: float, seed: int = DEFAULT_SEED) -> Graph:
-    """G(n, p): each of the ``n·(n-1)/2`` edges present independently w.p. ``p``."""
+    """G(n, p): each of the ``n·(n-1)/2`` edges present independently w.p. ``p``.
+
+    One RNG draw per vertex pair — ``O(n²)`` time by construction, which
+    is deliberate: the per-pair stream is part of the library's seeded
+    determinism contract (changing the sampling would change every seeded
+    graph and the golden-decomposition fixtures).  For large sparse
+    instances use :func:`gnp_fast`, a distinct family with the same
+    marginal distribution and ``O(n + m)`` expected time.
+    """
     if not 0.0 <= p <= 1.0:
         raise ParameterError(f"p must be in [0, 1], got {p}")
     rng = stream(seed, "erdos_renyi", n, p)
@@ -218,6 +227,43 @@ def erdos_renyi(n: int, p: float, seed: int = DEFAULT_SEED) -> Graph:
             if rng.random() < p:
                 builder.add_edge(u, v)
     return builder.build()
+
+
+def gnp_fast(n: int, p: float, seed: int = DEFAULT_SEED) -> Graph:
+    """G(n, p) by geometric skip-sampling in ``O(n + m)`` expected time.
+
+    The Batagelj–Brandes algorithm: instead of flipping a coin per vertex
+    pair, jump directly to the next present edge by drawing the skip
+    length from the geometric distribution ``Geom(p)`` (via inversion,
+    ``⌊log(1-U)/log(1-p)⌋``).  The resulting graph is distributed exactly
+    as :func:`erdos_renyi`'s, but a *fixed seed draws a different
+    instance* — this is deliberately a **new** spec family
+    (``gnp_fast:n:p``), so every existing seeded ``er:`` graph and the
+    golden-decomposition fixtures are untouched.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"p must be in [0, 1], got {p}")
+    if n < 0:
+        raise ParameterError(f"gnp_fast needs n >= 0, got {n}")
+    if p == 0.0 or n < 2:
+        return Graph(n)
+    if p == 1.0:
+        return complete_graph(n)
+    rng = stream(seed, "gnp_fast", n, p)
+    log_q = math.log(1.0 - p)
+    edges: list[tuple[int, int]] = []
+    # Walk the lower-triangular pairs (w, u) with w < u, jumping `skip`
+    # pairs ahead per present edge.
+    u, w = 1, -1
+    while u < n:
+        skip = int(math.log(1.0 - rng.random()) / log_q)
+        w += 1 + skip
+        while w >= u and u < n:
+            w -= u
+            u += 1
+        if u < n:
+            edges.append((w, u))
+    return Graph(n, edges)
 
 
 def random_tree(n: int, seed: int = DEFAULT_SEED) -> Graph:

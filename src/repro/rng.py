@@ -18,14 +18,31 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Iterable
+from typing import Callable, Iterable
 
-__all__ = ["derive_seed", "stream", "spawn_seeds", "DEFAULT_SEED"]
+__all__ = ["derive_seed", "seed_prefix", "stream", "spawn_seeds", "DEFAULT_SEED"]
 
 DEFAULT_SEED = 0x5EED
 """Seed used by algorithms when the caller does not supply one."""
 
 _MASK_63 = (1 << 63) - 1
+_SEPARATOR = b"\x1f"
+
+
+def _root_hasher(root: int) -> "hashlib.blake2b":
+    hasher = hashlib.blake2b(digest_size=8)
+    hasher.update(repr(root).encode("utf8"))
+    return hasher
+
+
+def _absorb(hasher, labels) -> None:
+    for label in labels:
+        hasher.update(_SEPARATOR)
+        hasher.update(repr(label).encode("utf8"))
+
+
+def _finish(hasher) -> int:
+    return int.from_bytes(hasher.digest(), "big") & _MASK_63
 
 
 def derive_seed(root: int, *labels: object) -> int:
@@ -46,12 +63,29 @@ def derive_seed(root: int, *labels: object) -> int:
     int
         A seed in ``[0, 2**63)`` suitable for :class:`random.Random`.
     """
-    hasher = hashlib.blake2b(digest_size=8)
-    hasher.update(repr(root).encode("utf8"))
-    for label in labels:
-        hasher.update(b"\x1f")
-        hasher.update(repr(label).encode("utf8"))
-    return int.from_bytes(hasher.digest(), "big") & _MASK_63
+    hasher = _root_hasher(root)
+    _absorb(hasher, labels)
+    return _finish(hasher)
+
+
+def seed_prefix(root: int, *labels: object) -> Callable[..., int]:
+    """Amortised :func:`derive_seed` under a fixed label prefix.
+
+    Returns a callable with ``derive(*suffix) == derive_seed(root,
+    *labels, *suffix)`` — bit-identical by construction (the prefix
+    hash state is computed once and ``copy()``-ed per call), but without
+    re-hashing the prefix.  This is the bulk-derivation primitive for
+    per-phase hot loops that draw one stream per vertex.
+    """
+    prefix = _root_hasher(root)
+    _absorb(prefix, labels)
+
+    def derive(*suffix: object) -> int:
+        hasher = prefix.copy()
+        _absorb(hasher, suffix)
+        return _finish(hasher)
+
+    return derive
 
 
 def stream(root: int, *labels: object) -> random.Random:

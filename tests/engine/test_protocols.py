@@ -1,0 +1,186 @@
+"""Batch protocols vs the SyncNetwork reference: bit-identical everything.
+
+For flood, BFS tree, convergecast and leader election, the batch port
+must reproduce the reference node algorithms exactly: outputs, rounds
+executed, the full :class:`NetworkStats` (messages sent *and* delivered,
+words, peak per-edge bandwidth) — on every topology shape the reference
+engine handles, including disconnected graphs, isolated roots and the
+single-vertex graph, and on both primitive backends.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.distributed import (
+    BFSTreeNode,
+    ConvergecastSumNode,
+    FloodNode,
+    LeaderElectionNode,
+    SyncNetwork,
+    run_bfs_tree,
+)
+from repro.graphs import _kernel
+from repro.engine import (
+    _backend,
+    bfs_tree,
+    convergecast_sum,
+    flood,
+    leader_election,
+)
+from repro.graphs import (
+    Graph,
+    balanced_tree,
+    cycle_graph,
+    gnp_fast,
+    path_graph,
+    random_connected,
+    star_graph,
+    torus_graph,
+)
+
+GRAPHS = {
+    "path": path_graph(7),
+    "cycle": cycle_graph(9),
+    "star": star_graph(6),
+    "tree": balanced_tree(3, 3),
+    "torus": torus_graph(4, 5),
+    "conn": random_connected(48, 0.05, seed=3),
+    "gnp-disconnected": gnp_fast(40, 0.05, seed=7),
+    "single": Graph(1),
+    "isolated-root": Graph(5, [(1, 2), (2, 3)]),
+}
+
+
+def _roots(graph):
+    n = graph.num_vertices
+    return [0] if n < 3 else [0, n // 2]
+
+
+def _reference_flood(graph, root):
+    network = SyncNetwork(graph, lambda v: FloodNode(v, root))
+    rounds = network.run_until_quiet(graph.num_vertices + 1)
+    arrival = {
+        v: network.algorithm(v).heard_at
+        for v in graph.vertices()
+        if network.algorithm(v).heard_at is not None
+    }
+    return arrival, network.stats, rounds
+
+
+def _reference_tree(graph, root):
+    network = SyncNetwork(graph, lambda v: BFSTreeNode(v, root))
+    rounds = network.run_until_quiet(graph.num_vertices + 2)
+    parents, depths, children = {}, {}, {}
+    for v in graph.vertices():
+        node = network.algorithm(v)
+        if node.depth is not None:
+            parents[v] = node.parent if node.parent is not None else -1
+            depths[v] = node.depth
+            children[v] = node.children
+    return parents, depths, children, network.stats, rounds
+
+
+def _reference_convergecast(graph, root, values):
+    parents, _ = run_bfs_tree(graph, root)
+    children = {v: [] for v in parents}
+    for v, parent in parents.items():
+        if parent >= 0:
+            children[parent].append(v)
+    network = SyncNetwork(
+        graph,
+        lambda v: ConvergecastSumNode(
+            v,
+            values.get(v, 0.0) if v in parents else 0.0,
+            parents.get(v),
+            children.get(v, ()),
+        ),
+    )
+    rounds = network.run_until_quiet(2 * graph.num_vertices + 4)
+    totals = {v: network.algorithm(v).total for v in parents}
+    return network.algorithm(root).total, totals, network.stats, rounds
+
+
+def _reference_leader(graph):
+    network = SyncNetwork(graph, lambda v: LeaderElectionNode(v))
+    rounds = network.run_until_quiet(graph.num_vertices + 2)
+    return (
+        {v: network.algorithm(v).leader for v in graph.vertices()},
+        network.stats,
+        rounds,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+class TestEquivalence:
+    def test_flood(self, name):
+        graph = GRAPHS[name]
+        for root in _roots(graph):
+            arrival, stats, rounds = _reference_flood(graph, root)
+            result = flood(graph, root)
+            assert result.arrival == arrival
+            assert result.stats == stats
+            assert result.rounds == rounds
+
+    def test_bfs_tree(self, name):
+        graph = GRAPHS[name]
+        for root in _roots(graph):
+            parents, depths, children, stats, rounds = _reference_tree(graph, root)
+            result = bfs_tree(graph, root)
+            assert result.parents == parents
+            assert result.depths == depths
+            assert result.children == children
+            assert result.stats == stats
+            assert result.rounds == rounds
+
+    def test_convergecast(self, name):
+        graph = GRAPHS[name]
+        rng = random.Random(11)
+        values = {v: rng.random() * 12 - 4 for v in graph.vertices()}
+        for root in _roots(graph):
+            total, totals, stats, rounds = _reference_convergecast(graph, root, values)
+            result = convergecast_sum(graph, root, values)
+            assert result.total == total  # exact float equality, not approx
+            assert result.totals == totals
+            assert result.stats == stats
+            assert result.rounds == rounds
+
+    def test_leader_election(self, name):
+        graph = GRAPHS[name]
+        leader, stats, rounds = _reference_leader(graph)
+        result = leader_election(graph)
+        assert result.leader == leader
+        assert result.stats == stats
+        assert result.rounds == rounds
+
+
+class TestPurePythonBackend:
+    """The primitive backend must not change any protocol result."""
+
+    @pytest.mark.skipif(not _backend.numpy_enabled(), reason="numpy backend inactive")
+    def test_leader_and_flood_identical_across_backends(self, monkeypatch):
+        graph = gnp_fast(300, 0.02, seed=9)  # wide enough for numpy paths
+        with_numpy = (
+            flood(graph, 0).arrival,
+            flood(graph, 0).stats,
+            leader_election(graph).leader,
+            leader_election(graph).stats,
+        )
+        monkeypatch.setattr(_kernel, "USE_NUMPY", False)
+        pure = (
+            flood(graph, 0).arrival,
+            flood(graph, 0).stats,
+            leader_election(graph).leader,
+            leader_election(graph).stats,
+        )
+        assert with_numpy == pure
+
+
+class TestLeaderElectionEmpty:
+    def test_empty_graph(self):
+        result = leader_election(Graph(0))
+        assert result.leader == {}
+        assert result.rounds == 0
+        assert result.stats.messages_sent == 0

@@ -32,6 +32,8 @@ class TestRegistry:
             "strong-vs-weak",
             "high-radius",
             "congest-rounds",
+            "kernel-scaling",
+            "engine-scaling",
             "smoke",
         ):
             assert required in names
@@ -41,6 +43,23 @@ class TestRegistry:
             assert scenario.algorithm in ALGORITHMS, name
             assert scenario.points, name
             assert scenario.description, name
+
+    def test_engine_adapter_cross_validates_against_sync(self):
+        from repro.experiments.spec import TrialSpec
+        from repro.experiments.adapters import run_trial
+
+        trial = TrialSpec(
+            algorithm="engine",
+            graph="conn:48:0.04",
+            params=(("k", 3), ("compare", "sync")),
+            seed=11,
+            graph_seed=11,
+            index=0,
+        )
+        record = run_trial(trial)
+        assert record["matches_sync"] is True
+        assert record["checksum"] == run_trial(trial)["checksum"]  # deterministic
+        assert record["rounds"] > 0 and record["messages"] > 0
 
     def test_unknown_scenario_raises(self):
         with pytest.raises(ParameterError, match="unknown scenario"):

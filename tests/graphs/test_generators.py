@@ -19,6 +19,7 @@ from repro.graphs import (
     diameter,
     empty_graph,
     erdos_renyi,
+    gnp_fast,
     grid_graph,
     hypercube_graph,
     is_connected,
@@ -146,6 +147,42 @@ class TestRandomFamilies:
     def test_er_bad_p(self):
         with pytest.raises(ParameterError):
             erdos_renyi(10, 1.5)
+
+    def test_gnp_fast_determinism_and_seed_sensitivity(self):
+        assert gnp_fast(200, 0.03, seed=5) == gnp_fast(200, 0.03, seed=5)
+        assert gnp_fast(200, 0.03, seed=5) != gnp_fast(200, 0.03, seed=6)
+
+    def test_gnp_fast_is_a_distinct_family(self):
+        # Deliberately NOT the same instance as er: for a shared seed —
+        # the skip-sampled stream is new, so seeded er: graphs (and the
+        # golden-decomposition contract behind them) are untouched.
+        assert gnp_fast(60, 0.1, seed=5) != erdos_renyi(60, 0.1, seed=5)
+
+    def test_gnp_fast_extremes(self):
+        assert gnp_fast(10, 0.0, seed=1).num_edges == 0
+        assert gnp_fast(10, 1.0, seed=1).num_edges == 45
+        assert gnp_fast(0, 0.5, seed=1).num_vertices == 0
+        assert gnp_fast(1, 0.5, seed=1).num_edges == 0
+
+    def test_gnp_fast_edge_count_tracks_expectation(self):
+        n, p = 400, 0.05
+        expected = p * n * (n - 1) / 2
+        total = sum(
+            gnp_fast(n, p, seed=seed).num_edges for seed in range(5)
+        ) / 5
+        assert 0.85 * expected < total < 1.15 * expected
+
+    def test_gnp_fast_edges_are_valid_and_simple(self):
+        g = gnp_fast(120, 0.04, seed=9)
+        edges = list(g.edges())
+        assert len(set(edges)) == len(edges) == g.num_edges
+        assert all(0 <= u < v < 120 for u, v in edges)
+
+    def test_gnp_fast_bad_p(self):
+        with pytest.raises(ParameterError):
+            gnp_fast(10, -0.1)
+        with pytest.raises(ParameterError):
+            gnp_fast(10, 1.5)
 
     def test_random_tree(self):
         g = random_tree(25, seed=3)

@@ -36,6 +36,17 @@ class TestParseGraphSpec:
         assert g.num_vertices == 20
         assert all(g.degree(v) == 4 for v in g.vertices())
 
+    def test_gnp_fast(self):
+        from repro.graphs import gnp_fast
+
+        assert parse_graph_spec("gnp_fast:300:0.01", seed=5) == gnp_fast(
+            300, 0.01, seed=5
+        )
+        # a distinct family: same seed, different instance than er:
+        assert parse_graph_spec("gnp_fast:30:0.2", seed=1) != parse_graph_spec(
+            "er:30:0.2", seed=1
+        )
+
     def test_seed_threaded_through(self):
         a = parse_graph_spec("er:30:0.2", seed=1)
         b = parse_graph_spec("er:30:0.2", seed=2)
@@ -113,8 +124,27 @@ class TestBench:
     def test_list_scenarios(self, capsys):
         assert main(["bench", "--list"]) == 0
         out = capsys.readouterr().out
-        for name in ("er-sweep", "strong-vs-weak", "congest-rounds", "smoke"):
+        for name in (
+            "er-sweep",
+            "strong-vs-weak",
+            "congest-rounds",
+            "smoke",
+            "kernel-scaling",
+            "engine-scaling",
+        ):
             assert name in out
+
+    def test_list_shows_descriptions_and_shape(self, capsys):
+        """--list is the discoverability surface: every scenario row must
+        carry its registry description plus the point/trial shape."""
+        from repro.experiments import SCENARIOS
+
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "description" in out
+        assert "Batch round-engine over a doubling sweep" in out
+        for scenario in SCENARIOS.values():
+            assert scenario.description[:40] in out
 
     def test_no_scenario_lists(self, capsys):
         assert main(["bench"]) == 0

@@ -4,7 +4,24 @@ from __future__ import annotations
 
 import pytest
 
-from repro.rng import DEFAULT_SEED, derive_seed, spawn_seeds, stream
+from repro.rng import DEFAULT_SEED, derive_seed, seed_prefix, spawn_seeds, stream
+
+
+class TestSeedPrefix:
+    def test_matches_derive_seed(self):
+        derive = seed_prefix(7, "radius", 3)
+        for v in (0, 1, 17, -4, "x", (1, 2)):
+            assert derive(v) == derive_seed(7, "radius", 3, v)
+
+    def test_multi_suffix_and_empty_prefix(self):
+        assert seed_prefix(9)("a", 2) == derive_seed(9, "a", 2)
+        assert seed_prefix(9, "a")(2, "b") == derive_seed(9, "a", 2, "b")
+        assert seed_prefix(9)() == derive_seed(9)
+
+    def test_prefix_reusable(self):
+        derive = seed_prefix(1, "phase", 5)
+        assert derive(10) == derive(10)
+        assert derive(10) != derive(11)
 
 
 class TestDeriveSeed:
