@@ -1,0 +1,189 @@
+"""E18 — batched cover-oracle queries vs the per-pair BFS baseline.
+
+The oracle's reason to exist is query throughput: after a one-off
+multi-scale build (:mod:`repro.oracle`), a batch of ``(s, t)`` distance
+queries is answered from flat columnar tables instead of running one
+BFS per pair.  Every race first validates correctness — a sample of
+answers is checked against exact BFS for the two-sided guarantee
+``d ≤ est ≤ stretch_bound · d`` — so the table can only ever show a
+speedup on verified answers.
+
+Two modes:
+
+* ``pytest benchmarks/bench_oracle.py -s`` — CI-sized workloads
+  (n ≈ 10³–10⁴), correctness asserted, informational speedup, and a
+  ``BENCH_oracle.json`` artifact (with the environment block) at the
+  repo root;
+* ``python benchmarks/bench_oracle.py`` — the acceptance sweep: an
+  n ≈ 10⁵ ``gnp_fast`` build serving a 10⁵-query batch (gate: ≥ 10x
+  throughput over per-pair BFS, every checked answer within the
+  advertised stretch bound), plus an ungated high-diameter torus leg.
+  Set ``BENCH_ORACLE_SKIP_TORUS=1`` to skip the torus leg.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import environment_block
+from repro.graphs import Graph, gnp_fast, torus_graph
+from repro.graphs._kernel import backend_name
+from repro.oracle import build_oracle
+from repro.rng import stream
+
+from _common import emit, strip_private
+
+SEED = 20160217
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_oracle.json"
+
+
+def _bfs_distance_early_exit(graph: Graph, source: int, target: int) -> int:
+    """The baseline a caller without the oracle would run: one BFS per
+    pair, stopping as soon as the target is reached."""
+    if source == target:
+        return 0
+    indptr, indices = graph.csr()
+    seen = bytearray(graph.num_vertices)
+    seen[source] = 1
+    level = [source]
+    depth = 0
+    while level:
+        depth += 1
+        frontier: list[int] = []
+        for u in level:
+            for position in range(indptr[u], indptr[u + 1]):
+                w = indices[position]
+                if not seen[w]:
+                    if w == target:
+                        return depth
+                    seen[w] = 1
+                    frontier.append(w)
+        level = frontier
+    return -1
+
+
+def race(
+    name: str,
+    graph: Graph,
+    num_queries: int,
+    baseline_pairs: int,
+):
+    """Build, serve one batch, time both sides.
+
+    The ``baseline_pairs`` prefix of the batch is answered by the
+    baseline too, and every one of those answers doubles as an exact
+    check of the oracle's two-sided guarantee.
+    """
+    start = time.perf_counter()
+    oracle = build_oracle(graph, seed=SEED)
+    build_s = time.perf_counter() - start
+    n = graph.num_vertices
+    rng = stream(SEED, "bench-oracle", name)
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(num_queries)]
+
+    start = time.perf_counter()
+    estimates = oracle.distances(pairs)
+    batch_s = time.perf_counter() - start
+    oracle_qps = num_queries / max(batch_s, 1e-9)
+
+    start = time.perf_counter()
+    exact = [
+        _bfs_distance_early_exit(graph, s, t) for s, t in pairs[:baseline_pairs]
+    ]
+    baseline_s = time.perf_counter() - start
+    baseline_qps = baseline_pairs / max(baseline_s, 1e-9)
+
+    bound = oracle.stretch_bound
+    for (s, t), estimate, distance in zip(pairs, estimates, exact):
+        if distance < 0:
+            assert estimate == -1, f"{name}: ({s},{t}) reachable mismatch"
+        elif distance == 0:
+            assert estimate == 0, f"{name}: ({s},{t}) self pair"
+        else:
+            assert distance <= estimate <= bound * distance, (
+                f"{name}: ({s},{t}) est {estimate} outside "
+                f"[{distance}, {bound} * {distance}]"
+            )
+    return {
+        "workload": name,
+        "n": n,
+        "m": graph.num_edges,
+        "scales": oracle.num_scales,
+        "stretch_bound": round(bound, 2),
+        "build s": round(build_s, 2),
+        "queries": num_queries,
+        "batch s": round(batch_s, 3),
+        "oracle q/s": round(oracle_qps),
+        "bfs q/s": round(baseline_qps, 1),
+        "speedup": round(oracle_qps / baseline_qps, 1),
+        "checked": len(exact),
+        "_raw_speedup": oracle_qps / baseline_qps,
+    }
+
+
+def _write_artifact(rows, scale: str) -> None:
+    payload = {
+        "benchmark": "oracle",
+        "scale": scale,
+        "seed": SEED,
+        "rows": strip_private(rows),
+        "environment": environment_block(),
+    }
+    RESULT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf8",
+    )
+    print(f"wrote {RESULT_PATH}")
+
+
+def test_oracle_bench():
+    """CI-sized race: stretch validated exactly, no wall-clock gate."""
+    rows = [
+        race("gnp_fast:4096:0.0015", gnp_fast(4096, 0.0015, seed=2),
+             num_queries=20_000, baseline_pairs=200),
+        race("torus:48:48", torus_graph(48, 48),
+             num_queries=20_000, baseline_pairs=200),
+    ]
+    table = emit(
+        f"E18: cover-oracle batched queries vs per-pair BFS "
+        f"(CI scale, backend={backend_name()})",
+        strip_private(rows),
+        "e18_oracle_small.txt",
+    )
+    assert table
+    _write_artifact(rows, "ci")
+    print("speedups (informational): "
+          + ", ".join(f"{r['_raw_speedup']:.0f}x" for r in rows))
+
+
+def main() -> int:
+    rows = [
+        race("gnp_fast:1e5:6/n", gnp_fast(100_000, 6.0 / 100_000, seed=2),
+             num_queries=120_000, baseline_pairs=400),
+    ]
+    if os.environ.get("BENCH_ORACLE_SKIP_TORUS", "") not in ("1", "true", "yes"):
+        rows.append(
+            race("torus:316:316", torus_graph(316, 316),
+                 num_queries=120_000, baseline_pairs=300)
+        )
+    emit(
+        f"E18: cover-oracle batched queries vs per-pair BFS "
+        f"(full scale, backend={backend_name()})",
+        strip_private(rows),
+        "e18_oracle_full.txt",
+    )
+    _write_artifact(rows, "full")
+    speedup = rows[0]["_raw_speedup"]
+    print(f"batched-query speedup at n~1e5: {speedup:.0f}x  [acceptance: >= 10x]")
+    return 0 if speedup >= 10.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

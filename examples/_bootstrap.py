@@ -1,0 +1,18 @@
+"""Shared ``sys.path`` bootstrap for the examples.
+
+Every example starts with ``import _bootstrap  # noqa: F401`` (the
+script's own directory is always on ``sys.path``, so this works from any
+working directory).  Importing this module prefers an installed
+``repro`` (``pip install -e .``) and falls back to the checkout's
+``src/`` layout, so the examples run with zero setup either way.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))

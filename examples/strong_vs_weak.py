@@ -18,15 +18,9 @@ Usage:
 
 from __future__ import annotations
 
-import pathlib
 import sys
 
-# Prefer an installed `repro` (pip install -e .); fall back to the
-# checkout's src/ so the examples also run with zero setup.
-try:
-    import repro  # noqa: F401
-except ImportError:
-    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+import _bootstrap  # noqa: F401  (installed `repro` or the checkout's src/)
 
 from repro.analysis import format_records, report
 from repro.applications import run_mis

@@ -30,6 +30,7 @@ All three properties are verified exactly by the test suite.
 from __future__ import annotations
 
 import math
+from array import array
 from dataclasses import dataclass
 
 from ..core import elkin_neiman
@@ -87,6 +88,34 @@ class NeighborhoodCover:
             (weak_diameter(graph, cluster) for cluster in self.clusters),
             default=0.0,
         )
+
+    def membership_columns(self) -> tuple[array, array]:
+        """Vertex→cluster membership as flat CSR columns.
+
+        Returns ``(indptr, cluster_ids)`` — both ``array('l')`` — where
+        ``cluster_ids[indptr[v]:indptr[v+1]]`` lists, ascending, the
+        indices into :attr:`clusters` of every cover cluster containing
+        ``v``.  This is the columnar form consumed by batched engines
+        (the same vertex-major layout as the oracle's
+        :class:`~repro.oracle.tables.ScaleTables`): row lengths are the
+        per-vertex overlap, so ``max(row length) ≤ overlap_bound``
+        whenever the χ bound holds.
+        """
+        n = self.base.graph.num_vertices
+        rows: list[list[int]] = [[] for _ in range(n)]
+        for index, cluster in enumerate(self.clusters):
+            for v in cluster:
+                rows[v].append(index)
+        word = array("l").itemsize
+        indptr = array("l", bytes(word * (n + 1)))
+        cluster_ids = array("l", bytes(word * sum(len(row) for row in rows)))
+        position = 0
+        for v in range(n):
+            for index in rows[v]:
+                cluster_ids[position] = index
+                position += 1
+            indptr[v + 1] = position
+        return indptr, cluster_ids
 
 
 def build_cover(

@@ -30,6 +30,7 @@ import json
 import math
 import pathlib
 import sys
+import time
 from typing import Sequence
 
 from .analysis import comparison_rows, format_records, report
@@ -53,12 +54,14 @@ from .experiments import (
     aggregate_experiment,
     build_experiment,
     default_cache,
+    environment_block,
     per_trial_rows,
     run_experiment,
     scenario_names,
 )
 from .graphs import parse_graph_spec
-from .rng import DEFAULT_SEED
+from .oracle import build_oracle, estimates_checksum, validate_sample
+from .rng import DEFAULT_SEED, stream
 
 __all__ = ["parse_graph_spec", "main"]
 
@@ -219,6 +222,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "root_seed": spec.root_seed,
             "rows": rows,
             "failures": len(result.failures),
+            # Provenance for cross-PR comparability (the rows themselves
+            # stay environment-free so cached trials remain portable).
+            "environment": environment_block(),
         }
         path = pathlib.Path(args.json)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -247,6 +253,96 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 1 if result.failures else 0
+
+
+def _cmd_oracle(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(args.graph, seed=args.seed)
+    start = time.perf_counter()
+    oracle = build_oracle(
+        graph,
+        k=args.k,
+        c=args.c,
+        seed=args.seed,
+        overlap_budget=args.budget,
+    )
+    build_seconds = time.perf_counter() - start
+    scale_rows = oracle.scale_rows()
+    print(format_records(
+        scale_rows,
+        title=f"oracle on {args.graph} (n={graph.num_vertices}, "
+        f"m={graph.num_edges}): {oracle.num_scales} scales, "
+        f"stretch bound {oracle.stretch_bound:.2f}",
+    ))
+    if oracle.skipped_radii:
+        print(f"skipped saturated scales at W = {oracle.skipped_radii} "
+              f"(overlap budget {args.budget})")
+    # Wall-clock goes to stderr so stdout stays deterministic per seed.
+    print(f"built in {build_seconds:.2f}s", file=sys.stderr)
+    payload: dict = {
+        "command": f"oracle {args.oracle_command}",
+        "graph": args.graph,
+        "seed": args.seed,
+        "k": oracle.k,
+        "c": args.c,
+        "overlap_budget": args.budget,
+        "n": graph.num_vertices,
+        "m": graph.num_edges,
+        "scales": scale_rows,
+        "skipped_radii": oracle.skipped_radii,
+        "stretch_bound": oracle.stretch_bound,
+        "build_seconds": round(build_seconds, 3),
+        "environment": environment_block(),
+    }
+    exit_code = 0
+    if args.oracle_command == "query":
+        n = graph.num_vertices
+        rng = stream(args.seed, "oracle", "cli-queries")
+        pairs = [
+            (rng.randrange(n), rng.randrange(n)) for _ in range(args.pairs)
+        ] if n else []
+        start = time.perf_counter()
+        estimates = oracle.distances(pairs)
+        query_seconds = time.perf_counter() - start
+        validation = validate_sample(oracle, pairs, estimates, args.check)
+        violations = validation["violations"]
+        reachable = [e for e in estimates if e >= 0]
+        summary = {
+            "queries": len(pairs),
+            "unreachable": len(pairs) - len(reachable),
+            "mean_estimate": round(
+                sum(reachable) / len(reachable), 3
+            ) if reachable else None,
+            "checked": validation["checked"],
+            "violations": violations,
+            "worst_checked_stretch": validation["worst_stretch"],
+            "checksum": estimates_checksum(estimates),
+        }
+        print(format_records(
+            [summary],
+            title=f"query batch (stretch bound {oracle.stretch_bound:.2f}, "
+            f"exact-BFS check on {validation['checked']} pairs)",
+        ))
+        print(
+            f"answered {len(pairs)} queries in {query_seconds:.3f}s "
+            f"({len(pairs) / max(query_seconds, 1e-9):,.0f} q/s)",
+            file=sys.stderr,
+        )
+        if args.routes:
+            sample = pairs[: args.routes]
+            for pair, route in zip(sample, oracle.routes(sample)):
+                print(f"route {pair[0]} -> {pair[1]}: "
+                      f"{'unreachable' if route is None else route}")
+        payload["query"] = summary
+        payload["query_seconds"] = round(query_seconds, 3)
+        exit_code = 1 if violations else 0
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+            encoding="utf8",
+        )
+    return exit_code
 
 
 class _SeedAction(argparse.Action):
@@ -301,6 +397,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("n", type=int)
     p.add_argument("-k", type=int, default=None)
     p.set_defaults(func=_cmd_theory)
+
+    p = sub.add_parser(
+        "oracle",
+        help="hierarchical cover-based distance/routing oracle",
+    )
+    osub = p.add_subparsers(dest="oracle_command", required=True)
+    for name, help_text in (
+        ("build", "build the multi-scale oracle and print its tables"),
+        ("query", "build, then answer a seeded batch of distance queries"),
+    ):
+        op = osub.add_parser(name, help=help_text)
+        op.add_argument("graph", help="graph spec, e.g. gnp_fast:100000:0.00006")
+        op.add_argument("-k", type=float, default=None, help="level-0 k (default ceil(ln n))")
+        op.add_argument("-c", type=float, default=4.0)
+        op.add_argument(
+            "--budget",
+            type=float,
+            default=8.0,
+            help="overlap budget: max mean membership slots per vertex "
+            "per scale (saturated scales are skipped)",
+        )
+        if name == "query":
+            op.add_argument("--pairs", type=int, default=4096, help="query batch size")
+            op.add_argument(
+                "--check",
+                type=int,
+                default=64,
+                help="answers validated against exact BFS",
+            )
+            op.add_argument(
+                "--routes",
+                type=int,
+                default=0,
+                metavar="R",
+                help="print explicit routes for the first R pairs",
+            )
+        op.add_argument(
+            "--json",
+            default=None,
+            metavar="PATH",
+            help="also write the tables/summary as JSON to PATH (CI artifact)",
+        )
+        op.set_defaults(func=_cmd_oracle)
 
     p = sub.add_parser("bench", help="run a registered experiment scenario")
     p.add_argument(

@@ -37,6 +37,7 @@ from .aggregate import (
     quantile,
 )
 from .cache import DEFAULT_CACHE_DIR, ResultCache, default_cache
+from .env import environment_block, git_revision
 from .registry import (
     DEFAULT_ROOT_SEED,
     SCENARIOS,
@@ -74,7 +75,9 @@ __all__ = [
     "build_experiment",
     "confidence_interval",
     "default_cache",
+    "environment_block",
     "freeze_params",
+    "git_revision",
     "get_scenario",
     "mean_curve",
     "per_trial_rows",

@@ -30,6 +30,8 @@ from ..graphs import (
     multi_source_bfs,
     parse_graph_spec,
 )
+from ..oracle import build_oracle, estimates_checksum, validate_sample
+from ..rng import stream
 from .spec import TrialSpec
 
 __all__ = ["ALGORITHMS", "Adapter", "algorithm_names", "run_trial"]
@@ -303,6 +305,50 @@ def _adapt_engine(graph: Graph, trial: TrialSpec) -> Record:
     return record
 
 
+def _adapt_oracle(graph: Graph, trial: TrialSpec) -> Record:
+    """Distance-oracle workload: build the hierarchy, serve a query batch.
+
+    Builds the multi-scale cover oracle, answers a seeded batch of
+    random pairs and validates the first ``check`` answers against exact
+    BFS (lower bound, and the advertised stretch bound).  Records are
+    pure functions of the trial spec: query pairs come from a derived
+    stream, estimates are bit-identical on both query backends by
+    contract, and the checksum pins them — so a cached numpy record
+    validates a later ``REPRO_KERNEL=py`` run and vice versa.
+    Wall-clock throughput lives in ``benchmarks/bench_oracle.py``.
+    """
+    params = trial.param_dict()
+    k = params.get("k")
+    c = params.get("c", 4.0)
+    budget = params.get("budget", 8.0)
+    queries = int(params.get("queries", 2048))
+    check = int(params.get("check", 64))
+    oracle = build_oracle(
+        graph, k=k, c=c, seed=trial.seed, overlap_budget=budget
+    )
+    n = graph.num_vertices
+    rng = stream(trial.seed, "oracle", "queries")
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(queries)] if n else []
+    estimates = oracle.distances(pairs)
+    validation = validate_sample(oracle, pairs, estimates, check)
+    return {
+        "n": n,
+        "m": graph.num_edges,
+        "scales": oracle.num_scales,
+        "skipped": len(oracle.skipped_radii),
+        "clusters": sum(s.num_clusters for s in oracle.scales),
+        "entries": sum(s.entries for s in oracle.scales),
+        "max_overlap": max((s.max_overlap for s in oracle.scales), default=0),
+        "stretch_bound": round(oracle.stretch_bound, 2),
+        "queries": len(pairs),
+        "unreachable": sum(1 for e in estimates if e == -1),
+        "checked": validation["checked"],
+        "stretch_ok": validation["violations"] == 0,
+        "worst_stretch": validation["worst_stretch"],
+        "checksum": estimates_checksum(estimates),
+    }
+
+
 #: Algorithm name → adapter.  Registering here exposes the algorithm to
 #: every scenario and to ``python -m repro bench``.
 ALGORITHMS: Dict[str, Adapter] = {
@@ -315,6 +361,7 @@ ALGORITHMS: Dict[str, Adapter] = {
     "strong-vs-weak": _adapt_strong_vs_weak,
     "kernel": _adapt_kernel,
     "engine": _adapt_engine,
+    "oracle": _adapt_oracle,
 }
 
 

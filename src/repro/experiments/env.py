@@ -1,0 +1,79 @@
+"""Environment provenance for benchmark artifacts.
+
+``bench --json`` files and the ``BENCH_*.json`` perf-trajectory files
+are compared across PRs and across machines; a result without its
+environment is not comparable.  :func:`environment_block` captures the
+facts that actually move the numbers — interpreter, numpy presence and
+version, the active kernel backend, the git revision — as one flat
+JSON-safe dict.  Everything degrades to ``None`` rather than raising, so
+artifacts can be produced from installed wheels and bare checkouts
+alike.
+
+Note the deliberate split: *trial records* (the content-addressed cache)
+stay pure functions of the trial spec and never include this block —
+cached records outlive backend switches.  The environment is stamped on
+the artifact envelope only.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import platform
+import subprocess
+
+from ..graphs._kernel import backend_name
+
+__all__ = ["environment_block", "git_revision"]
+
+
+def git_revision() -> str | None:
+    """The checkout's short commit SHA, or ``None`` outside a checkout.
+
+    Guards against false provenance: the SHA is reported only when this
+    module actually lives inside the repository git resolves (an
+    installed copy sitting in a venv *inside some other project's repo*
+    would otherwise stamp that project's commit on our artifacts).
+    """
+    here = pathlib.Path(__file__).resolve()
+    try:
+        toplevel = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=here.parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=here.parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if toplevel.returncode != 0 or result.returncode != 0:
+        return None
+    root = pathlib.Path(toplevel.stdout.strip())
+    if (root / "src" / "repro" / "experiments" / "env.py").resolve() != here:
+        return None
+    sha = result.stdout.strip()
+    return sha or None
+
+
+def environment_block() -> dict:
+    """The flat provenance dict stamped on benchmark JSON artifacts."""
+    try:
+        import numpy
+
+        numpy_version: str | None = numpy.__version__
+    except ImportError:  # pragma: no cover - stdlib-only installs
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "numpy": numpy_version,
+        "kernel_backend": backend_name(),
+        "git_sha": git_revision(),
+    }

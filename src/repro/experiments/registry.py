@@ -216,6 +216,21 @@ SCENARIOS: Dict[str, Scenario] = {
         ),
         trials=2,
     ),
+    "oracle-scaling": Scenario(
+        description="Hierarchical cover oracle over a doubling sweep: "
+        "multi-scale build + seeded query batch with deterministic "
+        "checksums and exact-BFS stretch validation on a sampled subset "
+        "(wall-clock lives in benchmarks/bench_oracle.py)",
+        algorithm="oracle",
+        points=(
+            _P("gnp_fast:256:0.03", queries=1024, check=64),
+            _P("gnp_fast:1024:0.008", queries=2048, check=48),
+            _P("torus:32:32", queries=2048, check=48),
+            _P("regular:2048:6", queries=2048, check=32),
+            _P("ws:1024:6:0.05", queries=1024, check=32),
+        ),
+        trials=2,
+    ),
     "smoke": Scenario(
         description="Tiny end-to-end exercise of the runtime (CI smoke test)",
         algorithm="en",

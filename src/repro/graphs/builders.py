@@ -12,6 +12,7 @@ is deferred so the core library works without it.
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Mapping, Sequence
 
 from ..errors import GraphError, ParameterError
@@ -27,6 +28,10 @@ __all__ = [
     "parse_edge_list_text",
     "parse_graph_spec",
 ]
+
+#: ``er:`` spec size at which the O(n²) sampler becomes a footgun and
+#: :func:`parse_graph_spec` points the caller at ``gnp_fast:`` instead.
+_ER_WARN_VERTICES = 50_000
 
 
 def parse_graph_spec(spec: str, seed: int = DEFAULT_SEED) -> Graph:
@@ -44,7 +49,22 @@ def parse_graph_spec(spec: str, seed: int = DEFAULT_SEED) -> Graph:
     family, args = parts[0], parts[1:]
     try:
         if family == "er":
-            return generators.erdos_renyi(int(args[0]), float(args[1]), seed=seed)
+            n = int(args[0])
+            if n >= _ER_WARN_VERTICES:
+                # Deliberately a warning, not an error: the er: stream is
+                # pinned by the golden-decomposition fixtures, so the
+                # sampling itself must never change — but nobody should
+                # wait O(n²) for a graph gnp_fast: draws in O(n + m).
+                warnings.warn(
+                    f"er:{n} draws O(n²) coin flips (minutes at this size); "
+                    f"use gnp_fast:{n}:{args[1]} for the same G(n, p) "
+                    "distribution in O(n + m) time (note: a different "
+                    "seeded instance — the er: stream is pinned by the "
+                    "golden fixtures)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return generators.erdos_renyi(n, float(args[1]), seed=seed)
         if family == "gnp_fast":
             return generators.gnp_fast(int(args[0]), float(args[1]), seed=seed)
         if family == "grid":

@@ -1,0 +1,37 @@
+"""Hierarchical cover-based distance/routing oracle (paper §1.1).
+
+The paper motivates strong-diameter decompositions through their role in
+*"routing and synchronization"* via neighborhood covers.  This package
+turns that motivation into a served workload: a hierarchy of covers at
+geometric radii ``W = 1, 2, 4, …`` is precomputed with the paper's
+decomposition as the only clustering primitive
+(:mod:`~repro.oracle.hierarchy`), compacted into flat columnar tables
+(:mod:`~repro.oracle.tables` / :mod:`~repro.oracle.build`), and served
+by a batched, dual-backend query engine (:mod:`~repro.oracle.query`)
+with an instance-measured, provable stretch bound.
+
+>>> from repro.graphs import grid_graph
+>>> from repro.oracle import build_oracle
+>>> oracle = build_oracle(grid_graph(8, 8), seed=1)
+>>> oracle.distances([(0, 63)])[0] >= 14  # true distance, never below
+True
+"""
+
+from .build import build_oracle, compact_scale
+from .query import query_details, query_distances, query_routes
+from .tables import DistanceOracle, ScaleTables, TRIVIAL_SCALE, UNREACHABLE
+from .validate import estimates_checksum, validate_sample
+
+__all__ = [
+    "DistanceOracle",
+    "ScaleTables",
+    "TRIVIAL_SCALE",
+    "UNREACHABLE",
+    "build_oracle",
+    "compact_scale",
+    "estimates_checksum",
+    "query_details",
+    "query_distances",
+    "query_routes",
+    "validate_sample",
+]

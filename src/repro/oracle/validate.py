@@ -1,0 +1,58 @@
+"""Shared answer-validation and checksum helpers.
+
+The `oracle` experiment adapter, the ``repro oracle query`` CLI and the
+E18 benchmark all validate a sample of answers against exact BFS and pin
+full batches with the same checksum.  One implementation keeps their
+artifacts comparable: if the checksum formula or the
+unreachable/self-pair conventions ever change, they change everywhere at
+once.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..graphs.traversal import bfs_distances
+from .tables import DistanceOracle
+
+__all__ = ["estimates_checksum", "validate_sample"]
+
+
+def estimates_checksum(estimates: Sequence[int]) -> int:
+    """Order-sensitive checksum pinning a whole batch of estimates."""
+    return sum((i + 1) * (e + 2) for i, e in enumerate(estimates)) % 1_000_003
+
+
+def validate_sample(
+    oracle: DistanceOracle,
+    pairs: Sequence[tuple[int, int]],
+    estimates: Sequence[int],
+    check: int,
+) -> dict:
+    """Check the first ``check`` answers against exact BFS.
+
+    Verifies the two-sided guarantee ``d ≤ est ≤ stretch_bound · d`` for
+    reachable pairs (estimate 0 for self pairs, −1 for cross-component
+    pairs) and returns ``{"checked", "violations", "worst_stretch"}``.
+    """
+    bound = oracle.stretch_bound
+    graph = oracle.graph
+    checked = 0
+    violations = 0
+    worst = 0.0
+    for (s, t), estimate in zip(pairs[:check], estimates[:check]):
+        exact = bfs_distances(graph, s).get(t)
+        checked += 1
+        if exact is None:
+            violations += estimate != -1
+        elif exact == 0:
+            violations += estimate != 0
+        else:
+            if not exact <= estimate <= bound * exact:
+                violations += 1
+            worst = max(worst, estimate / exact)
+    return {
+        "checked": checked,
+        "violations": violations,
+        "worst_stretch": round(worst, 4),
+    }

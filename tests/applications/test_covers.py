@@ -19,8 +19,17 @@ CASES = [
     ("path-w2", path_graph(20), 2),
     ("cycle", cycle_graph(18), 1),
     ("grid", grid_graph(5, 5), 1),
+    # The paper's §1.1 properties on seeded random graphs at every
+    # radius the oracle's finest scales use: W ∈ {1, 2, 3}.
     ("er", erdos_renyi(40, 0.08, seed=6), 1),
     ("er-w2", erdos_renyi(40, 0.08, seed=6), 2),
+    ("er-w3", erdos_renyi(40, 0.08, seed=6), 3),
+    ("er-sparse-w1", erdos_renyi(60, 0.04, seed=11), 1),
+    ("er-sparse-w2", erdos_renyi(60, 0.04, seed=11), 2),
+    ("er-sparse-w3", erdos_renyi(60, 0.04, seed=11), 3),
+    ("er-dense-w1", erdos_renyi(36, 0.15, seed=23), 1),
+    ("er-dense-w2", erdos_renyi(36, 0.15, seed=23), 2),
+    ("er-dense-w3", erdos_renyi(36, 0.15, seed=23), 3),
 ]
 
 
@@ -74,3 +83,37 @@ class TestCoverProperties:
     def test_negative_radius_rejected(self):
         with pytest.raises(ParameterError):
             build_cover(path_graph(5), radius=-1)
+
+
+class TestMembershipColumns:
+    @pytest.mark.parametrize("name,graph,W", CASES, ids=[c[0] for c in CASES])
+    def test_columns_match_cluster_sets(self, name, graph, W):
+        cover = build_cover(graph, radius=W, seed=9)
+        indptr, cluster_ids = cover.membership_columns()
+        assert len(indptr) == graph.num_vertices + 1
+        assert indptr[0] == 0
+        assert len(cluster_ids) == sum(len(c) for c in cover.clusters)
+        for v in graph.vertices():
+            row = list(cluster_ids[indptr[v] : indptr[v + 1]])
+            assert row == sorted(row)
+            assert row == [
+                i for i, cluster in enumerate(cover.clusters) if v in cluster
+            ]
+
+    def test_row_lengths_are_the_overlap(self):
+        graph = erdos_renyi(50, 0.06, seed=14)
+        cover = build_cover(graph, radius=2, seed=14)
+        indptr, _ = cover.membership_columns()
+        widths = [
+            indptr[v + 1] - indptr[v] for v in graph.vertices()
+        ]
+        assert max(widths) == cover.max_overlap(graph)
+        assert max(widths) <= cover.overlap_bound
+
+    def test_empty_graph_columns(self):
+        from repro.graphs import Graph
+
+        cover = build_cover(Graph(0), radius=1)
+        indptr, cluster_ids = cover.membership_columns()
+        assert list(indptr) == [0]
+        assert len(cluster_ids) == 0

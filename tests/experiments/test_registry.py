@@ -34,6 +34,7 @@ class TestRegistry:
             "congest-rounds",
             "kernel-scaling",
             "engine-scaling",
+            "oracle-scaling",
             "smoke",
         ):
             assert required in names
@@ -60,6 +61,41 @@ class TestRegistry:
         assert record["matches_sync"] is True
         assert record["checksum"] == run_trial(trial)["checksum"]  # deterministic
         assert record["rounds"] > 0 and record["messages"] > 0
+
+    def test_oracle_adapter_validates_stretch_and_is_deterministic(self):
+        from repro.experiments.spec import TrialSpec
+        from repro.experiments.adapters import run_trial
+
+        trial = TrialSpec(
+            algorithm="oracle",
+            graph="gnp_fast:160:0.03",
+            params=(("queries", 256), ("check", 48)),
+            seed=19,
+            graph_seed=19,
+            index=0,
+        )
+        record = run_trial(trial)
+        assert record["stretch_ok"] is True
+        assert record["scales"] >= 1
+        assert record["queries"] == 256
+        assert record["checksum"] == run_trial(trial)["checksum"]
+
+    def test_oracle_adapter_checksum_is_backend_independent(self, monkeypatch):
+        from repro.experiments.spec import TrialSpec
+        from repro.experiments.adapters import run_trial
+        from repro.graphs import _kernel
+
+        trial = TrialSpec(
+            algorithm="oracle",
+            graph="torus:12:12",
+            params=(("queries", 200), ("check", 24)),
+            seed=7,
+            graph_seed=7,
+            index=0,
+        )
+        with_numpy = run_trial(trial)
+        monkeypatch.setattr(_kernel, "USE_NUMPY", False)
+        assert run_trial(trial) == with_numpy
 
     def test_unknown_scenario_raises(self):
         with pytest.raises(ParameterError, match="unknown scenario"):

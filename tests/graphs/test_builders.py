@@ -100,3 +100,34 @@ class TestNetworkxInterop:
         nxg.add_edge(0, 1)
         g, _ = from_networkx(nxg)
         assert g.num_edges == 1
+
+
+class TestLargeErSpecGuard:
+    """The er: spec warns at n >= 5e4 and points at gnp_fast: (the
+    sampling itself is untouched — the golden fixtures pin its stream)."""
+
+    def test_large_er_spec_warns_and_mentions_gnp_fast(self, monkeypatch):
+        from repro.graphs import builders, generators
+
+        calls = {}
+
+        def stub(n, p, seed):
+            calls["args"] = (n, p, seed)
+            return path_graph(2)
+
+        # Stub the generator: actually sampling er:50000 is O(n²) slow,
+        # and the guard must fire before generation starts.
+        monkeypatch.setattr(generators, "erdos_renyi", stub)
+        with pytest.warns(RuntimeWarning, match="gnp_fast:50000"):
+            builders.parse_graph_spec("er:50000:0.0001", seed=3)
+        assert calls["args"] == (50000, 0.0001, 3)
+
+    def test_small_er_spec_does_not_warn(self):
+        import warnings
+
+        from repro.graphs import builders
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            graph = builders.parse_graph_spec("er:30:0.1", seed=3)
+        assert graph.num_vertices == 30

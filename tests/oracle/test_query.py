@@ -1,0 +1,151 @@
+"""Query-engine correctness: exact brute-force cross-checks and routes."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Graph,
+    bfs_distances,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    gnp_fast,
+    path_graph,
+    torus_graph,
+)
+from repro.oracle import TRIVIAL_SCALE, UNREACHABLE, build_oracle
+
+GRAPHS = [
+    ("path", path_graph(26)),
+    ("cycle", cycle_graph(20)),
+    ("grid", grid_graph(6, 8)),
+    ("torus", torus_graph(7, 7)),
+    ("er-disconnected", erdos_renyi(70, 0.02, seed=8)),
+    ("gnp", gnp_fast(200, 0.02, seed=4)),
+]
+IDS = [name for name, _ in GRAPHS]
+
+
+@pytest.fixture(scope="module")
+def built():
+    return {
+        name: (graph, build_oracle(graph, seed=17)) for name, graph in GRAPHS
+    }
+
+
+def all_pairs(graph, limit=4000):
+    return list(itertools.islice(
+        itertools.combinations(range(graph.num_vertices), 2), limit
+    ))
+
+
+class TestEstimates:
+    @pytest.mark.parametrize("name", IDS)
+    def test_two_sided_guarantee_on_all_pairs(self, built, name):
+        graph, oracle = built[name]
+        bound = oracle.stretch_bound
+        exact_from = {v: bfs_distances(graph, v) for v in graph.vertices()}
+        pairs = all_pairs(graph)
+        for (s, t), estimate in zip(pairs, oracle.distances(pairs)):
+            exact = exact_from[s].get(t)
+            if exact is None:
+                assert estimate == -1
+            else:
+                assert exact <= estimate <= bound * exact
+
+    @pytest.mark.parametrize("name", IDS)
+    def test_self_and_adjacent_pairs_exact(self, built, name):
+        graph, oracle = built[name]
+        pairs = [(v, v) for v in graph.vertices()]
+        pairs += list(graph.edges())
+        estimates, scales, clusters = oracle.distance_details(pairs)
+        n = graph.num_vertices
+        assert estimates[:n] == [0] * n
+        assert estimates[n:] == [1] * (len(pairs) - n)
+        assert scales == [TRIVIAL_SCALE] * len(pairs)
+        assert clusters == [-1] * len(pairs)
+
+    def test_unreachable_pairs(self):
+        # Two disjoint triangles.
+        graph = Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        oracle = build_oracle(graph, seed=3)
+        estimates, scales, _ = oracle.distance_details([(0, 3), (2, 5), (0, 2)])
+        assert estimates[:2] == [-1, -1]
+        assert scales[:2] == [UNREACHABLE] * 2
+        assert estimates[2] == 1
+
+    @pytest.mark.parametrize("name", IDS)
+    def test_first_sharing_scale_respects_min_distance(self, built, name):
+        """The stretch proof's two facts: a pair whose *first* shared
+        cluster appears at scale i has true distance >= min_distance_i,
+        and its final estimate is at most 2 · rmax_i (the reported scale
+        is the argmin over scales, which can be coarser)."""
+        graph, oracle = built[name]
+
+        def memberships(scale, v):
+            return {
+                scale.member_cluster[slot]
+                for slot in range(scale.indptr[v], scale.indptr[v + 1])
+            }
+
+        exact_from = {v: bfs_distances(graph, v) for v in graph.vertices()}
+        pairs = all_pairs(graph)
+        estimates, scales, _ = oracle.distance_details(pairs)
+        for (s, t), estimate, scale in zip(pairs, estimates, scales):
+            if scale < 0:
+                continue
+            first = next(
+                i
+                for i, tables in enumerate(oracle.scales)
+                if memberships(tables, s) & memberships(tables, t)
+            )
+            assert first <= scale
+            assert exact_from[s][t] >= oracle.scales[first].min_distance
+            assert estimate <= 2 * oracle.scales[first].rmax
+
+    def test_empty_batch(self):
+        oracle = build_oracle(path_graph(5))
+        assert oracle.distances([]) == []
+        assert oracle.routes([]) == []
+
+    def test_vertex_validation(self):
+        oracle = build_oracle(path_graph(5))
+        with pytest.raises(GraphError):
+            oracle.distances([(0, 9)])
+        with pytest.raises(GraphError):
+            oracle.distances([(-1, 2)])
+
+    def test_batch_order_is_respected(self):
+        graph = path_graph(12)
+        oracle = build_oracle(graph, seed=5)
+        pairs = [(0, 11), (3, 3), (2, 3), (11, 0)]
+        estimates = oracle.distances(pairs)
+        assert estimates[1] == 0
+        assert estimates[2] == 1
+        assert estimates[0] == estimates[3]  # symmetric pair, same answer
+
+
+class TestRoutes:
+    @pytest.mark.parametrize("name", IDS)
+    def test_routes_are_walks_of_estimate_length(self, built, name):
+        graph, oracle = built[name]
+        pairs = all_pairs(graph, limit=600)
+        estimates = oracle.distances(pairs)
+        for (s, t), route, estimate in zip(pairs, oracle.routes(pairs), estimates):
+            if estimate == -1:
+                assert route is None
+                continue
+            assert route[0] == s and route[-1] == t
+            assert len(route) - 1 == estimate
+            for a, b in zip(route, route[1:]):
+                assert graph.has_edge(a, b)
+
+    def test_trivial_routes(self):
+        graph = path_graph(4)
+        oracle = build_oracle(graph)
+        assert oracle.routes([(2, 2)]) == [[2]]
+        assert oracle.routes([(1, 2)]) == [[1, 2]]

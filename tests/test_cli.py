@@ -174,3 +174,64 @@ class TestBench:
     def test_unknown_scenario_exit_code(self, capsys):
         assert main(["bench", "nope"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestOracleCommand:
+    def test_build_prints_scale_table(self, capsys):
+        assert main(["oracle", "build", "grid:6:6"]) == 0
+        out = capsys.readouterr().out
+        assert "stretch bound" in out
+        assert "clusters" in out and "max_overlap" in out
+
+    def test_query_validates_and_writes_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "oracle.json"
+        argv = [
+            "oracle", "query", "gnp_fast:256:0.02",
+            "--pairs", "300", "--check", "24", "--routes", "2",
+            "--json", str(path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "query batch" in out
+        assert "route " in out
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "oracle query"
+        assert payload["query"]["violations"] == 0
+        assert payload["query"]["checked"] == 24
+        assert payload["scales"]
+        assert payload["stretch_bound"] >= 1.0
+        # Provenance block rides along on every oracle artifact.
+        assert "kernel_backend" in payload["environment"]
+
+    def test_query_output_deterministic_for_seed(self, capsys):
+        argv = ["oracle", "query", "er:48:0.08", "--pairs", "200", "--check", "8"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_oracle_scaling_scenario_listed(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        assert "oracle-scaling" in capsys.readouterr().out
+
+
+class TestBenchJsonEnvironment:
+    def test_bench_json_carries_environment_block(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "bench.json"
+        argv = [
+            "bench", "smoke", "--trials", "1", "--no-cache",
+            "--json", str(path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        env = payload["environment"]
+        assert env["python"]
+        assert env["kernel_backend"] in ("numpy", "python")
+        assert "numpy" in env and "git_sha" in env
+        # Trial rows stay environment-free (cache portability).
+        assert all("kernel_backend" not in row for row in payload["rows"])

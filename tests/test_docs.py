@@ -55,7 +55,10 @@ def test_required_coverage():
     assert {"index.md", "architecture.md", "paper-map.md", "cli.md"} <= names
     cli = (DOCS / "cli.md").read_text()
     # every CLI subcommand documented
-    for command in ("decompose", "compare", "apps", "spanner", "theory", "bench"):
+    for command in (
+        "decompose", "compare", "apps", "spanner", "theory", "oracle", "bench",
+    ):
         assert f"## `{command}`" in cli, f"cli.md missing section for {command}"
+    assert "gnp_fast" in cli  # the er:-vs-gnp_fast distinction is documented
     bench = (DOCS / "benchmarks.md").read_text()
     assert "BENCH_WORKERS" in bench and "BENCH_CACHE" in bench
