@@ -14,6 +14,7 @@ content-addressed result cache across invocations.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 from typing import Mapping, Sequence
@@ -25,6 +26,7 @@ from repro.experiments import (
     ResultCache,
     build_experiment,
     default_cache,
+    environment_block,
     run_experiment,
 )
 
@@ -68,12 +70,30 @@ def run_scenario(
 
 
 def emit(title: str, records: Sequence[Mapping[str, object]], filename: str) -> str:
-    """Format ``records`` as a table, print it and save it to results/."""
+    """Format ``records`` as a table, print it and save it to results/.
+
+    Next to the human-readable table, a compare-ready JSON artifact
+    (``<stem>.json``: benchmark name, rows, environment block) is
+    written so any two runs of the same benchmark can be diffed with
+    ``repro campaign compare`` — rows are keyed by their first
+    string-valued column (the workload label).
+    """
     text = format_records(records, title=title)
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf8")
+    stem = pathlib.Path(filename).stem
+    payload = {
+        "benchmark": stem,
+        "title": title,
+        "rows": strip_private(records),
+        "environment": environment_block(),
+    }
+    (RESULTS_DIR / f"{stem}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf8",
+    )
     return text
 
 

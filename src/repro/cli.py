@@ -17,6 +17,12 @@ Subcommands
     Run a registered experiment scenario through the orchestration
     runtime: parallel trials (``--workers``), content-addressed result
     cache, aggregated table.  ``bench --list`` shows the registry.
+``campaign``
+    Multi-scenario sweeps: ``run`` / ``resume`` a registered campaign
+    with a crash-safe journal (interrupt at any point, resume to
+    byte-identical output), ``status`` an in-flight run, ``compare``
+    two JSON artifacts as a perf-regression gate, ``list`` the
+    registry.
 
 Graphs are described by compact specs: ``er:200:0.03``, ``grid:10:12``,
 ``path:50``, ``cycle:64``, ``tree:2:5``, ``hypercube:6``, ``conn:300:0.01``,
@@ -49,13 +55,23 @@ from .baselines import linial_saks
 from .core import elkin_neiman, high_radius, staged
 from .errors import ParameterError
 from .experiments import (
+    CAMPAIGNS,
+    CampaignJournal,
+    JOURNAL_FILENAME,
     ResultCache,
     SCENARIOS,
     aggregate_experiment,
     build_experiment,
+    campaign_names,
+    campaign_payload,
+    compare_paths,
     default_cache,
     environment_block,
+    parse_tolerances,
     per_trial_rows,
+    plan_campaign,
+    render_campaign,
+    run_campaign,
     run_experiment,
     scenario_names,
 )
@@ -253,6 +269,188 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 1 if result.failures else 0
+
+
+def _parse_shard(setting: str) -> tuple[int, int]:
+    """Parse ``--shard I/N`` (zero-based index)."""
+    index_text, separator, count_text = setting.partition("/")
+    try:
+        index, count = int(index_text), int(count_text) if separator else -1
+    except ValueError:
+        index, count = -1, -1
+    if not separator or count < 1 or not 0 <= index < count:
+        raise ParameterError(
+            f"bad shard {setting!r} (expected INDEX/COUNT with "
+            "0 <= INDEX < COUNT, e.g. 0/4)"
+        )
+    return index, count
+
+
+def _campaign_dir(args: argparse.Namespace, shard: tuple[int, int]) -> pathlib.Path:
+    if args.dir:
+        return pathlib.Path(args.dir)
+    suffix = f"-shard{shard[0]}of{shard[1]}" if shard[1] > 1 else ""
+    return pathlib.Path(".repro-campaigns") / f"{args.name}{suffix}"
+
+
+def _cmd_campaign_list(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "campaign": name,
+            "members": len(campaign.members),
+            "trials": sum(
+                member.spec(campaign.root_seed).num_trials
+                for member in campaign.members
+            ),
+            "description": campaign.description,
+        }
+        for name, campaign in sorted(CAMPAIGNS.items())
+    ]
+    print(format_records(rows, title="registered campaigns"))
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    resume = args.campaign_command == "resume"
+    shard = _parse_shard(args.shard)
+    plan = plan_campaign(args.name, trials=args.trials, shard=shard)
+    directory = _campaign_dir(args, shard)
+    journal = CampaignJournal(directory / JOURNAL_FILENAME)
+    cache = (
+        ResultCache(args.cache_dir) if args.cache_dir
+        else ResultCache(directory / "cache")
+    )
+    if not resume and args.fresh:
+        journal.delete()
+    outcome = run_campaign(
+        plan,
+        cache=cache,
+        journal=journal,
+        workers=args.workers,
+        stop_after=args.stop_after,
+        resume=resume,
+        log=lambda message: print(message, file=sys.stderr),
+    )
+    if outcome.interrupted:
+        remaining = plan.num_trials - len(journal.read()[1])
+        print(
+            f"interrupted after {outcome.executed} freshly executed trial(s); "
+            f"{remaining} trial(s) remain — continue with "
+            f"`repro campaign resume {args.name}"
+            + (f" --dir {args.dir}" if args.dir else "")
+            + (f" --shard {args.shard}" if shard[1] > 1 else "")
+            + (f" --trials {args.trials}" if args.trials else "")
+            + (f" --cache-dir {args.cache_dir}" if args.cache_dir else "")
+            + "`",
+            file=sys.stderr,
+        )
+        return 3
+    # Completed: stdout is a pure function of the campaign definition
+    # (resumed and one-shot runs print identical bytes); accounting goes
+    # to stderr.
+    print(render_campaign(outcome))
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(campaign_payload(outcome), indent=2, sort_keys=True,
+                       default=str) + "\n",
+            encoding="utf8",
+        )
+    failures = outcome.failures
+    print(
+        f"campaign {plan.name!r}: {plan.num_trials} trial(s) in shard, "
+        f"{outcome.executed} executed, {outcome.cache_hits} cache hits, "
+        f"{len(failures)} failed (journal {journal.path})",
+        file=sys.stderr,
+    )
+    for failure in failures:
+        print(
+            f"FAILED trial on {failure.trial.graph}: "
+            f"{(failure.error or '?').splitlines()[0]}",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    shard = _parse_shard(args.shard)
+    plan = plan_campaign(args.name, trials=args.trials, shard=shard)
+    directory = _campaign_dir(args, shard)
+    journal = CampaignJournal(directory / JOURNAL_FILENAME)
+    header, entries = journal.read()
+    rows = []
+    pending_total = 0
+    for member_plan in plan.members:
+        completed = failed = 0
+        for trial in member_plan.trials:
+            entry = entries.get(trial.key())
+            if entry is None:
+                continue
+            completed += 1
+            failed += 0 if entry.ok else 1
+        pending = len(member_plan.trials) - completed
+        pending_total += pending
+        rows.append(
+            {
+                "member": member_plan.member.name,
+                "trials": len(member_plan.trials),
+                "completed": completed,
+                "failed": failed,
+                "pending": pending,
+            }
+        )
+    state = (
+        "no journal" if header is None
+        else ("complete" if pending_total == 0 else "in progress")
+    )
+    print(format_records(
+        rows,
+        title=f"campaign {plan.name!r}: {state} "
+        f"(journal {journal.path}, config {plan.config_hash[:12]})",
+    ))
+    if header is not None and header.get("config_hash") != plan.config_hash:
+        print(
+            "warning: journal was written by a different campaign "
+            "configuration — resume will refuse it",
+            file=sys.stderr,
+        )
+    return 0 if pending_total == 0 and header is not None else 3
+
+
+def _cmd_campaign_compare(args: argparse.Namespace) -> int:
+    report = compare_paths(
+        args.baseline,
+        args.current,
+        tolerances=parse_tolerances(args.tolerance),
+        strict_env=args.strict_env,
+    )
+    if report.findings:
+        rows = [
+            {
+                "status": finding.status,
+                "row": finding.label,
+                "metric": finding.metric,
+                "baseline": finding.baseline,
+                "current": finding.current,
+                "detail": finding.detail,
+            }
+            for finding in report.findings
+        ]
+        print(format_records(
+            rows,
+            title=f"compare: {args.current} vs baseline {args.baseline}",
+        ))
+    verdict = "FAIL" if report.exit_code else "OK"
+    print(
+        f"{verdict}: {report.compared_rows} row(s), "
+        f"{report.compared_metrics} metric(s) compared; "
+        f"{len(report.failures)} regression(s)/drift(s), "
+        f"{sum(1 for f in report.findings if f.status == 'warning')} warning(s), "
+        f"{sum(1 for f in report.findings if f.status == 'improved')} improvement(s); "
+        f"environments {'match' if report.environment_matches else 'differ'}"
+    )
+    return report.exit_code
 
 
 def _cmd_oracle(args: argparse.Namespace) -> int:
@@ -460,6 +658,102 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the result rows as JSON to PATH (CI artifact)",
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "campaign",
+        help="sharded multi-scenario sweeps with checkpoint/resume and a "
+        "perf-baseline comparison gate",
+    )
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    cp = csub.add_parser("list", help="list registered campaigns")
+    cp.set_defaults(func=_cmd_campaign_list)
+
+    for name, help_text in (
+        ("run", "start a campaign (refuses an existing journal)"),
+        ("resume", "continue an interrupted campaign from its journal"),
+    ):
+        cp = csub.add_parser(name, help=help_text)
+        cp.add_argument("name", help=f"campaign name ({', '.join(campaign_names())})")
+        cp.add_argument(
+            "--dir",
+            default=None,
+            metavar="DIR",
+            help="run directory holding the journal and trial cache "
+            "(default .repro-campaigns/<name>)",
+        )
+        cp.add_argument(
+            "--shard",
+            default="0/1",
+            metavar="I/N",
+            help="run only the trials hashed into shard I of N (default 0/1)",
+        )
+        cp.add_argument("--trials", type=int, default=None,
+                        help="override trials per point for every member")
+        cp.add_argument("--workers", type=int, default=1,
+                        help="process-pool size (1 = serial)")
+        cp.add_argument(
+            "--stop-after",
+            type=int,
+            default=None,
+            metavar="N",
+            help="cleanly interrupt after N freshly executed trials "
+            "(time-boxed legs; resume later)",
+        )
+        cp.add_argument(
+            "--cache-dir",
+            default=None,
+            help="trial cache root (default <run dir>/cache)",
+        )
+        if name == "run":
+            cp.add_argument(
+                "--fresh",
+                action="store_true",
+                help="discard an existing journal first (content-addressed "
+                "cached records are still reused)",
+            )
+        cp.add_argument(
+            "--json",
+            default=None,
+            metavar="PATH",
+            help="write the keyed campaign artifact to PATH on completion",
+        )
+        cp.set_defaults(func=_cmd_campaign_run)
+
+    cp = csub.add_parser("status", help="show journal progress for a campaign")
+    cp.add_argument("name", help="campaign name")
+    cp.add_argument("--dir", default=None, metavar="DIR")
+    cp.add_argument("--shard", default="0/1", metavar="I/N")
+    cp.add_argument("--trials", type=int, default=None)
+    cp.set_defaults(func=_cmd_campaign_status)
+
+    cp = csub.add_parser(
+        "compare",
+        help="diff two bench/campaign JSON artifacts; nonzero exit on "
+        "regression beyond tolerance",
+    )
+    cp.add_argument("current", help="artifact to check (JSON path)")
+    cp.add_argument(
+        "--baseline",
+        required=True,
+        metavar="PATH",
+        help="baseline artifact to compare against",
+    )
+    cp.add_argument(
+        "--tolerance",
+        action="append",
+        default=[],
+        metavar="NAME=FRAC",
+        help="per-metric relative tolerance override (glob patterns "
+        "allowed; repeatable)",
+    )
+    cp.add_argument(
+        "--strict-env",
+        action="store_true",
+        help="treat an environment-block mismatch as a failure instead "
+        "of a warning",
+    )
+    cp.set_defaults(func=_cmd_campaign_compare)
     return parser
 
 

@@ -37,6 +37,29 @@ from .aggregate import (
     quantile,
 )
 from .cache import DEFAULT_CACHE_DIR, ResultCache, default_cache
+from .campaign import (
+    CAMPAIGNS,
+    Campaign,
+    CampaignMember,
+    CampaignOutcome,
+    CampaignPlan,
+    campaign_names,
+    campaign_payload,
+    campaign_rows,
+    get_campaign,
+    grid_points,
+    plan_campaign,
+    render_campaign,
+    run_campaign,
+)
+from .checkpoint import JOURNAL_FILENAME, CampaignJournal, JournalEntry
+from .compare import (
+    ComparisonReport,
+    compare_artifacts,
+    compare_paths,
+    load_artifact,
+    parse_tolerances,
+)
 from .env import environment_block, git_revision
 from .registry import (
     DEFAULT_ROOT_SEED,
@@ -58,12 +81,21 @@ from .spec import (
 
 __all__ = [
     "ALGORITHMS",
+    "CAMPAIGNS",
     "CODE_VERSION",
+    "Campaign",
+    "CampaignJournal",
+    "CampaignMember",
+    "CampaignOutcome",
+    "CampaignPlan",
+    "ComparisonReport",
     "DEFAULT_CACHE_DIR",
     "DEFAULT_ROOT_SEED",
     "ExperimentPoint",
     "ExperimentResult",
     "ExperimentSpec",
+    "JOURNAL_FILENAME",
+    "JournalEntry",
     "ResultCache",
     "SCENARIOS",
     "Scenario",
@@ -73,15 +105,27 @@ __all__ = [
     "aggregate_trials",
     "algorithm_names",
     "build_experiment",
+    "campaign_names",
+    "campaign_payload",
+    "campaign_rows",
+    "compare_artifacts",
+    "compare_paths",
     "confidence_interval",
     "default_cache",
     "environment_block",
     "freeze_params",
+    "get_campaign",
     "git_revision",
     "get_scenario",
+    "grid_points",
+    "load_artifact",
     "mean_curve",
+    "parse_tolerances",
     "per_trial_rows",
+    "plan_campaign",
     "quantile",
+    "render_campaign",
+    "run_campaign",
     "run_experiment",
     "run_trial",
     "scenario_names",

@@ -17,7 +17,7 @@ from typing import Any, Callable, Dict
 
 from ..applications import run_mis
 from ..applications.verify import is_maximal_independent_set
-from ..baselines import linial_saks
+from ..baselines import distributed_ls, distributed_mpx, linial_saks
 from ..core import elkin_neiman, high_radius, staged, theorem1_bounds
 from ..core.distributed_en import decompose_distributed
 from ..errors import ParameterError
@@ -73,6 +73,18 @@ def _default_k(graph: Graph, params: Record) -> float:
     if k is None:
         k = max(2, math.ceil(math.log(max(graph.num_vertices, 2))))
     return k
+
+
+def _cluster_checksum(decomposition) -> int:
+    """Deterministic checksum of a cluster assignment, pinning cached
+    records to the exact decomposition across backends and adapters."""
+    return (
+        sum(
+            (v + 1) * (cluster + 3)
+            for v, cluster in decomposition.cluster_index_map().items()
+        )
+        % 1_000_003
+    )
 
 
 def _adapt_elkin_neiman(graph: Graph, trial: TrialSpec) -> Record:
@@ -275,10 +287,7 @@ def _adapt_engine(graph: Graph, trial: TrialSpec) -> Record:
         graph, k=k, c=c, seed=trial.seed, mode=mode, backend="batch"
     )
     cluster_map = result.decomposition.cluster_index_map()
-    checksum = (
-        sum((v + 1) * (cluster + 3) for v, cluster in cluster_map.items())
-        % 1_000_003
-    )
+    checksum = _cluster_checksum(result.decomposition)
     record: Record = {
         "n": graph.num_vertices,
         "m": graph.num_edges,
@@ -349,6 +358,76 @@ def _adapt_oracle(graph: Graph, trial: TrialSpec) -> Record:
     }
 
 
+def _adapt_shootout(graph: Graph, trial: TrialSpec) -> Record:
+    """Protocol race leg: one of EN/LS/MPX on one backend, one graph.
+
+    The ``shootout`` campaign's unit of work.  ``algo`` selects the
+    distributed driver (``en``/``ls``/``mpx``) and ``backend`` the
+    execution engine (``sync`` reference simulator or the columnar
+    ``batch`` engine — bit-identical by contract, so the record schema
+    is backend-independent and the perf gate can diff them).  Recorded
+    metrics are the CONGEST model's own cost currency — rounds,
+    messages, words, peak per-edge bandwidth — plus decomposition shape
+    and a deterministic checksum of the cluster assignment; wall-clock
+    lives in ``benchmarks/bench_engine.py`` and the artifact envelope,
+    never in cached records.
+    """
+    params = trial.param_dict()
+    algo = params.get("algo", "en")
+    backend = params.get("backend", "batch")
+    if algo == "en":
+        result = decompose_distributed(
+            graph,
+            k=_default_k(graph, params),
+            c=params.get("c", 4.0),
+            seed=trial.seed,
+            mode=params.get("mode", "toptwo"),
+            backend=backend,
+        )
+        decomposition = result.decomposition
+        rounds, phases, stats = result.total_rounds, result.phases, result.stats
+    elif algo == "ls":
+        result = distributed_ls.decompose_distributed(
+            graph,
+            k=int(_default_k(graph, params)),
+            seed=trial.seed,
+            backend=backend,
+        )
+        decomposition = result.decomposition
+        rounds, phases, stats = result.total_rounds, result.phases, result.stats
+    elif algo == "mpx":
+        result = distributed_mpx.partition_distributed(
+            graph,
+            beta=params.get("beta", 0.3),
+            seed=trial.seed,
+            mode=params.get("mode", "topone"),
+            backend=backend,
+        )
+        decomposition = result.decomposition
+        rounds, phases, stats = result.rounds, 1, result.stats
+    else:
+        raise ParameterError(
+            f"shootout algo must be 'en', 'ls' or 'mpx', got {algo!r}"
+        )
+    record: Record = {
+        "n": graph.num_vertices,
+        "m": graph.num_edges,
+        "algo": algo,
+        "backend": backend,
+        "rounds": rounds,
+        "phases": phases,
+        "colors": decomposition.num_colors,
+        "clusters": decomposition.num_clusters,
+        "messages": stats.messages_sent,
+        "words": stats.words_sent,
+        "max_words_edge_round": stats.max_words_per_edge_round,
+        "checksum": _cluster_checksum(decomposition),
+    }
+    if algo == "mpx":
+        record["cut_fraction"] = round(result.cut_fraction, 4)
+    return record
+
+
 #: Algorithm name → adapter.  Registering here exposes the algorithm to
 #: every scenario and to ``python -m repro bench``.
 ALGORITHMS: Dict[str, Adapter] = {
@@ -362,6 +441,7 @@ ALGORITHMS: Dict[str, Adapter] = {
     "kernel": _adapt_kernel,
     "engine": _adapt_engine,
     "oracle": _adapt_oracle,
+    "shootout": _adapt_shootout,
 }
 
 

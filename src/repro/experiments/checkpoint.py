@@ -1,0 +1,162 @@
+"""Crash-safe campaign journal: which trials are already done.
+
+A campaign run can take hours (many scenarios × grids × trials), so the
+executor must survive being killed at any instant and continue exactly
+where it stopped.  The division of labour is deliberate:
+
+* trial **records** live in the content-addressed
+  :class:`~repro.experiments.cache.ResultCache` (one atomic JSON file
+  per trial hash — the existing runner infrastructure);
+* the **journal** is an append-only JSONL file holding the campaign's
+  identity header plus one line per *completed* trial hash (and the
+  captured error text for failed trials, which the cache cannot hold).
+
+Every append is flushed and ``fsync``\\ ed before the executor moves on,
+so a journaled trial is durable; a crash mid-append leaves at most one
+torn trailing line, which :meth:`CampaignJournal.read` skips.  Because
+entries carry only hashes, the journal never disagrees with the cache:
+a journaled-ok trial whose cache record has vanished is simply
+re-executed on resume (adapters are pure functions of the trial spec,
+so the re-run reproduces the identical record).
+
+The header pins the campaign *configuration hash* (materialised member
+grids, trial counts, root seed, shard) — resuming with a different
+campaign definition, ``--trials`` override or shard is refused instead
+of silently mixing incompatible runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import ParameterError
+
+__all__ = [
+    "JOURNAL_FILENAME",
+    "JOURNAL_VERSION",
+    "CampaignJournal",
+    "JournalEntry",
+    "require_compatible_header",
+]
+
+#: Bumped when the journal line format changes incompatibly.
+JOURNAL_VERSION = "en16.campaign-journal.v1"
+
+#: Default journal filename inside a campaign run directory.
+JOURNAL_FILENAME = "journal.jsonl"
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One completed trial: its content hash, member, and outcome."""
+
+    key: str
+    member: str
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the trial completed with a record (vs a captured failure)."""
+        return self.error is None
+
+    def to_line(self) -> str:
+        payload = {"key": self.key, "member": self.member}
+        if self.error is not None:
+            payload["error"] = self.error
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def require_compatible_header(found: dict, expected: dict) -> None:
+    """Refuse to resume a journal written by a different campaign config."""
+    mismatched = sorted(
+        name
+        for name in set(found) | set(expected)
+        if found.get(name) != expected.get(name)
+    )
+    if mismatched:
+        details = ", ".join(
+            f"{name}: journal has {found.get(name)!r}, run wants {expected.get(name)!r}"
+            for name in mismatched
+        )
+        raise ParameterError(
+            f"journal is incompatible with this campaign invocation ({details}); "
+            "re-run with matching options or start fresh with --fresh"
+        )
+
+
+class CampaignJournal:
+    """An append-only JSONL journal of completed trial hashes."""
+
+    def __init__(self, path: pathlib.Path | str):
+        self.path = pathlib.Path(path)
+
+    def exists(self) -> bool:
+        """Whether a journal file is present on disk."""
+        return self.path.is_file()
+
+    def create(self, header: dict) -> None:
+        """Start a fresh journal containing only ``header``."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("w", encoding="utf8") as handle:
+            handle.write(
+                json.dumps(
+                    {"journal_version": JOURNAL_VERSION, **header},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append(self, entry: JournalEntry) -> None:
+        """Durably record one completed trial (flush + fsync)."""
+        with self.path.open("a", encoding="utf8") as handle:
+            handle.write(entry.to_line() + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def read(self) -> Tuple[Optional[dict], Dict[str, JournalEntry]]:
+        """``(header, entries-by-key)``; ``(None, {})`` when absent.
+
+        Lines that fail to parse (the torn tail of a crashed append) are
+        skipped — their trials simply re-run on resume.  A later entry
+        for the same key wins, so re-executed trials overwrite their
+        earlier outcome.
+        """
+        if not self.exists():
+            return None, {}
+        header: Optional[dict] = None
+        entries: Dict[str, JournalEntry] = {}
+        with self.path.open("r", encoding="utf8") as handle:
+            for line in handle:
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(payload, dict):
+                    continue
+                if "journal_version" in payload:
+                    if payload.get("journal_version") == JOURNAL_VERSION:
+                        header = {
+                            k: v for k, v in payload.items() if k != "journal_version"
+                        }
+                    continue
+                key = payload.get("key")
+                member = payload.get("member")
+                if isinstance(key, str) and isinstance(member, str):
+                    entries[key] = JournalEntry(
+                        key=key, member=member, error=payload.get("error")
+                    )
+        return header, entries
+
+    def delete(self) -> None:
+        """Remove the journal file, if present."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,469 @@
+"""Artifact comparison: the perf-baseline regression gate.
+
+``repro campaign compare`` diffs two JSON artifacts and exits nonzero
+when a metric regresses beyond its tolerance — the piece that turns the
+pile of ``BENCH_*.json`` / ``bench --json`` / campaign artifacts from
+isolated snapshots into a measured trajectory.  Three artifact shapes
+are understood:
+
+* **campaign** artifacts (``"kind": "campaign"``) — rows already carry a
+  content-hash ``key`` and a separate ``metrics`` block;
+* **bench** artifacts (``python -m repro bench --json``, recognised by
+  their ``"scenario"`` field) — aggregate rows are ordered
+  identity-first (graph, params, then ``trials`` and the metrics), so
+  the columns before ``trials`` key the row;
+* **benchmark table** artifacts (``benchmarks/_common.emit`` /
+  ``BENCH_*.json``, recognised by their ``"benchmark"`` field) — rows
+  are keyed by their first string-valued column (the workload label).
+
+Metric policy is inferred from the name:
+
+* throughput-flavoured metrics (``q/s``, ``qps``, ``speedup``, ...) are
+  higher-is-better with a relative tolerance;
+* timing-flavoured metrics (``*_s``, ``* s``, ``*seconds``, ``*time*``)
+  are lower-is-better with a relative tolerance;
+* everything else — rounds, messages, words, checksums, colours — is
+  **deterministic by the repository's seeding contract**, so any change
+  at all is reported as drift.
+
+``--tolerance NAME=FRAC`` overrides the relative tolerance per metric
+(glob patterns allowed).  The comparison is environment-aware: when the
+two artifacts' environment blocks differ (other than the git SHA, which
+legitimately differs across the PRs being compared), wall-clock-style
+regressions are downgraded to warnings — numbers measured on different
+interpreters or kernel backends are not comparable — while the
+deterministic contract is still enforced.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ParameterError
+from .spec import spec_hash
+
+__all__ = [
+    "ArtifactRow",
+    "ComparisonReport",
+    "DEFAULT_REL_TOLERANCE",
+    "Finding",
+    "compare_artifacts",
+    "compare_paths",
+    "load_artifact",
+    "metric_policy",
+    "parse_tolerances",
+]
+
+#: Default relative tolerance for timing/throughput metrics: a change
+#: beyond 10% in the bad direction is a regression (so a 20% synthetic
+#: slowdown trips the gate with margin).
+DEFAULT_REL_TOLERANCE = 0.10
+
+_KEY_VERSION = "en16.compare-keys.v1"
+
+# Substrings marking a metric as throughput-like (higher is better).
+_THROUGHPUT_MARKS = ("q/s", "qps", "per_sec", "throughput", "speedup")
+# Suffix/substring marks for wall-clock-like metrics (lower is better).
+# Suffix-only for the unit shorthands: a "ms"/"s" *substring* would
+# swallow deterministic names like "messages".
+_TIMING_SUFFIXES = ("_s", " s", "_ms", " ms", "_sec", "_secs", "seconds", "millis")
+_TIMING_MARKS = ("time", "second")
+
+
+@dataclass(frozen=True)
+class ArtifactRow:
+    """One comparable row: stable key, display label, numeric metrics."""
+
+    key: str
+    label: str
+    metrics: Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """A loaded artifact: its kind, rows by key, environment block."""
+
+    kind: str
+    path: str
+    rows: Dict[str, ArtifactRow]
+    environment: Optional[dict]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One comparison outcome worth reporting."""
+
+    status: str  # "regressed" | "drift" | "improved" | "warning"
+    label: str
+    metric: str
+    baseline: object
+    current: object
+    detail: str
+
+    @property
+    def failing(self) -> bool:
+        return self.status in ("regressed", "drift")
+
+
+@dataclass
+class ComparisonReport:
+    """Everything ``campaign compare`` prints and exits on."""
+
+    baseline: Artifact
+    current: Artifact
+    environment_matches: bool
+    compared_rows: int
+    compared_metrics: int
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.failing]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.failures else 0
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _compact_params(row: Mapping[str, object], names: Sequence[str]) -> str:
+    parts = [f"{name}={row[name]}" for name in names]
+    return f"[{','.join(parts)}]" if parts else ""
+
+
+def _campaign_rows(payload: dict) -> Dict[str, ArtifactRow]:
+    rows: Dict[str, ArtifactRow] = {}
+    for row in payload.get("rows", []):
+        key = row.get("key")
+        metrics = row.get("metrics")
+        if not isinstance(key, str) or not isinstance(metrics, dict):
+            continue
+        params = row.get("params") or {}
+        label = f"{row.get('member')}:{row.get('graph')}" + _compact_params(
+            params, sorted(params)
+        )
+        rows[key] = ArtifactRow(key=key, label=label, metrics=metrics)
+    return rows
+
+
+def _bench_rows(payload: dict) -> Dict[str, ArtifactRow]:
+    scenario = payload.get("scenario")
+    rows: Dict[str, ArtifactRow] = {}
+    for index, row in enumerate(payload.get("rows", [])):
+        if not isinstance(row, dict):
+            continue
+        identity: List[Tuple[str, object]] = []
+        metrics: Dict[str, object] = {}
+        if "trials" in row:
+            # Aggregate rows are ordered identity-first: graph and the
+            # point's params precede the "trials" column.
+            seen_trials = False
+            for name, value in row.items():
+                if name == "trials":
+                    seen_trials = True
+                elif seen_trials:
+                    metrics[name] = value
+                else:
+                    identity.append((name, value))
+        else:
+            # --per-trial rows: (graph, trial) identify the row; the
+            # "cached" column is execution accounting, not a metric.
+            for name, value in row.items():
+                if name in ("graph", "trial"):
+                    identity.append((name, value))
+                elif name != "cached":
+                    metrics[name] = value
+        if not identity:
+            identity = [("row", index)]
+        key = spec_hash(
+            {"scenario": scenario, "identity": [list(item) for item in identity]},
+            version=_KEY_VERSION,
+        )
+        label = f"{scenario}:" + ":".join(str(value) for _, value in identity)
+        rows[key] = ArtifactRow(key=key, label=label or f"row{index}", metrics=metrics)
+    return rows
+
+
+def _benchmark_rows(payload: dict) -> Dict[str, ArtifactRow]:
+    benchmark = payload.get("benchmark")
+    rows: Dict[str, ArtifactRow] = {}
+    for index, row in enumerate(payload.get("rows", [])):
+        if not isinstance(row, dict):
+            continue
+        # Every string-valued column is identity (workload label, op,
+        # mode, ...): tables legitimately carry several rows per
+        # workload, distinguished by a second string column.
+        workload = [
+            (name, value) for name, value in row.items() if isinstance(value, str)
+        ] or [("row", str(index))]
+        key = spec_hash(
+            {"benchmark": benchmark, "workload": [list(item) for item in workload]},
+            version=_KEY_VERSION,
+        )
+        metrics = {
+            name: value for name, value in row.items() if not isinstance(value, str)
+        }
+        label = f"{benchmark}:" + ":".join(str(value) for _, value in workload)
+        rows[key] = ArtifactRow(key=key, label=label, metrics=metrics)
+    return rows
+
+
+def load_artifact(path: pathlib.Path | str) -> Artifact:
+    """Load and normalise one artifact into keyed comparable rows."""
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf8"))
+    except OSError as exc:
+        raise ParameterError(f"cannot read artifact {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ParameterError(f"artifact {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ParameterError(f"artifact {path} is not a JSON object")
+    if payload.get("kind") == "campaign":
+        kind, rows = "campaign", _campaign_rows(payload)
+    elif "scenario" in payload:
+        kind, rows = "bench", _bench_rows(payload)
+    elif "benchmark" in payload:
+        kind, rows = "benchmark", _benchmark_rows(payload)
+    else:
+        raise ParameterError(
+            f"artifact {path} has an unrecognised shape (expected a campaign, "
+            "`bench --json`, or benchmark-table artifact)"
+        )
+    environment = payload.get("environment")
+    return Artifact(
+        kind=kind,
+        path=str(path),
+        rows=rows,
+        environment=environment if isinstance(environment, dict) else None,
+    )
+
+
+def parse_tolerances(settings: Sequence[str]) -> Dict[str, float]:
+    """Parse repeated ``NAME=FRAC`` CLI settings into a tolerance map."""
+    tolerances: Dict[str, float] = {}
+    for setting in settings:
+        name, separator, raw = setting.partition("=")
+        try:
+            value = float(raw) if separator else None
+        except ValueError:
+            value = None
+        if not name or value is None or value < 0:
+            raise ParameterError(
+                f"bad tolerance {setting!r} (expected NAME=FRACTION, "
+                "e.g. 'rounds=0.05' or 'batch*=0.25')"
+            )
+        tolerances[name] = value
+    return tolerances
+
+
+def metric_policy(
+    name: str, tolerances: Optional[Mapping[str, float]] = None
+) -> Tuple[str, float]:
+    """``(direction, rel_tolerance)`` for a metric name.
+
+    Direction is ``"higher"`` (throughput), ``"lower"`` (wall clock) or
+    ``"exact"`` (the deterministic contract; tolerance ignored).
+    """
+    lowered = name.lower()
+    direction = "exact"
+    if any(mark in lowered for mark in _THROUGHPUT_MARKS):
+        direction = "higher"
+    elif (
+        any(lowered.endswith(suffix) for suffix in _TIMING_SUFFIXES)
+        or any(mark in lowered for mark in _TIMING_MARKS)
+    ):
+        direction = "lower"
+    tolerance = DEFAULT_REL_TOLERANCE
+    if tolerances:
+        # An exact-name override always beats a glob; among globs the
+        # first match in sorted order wins (deterministic).
+        matched = None
+        if name in tolerances:
+            matched = name
+        else:
+            for pattern in sorted(tolerances):
+                if fnmatch.fnmatchcase(name, pattern):
+                    matched = pattern
+                    break
+        if matched is not None:
+            tolerance = tolerances[matched]
+            if direction == "exact":
+                # An explicit tolerance opts a deterministic metric
+                # into banded comparison (lower-is-better is the
+                # conservative reading for cost-like metrics).
+                direction = "lower"
+    return direction, tolerance
+
+
+def _environments_match(base: Optional[dict], current: Optional[dict]) -> bool:
+    if base is None or current is None:
+        return False
+    strip = lambda env: {k: v for k, v in env.items() if k != "git_sha"}
+    return strip(base) == strip(current)
+
+
+def _relative_change(baseline: float, current: float) -> float:
+    if baseline == 0:
+        return float("inf") if current != 0 else 0.0
+    return (current - baseline) / abs(baseline)
+
+
+def compare_artifacts(
+    baseline: Artifact,
+    current: Artifact,
+    tolerances: Optional[Mapping[str, float]] = None,
+    strict_env: bool = False,
+) -> ComparisonReport:
+    """Diff ``current`` against ``baseline`` row-by-row, metric-by-metric.
+
+    Returns a report whose ``exit_code`` is nonzero when any metric
+    regressed (or drifted, for deterministic metrics).  Rows present on
+    only one side are warnings, not failures — scenarios legitimately
+    grow and shrink between baselines — but two artifacts sharing *no*
+    rows are an error (the caller is almost certainly comparing the
+    wrong files).
+    """
+    env_match = _environments_match(baseline.environment, current.environment)
+    report = ComparisonReport(
+        baseline=baseline,
+        current=current,
+        environment_matches=env_match,
+        compared_rows=0,
+        compared_metrics=0,
+    )
+    if not env_match:
+        detail = (
+            "environment blocks differ (beyond git_sha); wall-clock metrics "
+            "are compared as warnings only"
+        )
+        if strict_env:
+            report.findings.append(
+                Finding("drift", "<environment>", "environment", None, None, detail)
+            )
+        else:
+            report.findings.append(
+                Finding("warning", "<environment>", "environment", None, None, detail)
+            )
+
+    shared = [key for key in baseline.rows if key in current.rows]
+    if not shared:
+        raise ParameterError(
+            f"no comparable rows between {baseline.path} ({baseline.kind}, "
+            f"{len(baseline.rows)} rows) and {current.path} ({current.kind}, "
+            f"{len(current.rows)} rows)"
+        )
+    for key in baseline.rows:
+        if key not in current.rows:
+            row = baseline.rows[key]
+            report.findings.append(
+                Finding(
+                    "warning", row.label, "<row>", None, None,
+                    "present in baseline only",
+                )
+            )
+    for key in current.rows:
+        if key not in baseline.rows:
+            row = current.rows[key]
+            report.findings.append(
+                Finding(
+                    "warning", row.label, "<row>", None, None,
+                    "present in current only",
+                )
+            )
+
+    for key in shared:
+        base_row = baseline.rows[key]
+        cur_row = current.rows[key]
+        report.compared_rows += 1
+        for metric in cur_row.metrics:
+            if metric not in base_row.metrics:
+                report.findings.append(
+                    Finding(
+                        "warning", base_row.label, metric, None,
+                        cur_row.metrics[metric],
+                        "metric missing from baseline artifact",
+                    )
+                )
+        for metric, base_value in base_row.metrics.items():
+            if metric not in cur_row.metrics:
+                # A vanished metric must not silently pass the gate: the
+                # schema change deserves the same visibility as a
+                # vanished row.
+                report.findings.append(
+                    Finding(
+                        "warning", base_row.label, metric, base_value, None,
+                        "metric missing from current artifact",
+                    )
+                )
+                continue
+            cur_value = cur_row.metrics[metric]
+            report.compared_metrics += 1
+            direction, tolerance = metric_policy(metric, tolerances)
+            if not (_is_number(base_value) and _is_number(cur_value)):
+                if base_value != cur_value:
+                    report.findings.append(
+                        Finding(
+                            "drift", base_row.label, metric, base_value,
+                            cur_value, "non-numeric value changed",
+                        )
+                    )
+                continue
+            if direction == "exact":
+                if base_value != cur_value:
+                    report.findings.append(
+                        Finding(
+                            "drift", base_row.label, metric, base_value,
+                            cur_value,
+                            "deterministic metric changed (refresh the "
+                            "baseline if this is intentional)",
+                        )
+                    )
+                continue
+            change = _relative_change(float(base_value), float(cur_value))
+            regressed = (
+                change > tolerance if direction == "lower" else change < -tolerance
+            )
+            improved = (
+                change < -tolerance if direction == "lower" else change > tolerance
+            )
+            if regressed:
+                status = "regressed" if env_match else "warning"
+                detail = (
+                    f"{change:+.1%} vs tolerance {tolerance:.0%}"
+                    + ("" if env_match else " (environments differ)")
+                )
+                report.findings.append(
+                    Finding(status, base_row.label, metric, base_value,
+                            cur_value, detail)
+                )
+            elif improved:
+                report.findings.append(
+                    Finding(
+                        "improved", base_row.label, metric, base_value,
+                        cur_value, f"{change:+.1%}",
+                    )
+                )
+    return report
+
+
+def compare_paths(
+    baseline_path: pathlib.Path | str,
+    current_path: pathlib.Path | str,
+    tolerances: Optional[Mapping[str, float]] = None,
+    strict_env: bool = False,
+) -> ComparisonReport:
+    """Load two artifacts from disk and compare them."""
+    return compare_artifacts(
+        load_artifact(baseline_path),
+        load_artifact(current_path),
+        tolerances=tolerances,
+        strict_env=strict_env,
+    )

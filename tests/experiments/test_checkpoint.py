@@ -1,0 +1,189 @@
+"""Journal durability and the kill-mid-campaign / resume contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments import (
+    CampaignJournal,
+    JournalEntry,
+    ResultCache,
+    campaign_payload,
+    plan_campaign,
+    render_campaign,
+    run_campaign,
+)
+from repro.experiments.checkpoint import require_compatible_header
+from repro.cli import main
+
+
+class TestJournalFile:
+    def test_round_trip(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        assert not journal.exists()
+        journal.create({"campaign": "x", "config_hash": "abc"})
+        journal.append(JournalEntry(key="k1", member="m1"))
+        journal.append(JournalEntry(key="k2", member="m2", error="Boom: died"))
+        header, entries = journal.read()
+        assert header == {"campaign": "x", "config_hash": "abc"}
+        assert entries["k1"].ok
+        assert not entries["k2"].ok
+        assert entries["k2"].error == "Boom: died"
+
+    def test_missing_reads_empty(self, tmp_path):
+        assert CampaignJournal(tmp_path / "nope.jsonl").read() == (None, {})
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.create({"campaign": "x"})
+        journal.append(JournalEntry(key="k1", member="m"))
+        # Simulate a crash mid-append: a truncated JSON line at the tail.
+        with journal.path.open("a", encoding="utf8") as handle:
+            handle.write('{"key": "k2", "mem')
+        header, entries = journal.read()
+        assert header is not None
+        assert set(entries) == {"k1"}
+
+    def test_later_entry_wins(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.create({})
+        journal.append(JournalEntry(key="k", member="m", error="first try"))
+        journal.append(JournalEntry(key="k", member="m"))
+        _, entries = journal.read()
+        assert entries["k"].ok
+
+    def test_create_overwrites(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.create({"config_hash": "old"})
+        journal.append(JournalEntry(key="k", member="m"))
+        journal.create({"config_hash": "new"})
+        header, entries = journal.read()
+        assert header == {"config_hash": "new"}
+        assert entries == {}
+
+    def test_header_compatibility(self):
+        require_compatible_header({"a": 1}, {"a": 1})
+        with pytest.raises(ParameterError, match="incompatible"):
+            require_compatible_header({"a": 1}, {"a": 2})
+        with pytest.raises(ParameterError, match="config_hash"):
+            require_compatible_header({}, {"config_hash": "x"})
+
+
+def _run(plan, tmp_path, label, **kwargs):
+    cache = ResultCache(tmp_path / label / "cache")
+    journal = CampaignJournal(tmp_path / label / "journal.jsonl")
+    return (
+        run_campaign(plan, cache=cache, journal=journal, **kwargs),
+        cache,
+        journal,
+    )
+
+
+class TestInterruptResume:
+    def test_stop_after_interrupts_without_assembly(self, tmp_path):
+        plan = plan_campaign("campaign-smoke")
+        outcome, _, journal = _run(plan, tmp_path, "a", stop_after=3)
+        assert outcome.interrupted
+        assert outcome.executed == 3
+        assert outcome.members == []
+        _, entries = journal.read()
+        assert len(entries) == 3
+
+    def test_resume_completes_byte_identically(self, tmp_path):
+        plan = plan_campaign("campaign-smoke")
+        # Interrupted run, then resume in the same directory.
+        _run(plan, tmp_path, "a", stop_after=3)
+        cache = ResultCache(tmp_path / "a" / "cache")
+        journal = CampaignJournal(tmp_path / "a" / "journal.jsonl")
+        resumed = run_campaign(plan, cache=cache, journal=journal, resume=True)
+        # Uninterrupted control run in a separate directory.
+        control, _, _ = _run(plan, tmp_path, "b")
+        assert not resumed.interrupted and not control.interrupted
+        assert resumed.executed + 3 == control.executed
+        assert render_campaign(resumed) == render_campaign(control)
+        left = json.dumps(campaign_payload(resumed), sort_keys=True)
+        right = json.dumps(campaign_payload(control), sort_keys=True)
+        assert left == right
+
+    def test_run_refuses_existing_journal(self, tmp_path):
+        plan = plan_campaign("campaign-smoke")
+        _run(plan, tmp_path, "a", stop_after=1)
+        cache = ResultCache(tmp_path / "a" / "cache")
+        journal = CampaignJournal(tmp_path / "a" / "journal.jsonl")
+        with pytest.raises(ParameterError, match="resume"):
+            run_campaign(plan, cache=cache, journal=journal)
+
+    def test_resume_requires_journal(self, tmp_path):
+        plan = plan_campaign("campaign-smoke")
+        cache = ResultCache(tmp_path / "cache")
+        journal = CampaignJournal(tmp_path / "journal.jsonl")
+        with pytest.raises(ParameterError, match="nothing to resume"):
+            run_campaign(plan, cache=cache, journal=journal, resume=True)
+
+    def test_resume_refuses_other_configuration(self, tmp_path):
+        plan = plan_campaign("campaign-smoke")
+        _run(plan, tmp_path, "a", stop_after=1)
+        cache = ResultCache(tmp_path / "a" / "cache")
+        journal = CampaignJournal(tmp_path / "a" / "journal.jsonl")
+        other = plan_campaign("campaign-smoke", trials=3)
+        with pytest.raises(ParameterError, match="incompatible"):
+            run_campaign(other, cache=cache, journal=journal, resume=True)
+
+    def test_vanished_cache_record_is_reexecuted(self, tmp_path):
+        plan = plan_campaign("campaign-smoke")
+        outcome, cache, journal = _run(plan, tmp_path, "a")
+        assert not outcome.interrupted
+        # Wipe the cache: the journal alone cannot satisfy assembly, so
+        # every trial re-runs and reproduces the identical output.
+        assert cache.clear() == plan.num_trials
+        again = run_campaign(plan, cache=cache, journal=journal, resume=True)
+        assert again.executed == plan.num_trials
+        assert render_campaign(again) == render_campaign(outcome)
+
+
+class TestCliInterruptResume:
+    def test_cli_round_trip_byte_identical(self, tmp_path, capsys):
+        args = ["campaign", "run", "campaign-smoke", "--dir", str(tmp_path / "a")]
+        assert main(args + ["--stop-after", "3"]) == 3
+        assert capsys.readouterr().out == ""  # no stdout while interrupted
+        json_a = tmp_path / "a.json"
+        assert main([
+            "campaign", "resume", "campaign-smoke",
+            "--dir", str(tmp_path / "a"), "--json", str(json_a),
+        ]) == 0
+        resumed_out = capsys.readouterr().out
+        json_b = tmp_path / "b.json"
+        assert main([
+            "campaign", "run", "campaign-smoke",
+            "--dir", str(tmp_path / "b"), "--json", str(json_b),
+        ]) == 0
+        control_out = capsys.readouterr().out
+        assert resumed_out == control_out
+        assert json_a.read_bytes() == json_b.read_bytes()
+
+    def test_cli_status_exit_codes(self, tmp_path, capsys):
+        directory = str(tmp_path / "a")
+        assert main(["campaign", "status", "campaign-smoke", "--dir", directory]) == 3
+        assert "no journal" in capsys.readouterr().out
+        main(["campaign", "run", "campaign-smoke", "--dir", directory,
+              "--stop-after", "2"])
+        assert main(["campaign", "status", "campaign-smoke", "--dir", directory]) == 3
+        assert "in progress" in capsys.readouterr().out
+        main(["campaign", "resume", "campaign-smoke", "--dir", directory])
+        capsys.readouterr()
+        assert main(["campaign", "status", "campaign-smoke", "--dir", directory]) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_cli_fresh_restarts(self, tmp_path, capsys):
+        directory = str(tmp_path / "a")
+        main(["campaign", "run", "campaign-smoke", "--dir", directory,
+              "--stop-after", "2"])
+        # A plain re-run refuses the half-done journal...
+        assert main(["campaign", "run", "campaign-smoke", "--dir", directory]) == 2
+        assert "resume" in capsys.readouterr().err
+        # ...but --fresh discards it and completes (reusing cached records).
+        assert main(["campaign", "run", "campaign-smoke", "--dir", directory,
+                     "--fresh"]) == 0

@@ -1,0 +1,314 @@
+"""The perf-baseline comparison gate: tolerances, drift, environments."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ParameterError
+from repro.experiments import (
+    CampaignJournal,
+    ResultCache,
+    campaign_payload,
+    compare_paths,
+    load_artifact,
+    parse_tolerances,
+    plan_campaign,
+    run_campaign,
+)
+from repro.experiments.compare import metric_policy
+
+ENV = {
+    "python": "3.11.8",
+    "implementation": "CPython",
+    "platform": "Linux-x",
+    "numpy": "2.4.6",
+    "kernel_backend": "numpy",
+    "git_sha": "abc1234",
+}
+
+
+def bench_artifact(tmp_path, name, **overrides):
+    """A minimal benchmark-table artifact with one timed workload."""
+    payload = {
+        "benchmark": "oracle",
+        "rows": [
+            {
+                "workload": "gnp_fast:4096",
+                "build s": 10.0,
+                "batch s": 0.5,
+                "oracle q/s": 100_000,
+                "checksum": 424_242,
+            }
+        ],
+        "environment": dict(ENV),
+    }
+    for dotted, value in overrides.items():
+        target = payload
+        *parents, leaf = dotted.split(".")
+        for part in parents:
+            key = int(part) if part.isdigit() else part
+            target = target[key]
+        target[leaf] = value
+    path = tmp_path / name
+    path.write_text(json.dumps(payload), encoding="utf8")
+    return path
+
+
+class TestMetricPolicy:
+    def test_timing_metrics_are_lower_better(self):
+        assert metric_policy("build s")[0] == "lower"
+        assert metric_policy("batch_seconds")[0] == "lower"
+        assert metric_policy("query_time_ms")[0] == "lower"
+
+    def test_throughput_metrics_are_higher_better(self):
+        assert metric_policy("oracle q/s")[0] == "higher"
+        assert metric_policy("speedup")[0] == "higher"
+
+    def test_millisecond_columns_are_timing(self):
+        # bench_kernel emits "legacy ms" / "csr ms" columns
+        assert metric_policy("legacy ms")[0] == "lower"
+        assert metric_policy("csr ms")[0] == "lower"
+        assert metric_policy("batch_ms")[0] == "lower"
+
+    def test_everything_else_is_exact(self):
+        for name in ("rounds", "messages", "words", "checksum", "colors"):
+            assert metric_policy(name)[0] == "exact"
+
+    def test_exact_name_override_beats_glob(self):
+        tolerances = {"rounds*": 0.5, "rounds": 0.05}
+        assert metric_policy("rounds", tolerances)[1] == 0.05
+        assert metric_policy("rounds_mean", tolerances)[1] == 0.5
+
+    def test_override_opts_into_banded_comparison(self):
+        direction, tolerance = metric_policy("rounds", {"rounds": 0.25})
+        assert direction == "lower" and tolerance == 0.25
+        direction, tolerance = metric_policy("build s", {"build*": 0.5})
+        assert direction == "lower" and tolerance == 0.5
+
+    def test_parse_tolerances(self):
+        assert parse_tolerances(["a=0.1", "b*=0.5"]) == {"a": 0.1, "b*": 0.5}
+        for bad in ("a", "a=x", "=0.1", "a=-1"):
+            with pytest.raises(ParameterError, match="tolerance"):
+                parse_tolerances([bad])
+
+
+class TestCompareBenchArtifacts:
+    def test_self_compare_is_clean(self, tmp_path):
+        path = bench_artifact(tmp_path, "a.json")
+        report = compare_paths(path, path)
+        assert report.exit_code == 0
+        assert report.findings == []
+        assert report.compared_rows == 1
+
+    def test_twenty_percent_slowdown_fails(self, tmp_path):
+        base = bench_artifact(tmp_path, "base.json")
+        slow = bench_artifact(tmp_path, "slow.json", **{"rows.0.build s": 12.0})
+        report = compare_paths(base, slow)
+        assert report.exit_code == 1
+        [finding] = report.failures
+        assert finding.status == "regressed" and finding.metric == "build s"
+
+    def test_small_change_within_tolerance_passes(self, tmp_path):
+        base = bench_artifact(tmp_path, "base.json")
+        near = bench_artifact(tmp_path, "near.json", **{"rows.0.build s": 10.5})
+        assert compare_paths(base, near).exit_code == 0
+
+    def test_throughput_drop_fails_gain_is_improvement(self, tmp_path):
+        base = bench_artifact(tmp_path, "base.json")
+        slow = bench_artifact(tmp_path, "slow.json", **{"rows.0.oracle q/s": 80_000})
+        report = compare_paths(base, slow)
+        assert report.exit_code == 1
+        fast = bench_artifact(tmp_path, "fast.json", **{"rows.0.oracle q/s": 150_000})
+        report = compare_paths(base, fast)
+        assert report.exit_code == 0
+        assert [f.status for f in report.findings] == ["improved"]
+
+    def test_deterministic_drift_fails(self, tmp_path):
+        base = bench_artifact(tmp_path, "base.json")
+        drift = bench_artifact(tmp_path, "drift.json", **{"rows.0.checksum": 1})
+        report = compare_paths(base, drift)
+        assert report.exit_code == 1
+        [finding] = report.failures
+        assert finding.status == "drift"
+
+    def test_tolerance_override_loosens_gate(self, tmp_path):
+        base = bench_artifact(tmp_path, "base.json")
+        slow = bench_artifact(tmp_path, "slow.json", **{"rows.0.build s": 12.0})
+        report = compare_paths(base, slow, tolerances={"build s": 0.25})
+        assert report.exit_code == 0
+
+    def test_environment_mismatch_downgrades_to_warning(self, tmp_path):
+        base = bench_artifact(tmp_path, "base.json")
+        other_env = bench_artifact(
+            tmp_path, "other.json",
+            **{"rows.0.build s": 12.0, "environment.python": "3.12.1"},
+        )
+        report = compare_paths(base, other_env)
+        assert report.exit_code == 0
+        assert not report.environment_matches
+        statuses = {finding.status for finding in report.findings}
+        assert statuses == {"warning"}
+
+    def test_environment_mismatch_still_enforces_determinism(self, tmp_path):
+        base = bench_artifact(tmp_path, "base.json")
+        other = bench_artifact(
+            tmp_path, "other.json",
+            **{"rows.0.checksum": 1, "environment.python": "3.12.1"},
+        )
+        assert compare_paths(base, other).exit_code == 1
+
+    def test_git_sha_alone_is_not_a_mismatch(self, tmp_path):
+        base = bench_artifact(tmp_path, "base.json")
+        next_pr = bench_artifact(
+            tmp_path, "next.json", **{"environment.git_sha": "def5678"}
+        )
+        report = compare_paths(base, next_pr)
+        assert report.environment_matches
+
+    def test_strict_env_fails_on_mismatch(self, tmp_path):
+        base = bench_artifact(tmp_path, "base.json")
+        other = bench_artifact(
+            tmp_path, "other.json", **{"environment.python": "3.12.1"}
+        )
+        assert compare_paths(base, other, strict_env=True).exit_code == 1
+
+    def test_rows_on_one_side_only_warn(self, tmp_path):
+        base = bench_artifact(tmp_path, "base.json")
+        extra = json.loads((tmp_path / "base.json").read_text())
+        extra["rows"].append({"workload": "torus:48:48", "build s": 3.0})
+        (tmp_path / "extra.json").write_text(json.dumps(extra), encoding="utf8")
+        report = compare_paths(base, tmp_path / "extra.json")
+        assert report.exit_code == 0
+        assert [f.status for f in report.findings] == ["warning"]
+
+    def test_disjoint_artifacts_are_an_error(self, tmp_path):
+        base = bench_artifact(tmp_path, "base.json")
+        other = bench_artifact(tmp_path, "other.json", **{"rows.0.workload": "x"})
+        with pytest.raises(ParameterError, match="no comparable rows"):
+            compare_paths(base, other)
+
+    def test_multiple_rows_per_workload_do_not_collapse(self, tmp_path):
+        """Benchmark tables carry several rows per workload (op column);
+        all string columns are identity, so none shadow each other."""
+        payload = {
+            "benchmark": "kernel",
+            "rows": [
+                {"workload": "er", "op": "bfs", "new s": 1.0},
+                {"workload": "er", "op": "levels", "new s": 2.0},
+            ],
+            "environment": dict(ENV),
+        }
+        path = tmp_path / "k.json"
+        path.write_text(json.dumps(payload), encoding="utf8")
+        assert len(load_artifact(path).rows) == 2
+        slow = json.loads(json.dumps(payload))
+        slow["rows"][0]["new s"] = 1.3  # first op regresses, second doesn't
+        slow_path = tmp_path / "k-slow.json"
+        slow_path.write_text(json.dumps(slow), encoding="utf8")
+        report = compare_paths(path, slow_path)
+        assert report.exit_code == 1
+        [finding] = report.failures
+        assert "bfs" in finding.label
+
+    def test_dropped_metric_warns_instead_of_passing_silently(self, tmp_path):
+        base = bench_artifact(tmp_path, "base.json")
+        payload = json.loads((tmp_path / "base.json").read_text())
+        del payload["rows"][0]["checksum"]
+        (tmp_path / "nochk.json").write_text(json.dumps(payload), encoding="utf8")
+        report = compare_paths(base, tmp_path / "nochk.json")
+        assert report.exit_code == 0
+        [finding] = report.findings
+        assert finding.status == "warning" and finding.metric == "checksum"
+        assert "missing from current" in finding.detail
+        # ...and symmetrically: a metric only in current warns too.
+        report = compare_paths(tmp_path / "nochk.json", base)
+        [finding] = report.findings
+        assert finding.status == "warning" and finding.metric == "checksum"
+        assert "missing from baseline" in finding.detail
+
+    def test_per_trial_bench_artifacts_ignore_cache_accounting(
+        self, tmp_path, capsys
+    ):
+        """Warm and cold --per-trial runs differ only in the 'cached'
+        bookkeeping column, which must not trip the gate."""
+        cache_dir = str(tmp_path / "cache")
+        cold, warm = tmp_path / "cold.json", tmp_path / "warm.json"
+        argv = ["bench", "smoke", "--per-trial", "--cache-dir", cache_dir]
+        assert main(argv + ["--json", str(cold)]) == 0
+        assert main(argv + ["--json", str(warm)]) == 0
+        capsys.readouterr()
+        report = compare_paths(cold, warm)
+        assert report.exit_code == 0
+        assert report.findings == []
+        assert report.compared_rows == 2
+
+    def test_unrecognised_artifact_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"stuff": 1}), encoding="utf8")
+        with pytest.raises(ParameterError, match="unrecognised"):
+            load_artifact(path)
+        path.write_text("not json", encoding="utf8")
+        with pytest.raises(ParameterError, match="not valid JSON"):
+            load_artifact(path)
+
+
+class TestCompareCampaignArtifacts:
+    def _artifact(self, tmp_path, name):
+        plan = plan_campaign("campaign-smoke")
+        cache = ResultCache(tmp_path / name / "cache")
+        journal = CampaignJournal(tmp_path / name / "journal.jsonl")
+        outcome = run_campaign(plan, cache=cache, journal=journal)
+        path = tmp_path / f"{name}.json"
+        path.write_text(
+            json.dumps(campaign_payload(outcome), default=str), encoding="utf8"
+        )
+        return path
+
+    def test_campaign_self_compare_clean(self, tmp_path):
+        a = self._artifact(tmp_path, "a")
+        b = self._artifact(tmp_path, "b")
+        report = compare_paths(a, b)
+        assert report.exit_code == 0
+        assert report.compared_rows == 7
+        assert report.findings == []
+
+    def test_campaign_drift_detected(self, tmp_path):
+        a = self._artifact(tmp_path, "a")
+        payload = json.loads(a.read_text())
+        payload["rows"][2]["metrics"]["rounds"] += 1
+        b = tmp_path / "b.json"
+        b.write_text(json.dumps(payload), encoding="utf8")
+        report = compare_paths(a, b)
+        assert report.exit_code == 1
+        [finding] = report.failures
+        assert finding.metric == "rounds" and finding.status == "drift"
+
+    def test_cli_compare_exit_codes(self, tmp_path, capsys):
+        a = self._artifact(tmp_path, "a")
+        assert main([
+            "campaign", "compare", str(a), "--baseline", str(a)
+        ]) == 0
+        assert "OK" in capsys.readouterr().out
+        payload = json.loads(a.read_text())
+        payload["rows"][0]["metrics"]["colors_mean"] += 1.0
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(payload), encoding="utf8")
+        assert main([
+            "campaign", "compare", str(bad), "--baseline", str(a)
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "colors_mean" in out
+
+    def test_bench_json_artifact_is_comparable(self, tmp_path, capsys):
+        """`bench --json` output feeds straight into the gate."""
+        path = tmp_path / "bench.json"
+        assert main(["bench", "smoke", "--no-cache", "--json", str(path)]) == 0
+        capsys.readouterr()
+        assert main([
+            "campaign", "compare", str(path), "--baseline", str(path)
+        ]) == 0
+        report = compare_paths(path, path)
+        assert report.compared_rows >= 1

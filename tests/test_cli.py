@@ -235,3 +235,48 @@ class TestBenchJsonEnvironment:
         assert "numpy" in env and "git_sha" in env
         # Trial rows stay environment-free (cache portability).
         assert all("kernel_backend" not in row for row in payload["rows"])
+
+
+class TestCampaignCli:
+    def test_list_campaigns(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "registered campaigns" in out
+        for name in ("shootout", "quality", "campaign-smoke"):
+            assert name in out
+
+    def test_unknown_campaign_exit_code(self, capsys):
+        assert main(["campaign", "run", "nope"]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
+
+    def test_bad_shard_exit_code(self, capsys):
+        assert main(["campaign", "run", "campaign-smoke", "--shard", "2/2"]) == 2
+        assert "shard" in capsys.readouterr().err
+
+    def test_run_writes_keyed_artifact(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "out.json"
+        argv = [
+            "campaign", "run", "campaign-smoke",
+            "--dir", str(tmp_path / "run"), "--json", str(path),
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "campaign 'campaign-smoke'" in captured.out
+        assert "8 trial(s) in shard" in captured.err
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "campaign"
+        assert payload["failures"] == 0
+        assert {row["member"] for row in payload["rows"]} == {"runtime", "race"}
+        assert all(row["key"] for row in payload["rows"])
+        assert payload["environment"]["python"]
+
+    def test_sharded_run_uses_shard_directory(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["campaign", "run", "campaign-smoke", "--shard", "0/4"]) == 0
+        capsys.readouterr()
+        assert (
+            tmp_path / ".repro-campaigns" / "campaign-smoke-shard0of4"
+            / "journal.jsonl"
+        ).is_file()

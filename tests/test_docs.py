@@ -57,6 +57,7 @@ def test_required_coverage():
     # every CLI subcommand documented
     for command in (
         "decompose", "compare", "apps", "spanner", "theory", "oracle", "bench",
+        "campaign",
     ):
         assert f"## `{command}`" in cli, f"cli.md missing section for {command}"
     assert "gnp_fast" in cli  # the er:-vs-gnp_fast distinction is documented
