@@ -29,6 +29,7 @@ from repro.experiments import (
     environment_block,
     run_experiment,
 )
+from repro.telemetry import maybe_span, resolve
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -90,6 +91,12 @@ def emit(title: str, records: Sequence[Mapping[str, object]], filename: str) -> 
         "rows": strip_private(records),
         "environment": environment_block(),
     }
+    telemetry = resolve(None)
+    if telemetry is not None:
+        # Traced runs stamp their span/round summary into the artifact
+        # so a benchmark table links to its trace (untraced artifacts
+        # stay byte-identical to pre-telemetry runs).
+        payload["telemetry"] = telemetry.block()
     (RESULTS_DIR / f"{stem}.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
         encoding="utf8",
@@ -97,23 +104,31 @@ def emit(title: str, records: Sequence[Mapping[str, object]], filename: str) -> 
     return text
 
 
-def median_time(fn, reps: int):
+def median_time(fn, reps: int, label: str | None = None):
     """``(median wall-clock seconds, last result)`` over ``reps`` calls.
 
     The shared race harness of the kernel/engine benchmarks: timing both
     contestants with the same helper in one process means machine noise
-    hits them alike.
+    hits them alike.  Under an active trace each measurement becomes one
+    ``bench.measure`` span (annotated with the median once known), so
+    timings appear in trace artifacts instead of ad-hoc stderr prints.
     """
     import statistics
     import time
 
     times = []
     result = None
-    for _ in range(reps):
-        start = time.perf_counter()
-        result = fn()
-        times.append(time.perf_counter() - start)
-    return statistics.median(times), result
+    with maybe_span(
+        resolve(None), "bench.measure", label=label or getattr(fn, "__name__", "fn"), reps=reps
+    ) as span:
+        for _ in range(reps):
+            start = time.perf_counter()
+            result = fn()
+            times.append(time.perf_counter() - start)
+        median = statistics.median(times)
+        if span is not None:
+            span.annotate(median_seconds=round(median, 9))
+    return median, result
 
 
 def strip_private(rows: Sequence[Mapping[str, object]]) -> list[dict]:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..core.decomposition import Cluster, NetworkDecomposition
 from ..distributed.message import Message
@@ -34,7 +34,11 @@ from ..errors import ParameterError, SimulationError
 from ..graphs.activeset import ActiveSet
 from ..graphs.graph import Graph
 from ..rng import DEFAULT_SEED
+from ..telemetry import maybe_span, resolve
 from .linial_saks import sample_ls_radius
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry import Telemetry
 
 __all__ = ["LSNodeAlgorithm", "DistributedLSResult", "decompose_distributed"]
 
@@ -131,18 +135,24 @@ class DistributedLSResult:
 class _SyncLSPhases:
     """Reference phase executor (one :class:`LSNodeAlgorithm` per vertex)."""
 
-    def __init__(self, graph: Graph, seed: int, p: float, k: int, word_budget) -> None:
+    def __init__(
+        self, graph: Graph, seed: int, p: float, k: int, word_budget, rounds=None
+    ) -> None:
         self._network = SyncNetwork(
             graph,
             [LSNodeAlgorithm(v, seed, p, k) for v in range(graph.num_vertices)],
             seed=seed,
             word_budget=word_budget,
+            rounds=rounds,
         )
         self._network.start()
 
     @property
     def stats(self) -> NetworkStats:
         return self._network.stats
+
+    def finish(self) -> None:
+        self._network.finish_rounds()
 
     def run_phase(self, phase, budget, radii):
         for v in radii:
@@ -169,6 +179,7 @@ def decompose_distributed(
     word_budget: int | None = None,
     max_phases: int | None = None,
     backend: str = "sync",
+    telemetry: "Telemetry | None" = None,
 ) -> DistributedLSResult:
     """Run the distributed LS protocol to completion.
 
@@ -177,7 +188,8 @@ def decompose_distributed(
     instead of the fixed worst case ``k``.  ``backend="batch"`` runs the
     identical protocol on the columnar round engine
     (:class:`repro.engine.ls.BatchLSPhases`) — bit-identical outputs and
-    stats, engine-speed execution.
+    stats, engine-speed execution.  ``telemetry`` (or the ambient trace)
+    enables phase spans and the ``ls.rounds`` metrics stream.
     """
     if k < 1:
         raise ParameterError(f"k must be >= 1, got {k}")
@@ -193,39 +205,52 @@ def decompose_distributed(
     )
     if max_phases is None:
         max_phases = 10 * nominal + 100
+    tel = resolve(telemetry)
+    rounds = (
+        tel.round_stream("ls.rounds", backend=backend) if tel is not None else None
+    )
     if backend == "sync":
-        runner = _SyncLSPhases(graph, seed, p, k, word_budget)
+        runner = _SyncLSPhases(graph, seed, p, k, word_budget, rounds)
     else:
         from ..engine.ls import BatchLSPhases
 
-        runner = BatchLSPhases(graph, word_budget)
+        runner = BatchLSPhases(graph, word_budget, rounds=rounds)
     active = ActiveSet.full(n)
     clusters: list[Cluster] = []
     rounds_per_phase: list[int] = []
     phase = 0
-    while active:
-        phase += 1
-        if phase > max_phases:
-            raise SimulationError(
-                f"LS protocol did not exhaust the graph within {max_phases} phases"
-            )
-        radii = {v: sample_ls_radius(seed, phase, v, p, k) for v in active}
-        budget = max(radii.values(), default=0) if adaptive_phase_length else k
-        joined = runner.run_phase(phase, budget, radii)
-        rounds_per_phase.append(budget + 2)
-        by_center: dict[int, list[int]] = {}
-        for v, center in joined.items():
-            by_center.setdefault(center, []).append(v)
-        for center in sorted(by_center):
-            clusters.append(
-                Cluster(
-                    index=len(clusters),
-                    color=phase - 1,
-                    vertices=frozenset(by_center[center]),
-                    center=center,
+    with maybe_span(tel, "ls.decompose", backend=backend, n=n, k=k) as run_span:
+        while active:
+            phase += 1
+            if phase > max_phases:
+                raise SimulationError(
+                    f"LS protocol did not exhaust the graph within {max_phases} phases"
                 )
-            )
-        active -= joined.keys()
+            radii = {v: sample_ls_radius(seed, phase, v, p, k) for v in active}
+            budget = max(radii.values(), default=0) if adaptive_phase_length else k
+            with maybe_span(tel, "phase", phase=phase) as phase_span:
+                joined = runner.run_phase(phase, budget, radii)
+                if phase_span is not None:
+                    phase_span.annotate(budget=budget)
+                    phase_span.add("joined", len(joined))
+            rounds_per_phase.append(budget + 2)
+            by_center: dict[int, list[int]] = {}
+            for v, center in joined.items():
+                by_center.setdefault(center, []).append(v)
+            for center in sorted(by_center):
+                clusters.append(
+                    Cluster(
+                        index=len(clusters),
+                        color=phase - 1,
+                        vertices=frozenset(by_center[center]),
+                        center=center,
+                    )
+                )
+            active -= joined.keys()
+        if tel is not None:
+            runner.finish()
+            run_span.add("phases", phase)
+            run_span.add("rounds", sum(rounds_per_phase))
     return DistributedLSResult(
         decomposition=NetworkDecomposition(graph, clusters),
         stats=runner.stats,

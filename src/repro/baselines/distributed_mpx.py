@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Literal, Sequence
+from typing import TYPE_CHECKING, Literal, Sequence
 
 from ..core.decomposition import Cluster, NetworkDecomposition
 from ..distributed.message import Message
@@ -34,6 +34,10 @@ from ..distributed.node import Context, NodeAlgorithm
 from ..errors import ParameterError
 from ..graphs.graph import Graph
 from ..rng import DEFAULT_SEED, stream
+from ..telemetry import maybe_span, resolve
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry import Telemetry
 
 __all__ = ["MPXNodeAlgorithm", "DistributedMPXResult", "partition_distributed"]
 
@@ -124,6 +128,7 @@ def partition_distributed(
     mode: Literal["full", "topone"] = "topone",
     word_budget: int | None = None,
     backend: str = "sync",
+    telemetry: "Telemetry | None" = None,
 ) -> DistributedMPXResult:
     """Run the distributed MPX partition on ``graph`` with rate ``beta``.
 
@@ -132,7 +137,8 @@ def partition_distributed(
     ``O(log n / β)``); the run then takes ``B + 1`` rounds.
     ``backend="batch"`` runs the identical competition on the columnar
     round engine (:func:`repro.engine.mpx.run_mpx_batch`) — bit-identical
-    assignment and stats.
+    assignment and stats.  ``telemetry`` (or the ambient trace) enables
+    the run span and the ``mpx.rounds`` metrics stream.
     """
     if beta <= 0:
         raise ParameterError(f"beta must be positive, got {beta}")
@@ -141,28 +147,42 @@ def partition_distributed(
     if backend not in ("sync", "batch"):
         raise ParameterError(f"backend must be 'sync' or 'batch', got {backend!r}")
     n = graph.num_vertices
+    tel = resolve(telemetry)
+    rounds = (
+        tel.round_stream("mpx.rounds", backend=backend, mode=mode)
+        if tel is not None
+        else None
+    )
     shifts = {
         v: stream(seed, "mpx-shift", v).expovariate(beta) for v in range(n)
     }
     budget = max((math.floor(s) for s in shifts.values()), default=0)
-    if backend == "batch":
-        from ..engine.mpx import run_mpx_batch
+    with maybe_span(tel, "mpx.partition", backend=backend, mode=mode, n=n) as run_span:
+        if backend == "batch":
+            from ..engine.mpx import run_mpx_batch
 
-        center_of, stats = run_mpx_batch(graph, shifts, budget, mode, word_budget)
-    else:
-        algorithms = [MPXNodeAlgorithm(v, seed, beta, mode) for v in range(n)]
-        for algorithm in algorithms:
-            algorithm.configure(budget)
-        network = SyncNetwork(graph, algorithms, seed=seed, word_budget=word_budget)
-        network.start()
-        network.run_rounds(budget + 1)
-        stats = network.stats
-        center_of = {}
-        for v in range(n):
-            algorithm = network.algorithm(v)
-            assert isinstance(algorithm, MPXNodeAlgorithm)
-            assert algorithm.center is not None, "every vertex must be assigned"
-            center_of[v] = algorithm.center
+            center_of, stats = run_mpx_batch(
+                graph, shifts, budget, mode, word_budget, rounds=rounds
+            )
+        else:
+            algorithms = [MPXNodeAlgorithm(v, seed, beta, mode) for v in range(n)]
+            for algorithm in algorithms:
+                algorithm.configure(budget)
+            network = SyncNetwork(
+                graph, algorithms, seed=seed, word_budget=word_budget, rounds=rounds
+            )
+            network.start()
+            network.run_rounds(budget + 1)
+            network.finish_rounds()
+            stats = network.stats
+            center_of = {}
+            for v in range(n):
+                algorithm = network.algorithm(v)
+                assert isinstance(algorithm, MPXNodeAlgorithm)
+                assert algorithm.center is not None, "every vertex must be assigned"
+                center_of[v] = algorithm.center
+        if run_span is not None:
+            run_span.add("rounds", budget + 1)
     by_center: dict[int, list[int]] = {}
     for v, center in center_of.items():
         by_center.setdefault(center, []).append(v)

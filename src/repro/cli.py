@@ -23,6 +23,12 @@ Subcommands
     byte-identical output), ``status`` an in-flight run, ``compare``
     two JSON artifacts as a perf-regression gate, ``list`` the
     registry.
+``trace``
+    Inspect telemetry traces recorded with ``--trace PATH`` (or
+    ``REPRO_TELEMETRY=PATH``): ``summarize`` the span tree with
+    self/cumulative wall time, print the per-round convergence
+    ``timeline`` of a protocol run, or ``diff`` two traces' span
+    summaries.
 
 Graphs are described by compact specs: ``er:200:0.03``, ``grid:10:12``,
 ``path:50``, ``cycle:64``, ``tree:2:5``, ``hypercube:6``, ``conn:300:0.01``,
@@ -36,7 +42,6 @@ import json
 import math
 import pathlib
 import sys
-import time
 from typing import Sequence
 
 from .analysis import comparison_rows, format_records, report
@@ -78,6 +83,15 @@ from .experiments import (
 from .graphs import parse_graph_spec
 from .oracle import build_oracle, estimates_checksum, validate_sample
 from .rng import DEFAULT_SEED, stream
+from .telemetry import (
+    Telemetry,
+    configure,
+    parse_setting,
+    read_trace,
+    resolve,
+    shutdown,
+)
+from .telemetry.report import diff_summaries, round_timeline, summarize_spans
 
 __all__ = ["parse_graph_spec", "main"]
 
@@ -242,6 +256,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             # stay environment-free so cached trials remain portable).
             "environment": environment_block(),
         }
+        tel = resolve(None)
+        if tel is not None:
+            payload["telemetry"] = tel.block()
         path = pathlib.Path(args.json)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(
@@ -455,15 +472,21 @@ def _cmd_campaign_compare(args: argparse.Namespace) -> int:
 
 def _cmd_oracle(args: argparse.Namespace) -> int:
     graph = parse_graph_spec(args.graph, seed=args.seed)
-    start = time.perf_counter()
+    # Timing is measured exactly once, by the oracle's own spans: with
+    # --trace / REPRO_TELEMETRY the ambient trace collects them, else a
+    # local in-memory collector does.  Both feed the stderr lines and
+    # the artifact's telemetry block below.
+    tel = resolve(None)
+    local = tel if tel is not None else Telemetry()
     oracle = build_oracle(
         graph,
         k=args.k,
         c=args.c,
         seed=args.seed,
         overlap_budget=args.budget,
+        telemetry=local,
     )
-    build_seconds = time.perf_counter() - start
+    build_seconds = local.total_seconds("oracle.build")
     scale_rows = oracle.scale_rows()
     print(format_records(
         scale_rows,
@@ -498,9 +521,8 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
         pairs = [
             (rng.randrange(n), rng.randrange(n)) for _ in range(args.pairs)
         ] if n else []
-        start = time.perf_counter()
-        estimates = oracle.distances(pairs)
-        query_seconds = time.perf_counter() - start
+        estimates = oracle.distances(pairs, telemetry=local)
+        query_seconds = local.total_seconds("oracle.query")
         validation = validate_sample(oracle, pairs, estimates, args.check)
         violations = validation["violations"]
         reachable = [e for e in estimates if e >= 0]
@@ -533,6 +555,7 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
         payload["query"] = summary
         payload["query_seconds"] = round(query_seconds, 3)
         exit_code = 1 if violations else 0
+    payload["telemetry"] = local.block()
     if args.json:
         path = pathlib.Path(args.json)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -541,6 +564,93 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
             encoding="utf8",
         )
     return exit_code
+
+
+def _load_trace(path: str) -> list[dict]:
+    """The records of one trace file, or ``ParameterError`` (exit 2)."""
+    try:
+        _header, records = read_trace(path)
+    except OSError as exc:
+        raise ParameterError(f"cannot read trace {path!r}: {exc}") from exc
+    if not records:
+        raise ParameterError(f"trace {path!r} holds no records")
+    return records
+
+
+def _format_summary_rows(rows: list[dict]) -> list[dict]:
+    """Flatten summarize_spans rows for the text table."""
+    return [
+        {
+            "span": ("  " * row["depth"]) + row["span"].rsplit("/", 1)[-1],
+            "calls": row["calls"],
+            "seconds": f"{row['seconds']:.4f}",
+            "self": f"{row['self_seconds']:.4f}",
+            "errors": row["errors"],
+            "counters": ", ".join(
+                f"{name}={value:g}"
+                for name, value in sorted(row["counters"].items())
+            ),
+        }
+        for row in rows
+    ]
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "summarize":
+        records = _load_trace(args.trace_file)
+        rows = summarize_spans(records)
+        rounds = round_timeline(records)
+        print(format_records(
+            _format_summary_rows(rows),
+            title=f"span summary of {args.trace_file} "
+            f"({len(rows)} path(s), {len(rounds)} round record(s))",
+        ))
+        payload = {"command": "trace summarize", "trace": args.trace_file,
+                   "spans": rows, "rounds": len(rounds)}
+    elif args.trace_command == "timeline":
+        records = _load_trace(args.trace_file)
+        rows = round_timeline(records, stream=args.stream)
+        if not rows:
+            streams = sorted(
+                {r.get("stream") for r in records if r.get("kind") == "round"}
+            )
+            raise ParameterError(
+                f"no round records for stream {args.stream!r} in "
+                f"{args.trace_file!r} (streams present: {streams or 'none'})"
+            )
+        print(format_records(
+            rows[: args.limit] if args.limit else rows,
+            title=f"round timeline of {args.trace_file}"
+            + (f" (stream {args.stream})" if args.stream else ""),
+        ))
+        if args.limit and len(rows) > args.limit:
+            print(f"... {len(rows) - args.limit} more round(s)", file=sys.stderr)
+        payload = {"command": "trace timeline", "trace": args.trace_file,
+                   "stream": args.stream, "rows": rows}
+    else:  # diff
+        baseline = summarize_spans(_load_trace(args.baseline))
+        current = summarize_spans(_load_trace(args.current))
+        rows = diff_summaries(baseline, current, tolerance=args.tolerance)
+        print(format_records(
+            rows,
+            title=f"trace diff: {args.current} vs baseline {args.baseline} "
+            f"(tolerance {args.tolerance:.0%})",
+        ))
+        drifted = sum(1 for row in rows if row["status"] != "ok")
+        print(
+            f"{len(rows)} span path(s) compared, {drifted} drifted",
+            file=sys.stderr,
+        )
+        payload = {"command": "trace diff", "baseline": args.baseline,
+                   "current": args.current, "rows": rows}
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+            encoding="utf8",
+        )
+    return 0
 
 
 class _SeedAction(argparse.Action):
@@ -564,6 +674,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(Elkin & Neiman, PODC 2016) — reproduction toolkit.",
     )
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED, action=_SeedAction)
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="SETTING",
+        help="telemetry: 'mem' collects in memory, a path writes a JSONL "
+        "trace file, 'off' disables (overrides REPRO_TELEMETRY)",
+    )
     parser.set_defaults(seed_given=False)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -754,6 +871,51 @@ def build_parser() -> argparse.ArgumentParser:
         "of a warning",
     )
     cp.set_defaults(func=_cmd_campaign_compare)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect telemetry traces recorded with --trace / REPRO_TELEMETRY",
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+
+    tp = tsub.add_parser(
+        "summarize", help="span tree with calls, cumulative and self time"
+    )
+    tp.add_argument("trace_file", help="trace JSONL path")
+    tp.add_argument("--json", default=None, metavar="PATH",
+                    help="also write the summary rows as JSON to PATH")
+    tp.set_defaults(func=_cmd_trace)
+
+    tp = tsub.add_parser(
+        "timeline", help="per-round convergence timeline of a protocol run"
+    )
+    tp.add_argument("trace_file", help="trace JSONL path")
+    tp.add_argument(
+        "--stream",
+        default=None,
+        metavar="NAME",
+        help="only this round stream (e.g. en.rounds)",
+    )
+    tp.add_argument("--limit", type=int, default=0, metavar="N",
+                    help="print at most N rows (0 = all)")
+    tp.add_argument("--json", default=None, metavar="PATH",
+                    help="also write the timeline rows as JSON to PATH")
+    tp.set_defaults(func=_cmd_trace)
+
+    tp = tsub.add_parser("diff", help="diff two traces' span summaries")
+    tp.add_argument("current", help="trace to check (JSONL path)")
+    tp.add_argument("--baseline", required=True, metavar="PATH",
+                    help="baseline trace to compare against")
+    tp.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="relative wall-time drift flagged as slower/faster (default 0.25)",
+    )
+    tp.add_argument("--json", default=None, metavar="PATH",
+                    help="also write the diff rows as JSON to PATH")
+    tp.set_defaults(func=_cmd_trace)
     return parser
 
 
@@ -761,11 +923,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "trace", None):
+        configure(parse_setting(args.trace))
     try:
         return args.func(args)
     except ParameterError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        # Flush and close whatever trace was active (--trace flag or the
+        # REPRO_TELEMETRY environment), so the JSONL file carries its
+        # summary record even on error exits.
+        shutdown()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Literal, Sequence
+from typing import TYPE_CHECKING, Literal, Sequence
 
 from ..distributed.message import Message
 from ..distributed.metrics import NetworkStats
@@ -53,9 +53,13 @@ from ..errors import ParameterError, SimulationError
 from ..graphs.activeset import ActiveSet
 from ..graphs.graph import Graph
 from ..rng import DEFAULT_SEED
+from ..telemetry import maybe_span, resolve
 from .decomposition import NetworkDecomposition
 from .params import PhaseSchedule, Theorem1Schedule
 from .shifts import TruncationEvent, find_truncation_events, sample_phase_radii, sample_radius
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry import Telemetry
 
 __all__ = ["ENNodeAlgorithm", "DistributedRunResult", "decompose_distributed"]
 
@@ -229,7 +233,12 @@ class _SyncENPhases:
     preserved verbatim)."""
 
     def __init__(
-        self, graph: Graph, seed: int, mode: ForwardMode, word_budget: int | None
+        self,
+        graph: Graph,
+        seed: int,
+        mode: ForwardMode,
+        word_budget: int | None,
+        rounds=None,
     ) -> None:
         self._seed = seed
         self._network = SyncNetwork(
@@ -237,12 +246,16 @@ class _SyncENPhases:
             [ENNodeAlgorithm(v, seed, mode) for v in range(graph.num_vertices)],
             seed=seed,
             word_budget=word_budget,
+            rounds=rounds,
         )
         self._network.start()
 
     @property
     def stats(self) -> NetworkStats:
         return self._network.stats
+
+    def finish(self) -> None:
+        self._network.finish_rounds()
 
     def run_phase(self, phase, beta, budget, radii):
         # Nodes re-derive their own radii from (seed, phase, beta); the
@@ -272,6 +285,7 @@ def decompose_distributed(
     word_budget: int | None = None,
     max_phases: int | None = None,
     backend: str = "sync",
+    telemetry: "Telemetry | None" = None,
 ) -> DistributedRunResult:
     """Run the distributed protocol to completion on ``graph``.
 
@@ -305,6 +319,12 @@ def decompose_distributed(
         batch round engine (:class:`repro.engine.en.BatchENPhases`);
         outputs, round counts and stats are bit-identical, only the
         wall-clock differs (see ``benchmarks/bench_engine.py``).
+    telemetry:
+        Explicit :class:`~repro.telemetry.Telemetry` collector, or
+        ``None`` to use the ambient one (``--trace`` /
+        ``REPRO_TELEMETRY``).  When enabled the run emits phase spans
+        and the ``en.rounds`` per-round metrics stream — identically
+        keyed on both backends.
 
     Returns
     -------
@@ -321,44 +341,61 @@ def decompose_distributed(
     if max_phases is None:
         max_phases = 10 * schedule.nominal_phases + 100
     n = graph.num_vertices
+    tel = resolve(telemetry)
+    rounds = (
+        tel.round_stream("en.rounds", backend=backend, mode=mode)
+        if tel is not None
+        else None
+    )
     if backend == "sync":
-        runner = _SyncENPhases(graph, seed, mode, word_budget)
+        runner = _SyncENPhases(graph, seed, mode, word_budget, rounds)
     else:
         from ..engine.en import BatchENPhases
 
-        runner = BatchENPhases(graph, mode, word_budget)
+        runner = BatchENPhases(graph, mode, word_budget, rounds=rounds)
     active = ActiveSet.full(n)
     blocks: list[list[int]] = []
     centers: dict[int, int] = {}
     rounds_per_phase: list[int] = []
     truncations: list[TruncationEvent] = []
     phase = 0
-    while active:
-        phase += 1
-        if phase > max_phases:
-            raise SimulationError(
-                f"graph not exhausted after {max_phases} phases "
-                f"(nominal budget {schedule.nominal_phases})"
-            )
-        beta = schedule.beta(phase)
-        # Driver-side rederivation of the radii (control plane bookkeeping
-        # only — each node draws its own value from the same stream; the
-        # batch executor consumes these exact values).
-        radii = sample_phase_radii(seed, phase, active, beta)
-        truncations.extend(
-            find_truncation_events(radii, phase, getattr(schedule, "k", math.inf))
-        )
-        if adaptive_phase_length:
-            budget = max(
-                (math.floor(r) for r in radii.values()), default=0
-            )
-        else:
-            budget = schedule.range_cap(phase)
-        joined = runner.run_phase(phase, beta, budget, radii)
-        rounds_per_phase.append(budget + 2)
-        blocks.append(sorted(joined))
-        centers.update(joined)
-        active -= joined.keys()
+    with maybe_span(tel, "en.decompose", backend=backend, mode=mode, n=n) as run_span:
+        while active:
+            phase += 1
+            if phase > max_phases:
+                raise SimulationError(
+                    f"graph not exhausted after {max_phases} phases "
+                    f"(nominal budget {schedule.nominal_phases})"
+                )
+            beta = schedule.beta(phase)
+            with maybe_span(tel, "phase", phase=phase) as phase_span:
+                # Driver-side rederivation of the radii (control plane
+                # bookkeeping only — each node draws its own value from the
+                # same stream; the batch executor consumes these exact values).
+                radii = sample_phase_radii(seed, phase, active, beta)
+                truncations.extend(
+                    find_truncation_events(
+                        radii, phase, getattr(schedule, "k", math.inf)
+                    )
+                )
+                if adaptive_phase_length:
+                    budget = max(
+                        (math.floor(r) for r in radii.values()), default=0
+                    )
+                else:
+                    budget = schedule.range_cap(phase)
+                joined = runner.run_phase(phase, beta, budget, radii)
+                if phase_span is not None:
+                    phase_span.annotate(budget=budget)
+                    phase_span.add("joined", len(joined))
+            rounds_per_phase.append(budget + 2)
+            blocks.append(sorted(joined))
+            centers.update(joined)
+            active -= joined.keys()
+        if tel is not None:
+            runner.finish()
+            run_span.add("phases", phase)
+            run_span.add("rounds", sum(rounds_per_phase))
     decomposition = NetworkDecomposition.from_blocks(graph, blocks, centers)
     return DistributedRunResult(
         decomposition=decomposition,

@@ -20,7 +20,7 @@ engine raises :class:`~repro.errors.CongestViolation`.  With
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..errors import CongestViolation, SimulationError
 from ..graphs.graph import Graph
@@ -29,6 +29,9 @@ from .message import Message
 from .metrics import NetworkStats
 from .node import Context, NodeAlgorithm
 from .tracing import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.rounds import RoundStream
 
 __all__ = ["SyncNetwork"]
 
@@ -49,6 +52,13 @@ class SyncNetwork:
     word_budget:
         Per-directed-edge, per-round word limit (CONGEST mode), or ``None``
         for the LOCAL model (unbounded but measured).
+    tracer:
+        Optional per-message event subscriber
+        (:class:`~repro.telemetry.events.EventRecorder`).
+    rounds:
+        Optional per-round metrics subscriber
+        (:class:`~repro.telemetry.rounds.RoundStream`): one
+        identically-keyed row per round, matching the batch engine's.
 
     Notes
     -----
@@ -64,6 +74,7 @@ class SyncNetwork:
         seed: int = DEFAULT_SEED,
         word_budget: int | None = None,
         tracer: "TraceRecorder | None" = None,
+        rounds: "RoundStream | None" = None,
     ) -> None:
         self.graph = graph
         n = graph.num_vertices
@@ -81,6 +92,7 @@ class SyncNetwork:
         ]
         self._word_budget = word_budget
         self._tracer = tracer
+        self._rounds = rounds
         # Live-node list (ascending): rebuilt only on rounds where some
         # node halts, so late rounds of a mostly-carved graph dispatch
         # O(survivors) instead of rescanning all n vertices.
@@ -190,6 +202,17 @@ class SyncNetwork:
             executed += 1
         return executed
 
+    def finish_rounds(self) -> None:
+        """Flush the final round to an attached round stream.
+
+        The sync engine emits at the end of every flush, so this is a
+        no-op here (``end_round`` is idempotent per round) — it exists
+        so drivers can finish either backend uniformly.
+        """
+        if self._rounds is not None:
+            live = sum(1 for ctx in self._contexts if not ctx.halted)
+            self._rounds.end_round(self._round, self.stats, live)
+
     # ------------------------------------------------------------------
     # Engine internals (called from Context)
     # ------------------------------------------------------------------
@@ -198,13 +221,17 @@ class SyncNetwork:
 
     def _flush_outbox(self) -> None:
         """Move sent messages into the pending queue, enforcing bandwidth."""
-        if self._tracer is not None:
-            for message in self._outbox:
-                self._tracer.on_send(message)
+        newly_halted: list[int] = []
+        if self._tracer is not None or self._rounds is not None:
             for v, ctx in enumerate(self._contexts):
                 if ctx.halted and v not in self._halted_seen:
                     self._halted_seen.add(v)
-                    self._tracer.on_halt(v, self._round)
+                    newly_halted.append(v)
+        if self._tracer is not None:
+            for message in self._outbox:
+                self._tracer.on_send(message)
+            for v in newly_halted:
+                self._tracer.on_halt(v, self._round)
         edge_words: dict[tuple[int, int], int] = defaultdict(int)
         for message in self._outbox:
             self.stats.messages_sent += 1
@@ -222,6 +249,14 @@ class SyncNetwork:
                     f"edge {offender} carried {edge_words[offender]} words in round "
                     f"{self._round}, budget is {self._word_budget}"
                 )
+        if self._rounds is not None:
+            if self._outbox:
+                self._rounds.note_frontier(
+                    len({message.sender for message in self._outbox})
+                )
+            self._rounds.note_halts(len(newly_halted))
+            live = sum(1 for ctx in self._contexts if not ctx.halted)
+            self._rounds.end_round(self._round, self.stats, live)
         # Messages to halted receivers are dropped (counted above as sent).
         self._pending.extend(
             message

@@ -1,111 +1,29 @@
-"""Execution tracing for the simulator.
+"""Execution tracing for the simulator (compatibility shim).
 
-A :class:`TraceRecorder` attached to a :class:`~repro.distributed.network.SyncNetwork`
-records message sends and node halts round by round — the debugging
-companion for protocol development, and the data source for the message
-timelines in the examples.  Recording is opt-in (the engine pays nothing
-when no tracer is attached) and bounded (a ``limit`` guards against
-accidentally tracing a million-message run into memory).
+.. deprecated::
+    The event-tracing machinery moved into the unified telemetry layer:
+    :class:`TraceRecorder` is now an alias of
+    :class:`repro.telemetry.events.EventRecorder` and
+    :class:`TraceEvent` lives in :mod:`repro.telemetry.events`.  This
+    module re-exports both so existing imports keep working; new code
+    should import from :mod:`repro.telemetry` (and consider the
+    aggregated :class:`~repro.telemetry.rounds.RoundStream` for
+    round-level metrics instead of per-message events).
+
+A ``TraceRecorder`` attached to a
+:class:`~repro.distributed.network.SyncNetwork` (or the batch engine)
+records message sends and node halts round by round.  Recording is
+opt-in (the engine pays nothing when no tracer is attached) and bounded
+(a ``limit`` guards against accidentally tracing a million-message run
+into memory — recording stops at the limit so traces are always a
+prefix of the run).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
-
-from .message import Message
+from ..telemetry.events import EventRecorder, TraceEvent
 
 __all__ = ["TraceEvent", "TraceRecorder"]
 
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One traced event.
-
-    ``kind`` is ``"send"`` (payload = message payload) or ``"halt"``
-    (payload = ``None``); ``round`` is the round in which it happened.
-    """
-
-    round: int
-    kind: str
-    node: int
-    peer: int | None
-    payload: Any
-
-
-@dataclass
-class TraceRecorder:
-    """Bounded in-memory event recorder.
-
-    Parameters
-    ----------
-    limit:
-        Maximum number of events kept; older events are *not* evicted —
-        recording simply stops (and ``truncated`` flips) so that traces
-        always describe a prefix of the run.
-    node_filter:
-        Optional predicate on node id; events from other nodes are
-        dropped.
-    """
-
-    limit: int = 100_000
-    node_filter: Callable[[int], bool] | None = None
-    events: list[TraceEvent] = field(default_factory=list)
-    truncated: bool = False
-
-    # ------------------------------------------------------------------
-    # Hooks called by the engine
-    # ------------------------------------------------------------------
-    def on_send(self, message: Message) -> None:
-        """Record a message send."""
-        if self.node_filter is not None and not self.node_filter(message.sender):
-            return
-        self._append(
-            TraceEvent(
-                round=message.sent_round,
-                kind="send",
-                node=message.sender,
-                peer=message.receiver,
-                payload=message.payload,
-            )
-        )
-
-    def on_halt(self, node: int, round_number: int) -> None:
-        """Record a node halting."""
-        if self.node_filter is not None and not self.node_filter(node):
-            return
-        self._append(
-            TraceEvent(round=round_number, kind="halt", node=node, peer=None, payload=None)
-        )
-
-    # ------------------------------------------------------------------
-    # Queries
-    # ------------------------------------------------------------------
-    def sends(self) -> Iterator[TraceEvent]:
-        """All recorded send events, in order."""
-        return (event for event in self.events if event.kind == "send")
-
-    def halts(self) -> Iterator[TraceEvent]:
-        """All recorded halt events, in order."""
-        return (event for event in self.events if event.kind == "halt")
-
-    def rounds(self) -> dict[int, list[TraceEvent]]:
-        """Events grouped by round."""
-        grouped: dict[int, list[TraceEvent]] = {}
-        for event in self.events:
-            grouped.setdefault(event.round, []).append(event)
-        return grouped
-
-    def messages_between(self, a: int, b: int) -> list[TraceEvent]:
-        """Send events on the (directed both ways) edge ``{a, b}``."""
-        return [
-            event
-            for event in self.sends()
-            if {event.node, event.peer} == {a, b}
-        ]
-
-    def _append(self, event: TraceEvent) -> None:
-        if len(self.events) >= self.limit:
-            self.truncated = True
-            return
-        self.events.append(event)
+#: Deprecated alias — see the module docstring.
+TraceRecorder = EventRecorder

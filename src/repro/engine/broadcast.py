@@ -201,6 +201,7 @@ class ShiftedFlood:
         live_deg = self.topology.live_deg
         outgoing: List[Tuple[int, int, int]] = []
         messages = 0
+        senders = 0
         offender_sender = -1
         for v in self.topology.live_list:
             if caps[v] < 1:
@@ -210,6 +211,7 @@ class ShiftedFlood:
             outgoing.append((v, v, 0))
             if live_deg[v]:
                 messages += live_deg[v]
+                senders += 1
                 if offender_sender < 0:
                     offender_sender = v
         engine.account_sends(
@@ -217,6 +219,7 @@ class ShiftedFlood:
             self.words * messages,
             self.words if messages else 0,
             self._first_live_edge(offender_sender) if messages else None,
+            senders=senders,
         )
         self._pending_count = messages
         return outgoing
@@ -313,11 +316,20 @@ class ShiftedFlood:
                 count > peak_count or (count == peak_count and sender < peak_sender)
             ):
                 peak_count, peak_sender = count, sender
+        # Frontier = distinct senders with live fan-out (matches the
+        # reference engine, where a sender with no live neighbours puts
+        # nothing in the outbox); counted only when a stream listens.
+        senders = (
+            sum(1 for sender in counts if live_deg[sender])
+            if engine.rounds is not None
+            else 0
+        )
         engine.account_sends(
             messages,
             self.words * messages,
             self.words * peak_count,
             self._first_live_edge(peak_sender) if peak_count else None,
+            senders=senders,
         )
         self._pending_count = messages
         return frontier
@@ -330,6 +342,7 @@ class ShiftedFlood:
         live_deg = self.topology.live_deg
         outgoing: List[Tuple[int, int, int]] = []
         messages = 0
+        senders = 0
         peak_count = 0
         peak_sender = -1
         for v in armed:
@@ -346,6 +359,7 @@ class ShiftedFlood:
                 outgoing.append((v, origin, entries[key]))
                 if live_deg[v]:
                     messages += live_deg[v]
+                    senders += 1
                     if peak_count == 0:
                         peak_count, peak_sender = 1, v
                 continue
@@ -372,6 +386,7 @@ class ShiftedFlood:
                 sends += 1
             if sends and live_deg[v]:
                 messages += sends * live_deg[v]
+                senders += 1
                 if sends > peak_count:
                     peak_count, peak_sender = sends, v
         engine.account_sends(
@@ -379,6 +394,7 @@ class ShiftedFlood:
             self.words * messages,
             self.words * peak_count,
             self._first_live_edge(peak_sender) if peak_count else None,
+            senders=senders,
         )
         self._pending_count = messages
         return outgoing
@@ -410,10 +426,13 @@ def announce_round(
     live_deg = topology.live_deg
     joined_set = set(joined)
     messages = 0
+    senders = 0
     carried_over = 0
     offender: Tuple[int, int] | None = None
     for v in sorted(joined_set):
-        messages += live_deg[v]
+        if live_deg[v]:
+            messages += live_deg[v]
+            senders += 1
         for position in range(indptr[v], indptr[v + 1]):
             w = indices[position]
             if not live[w]:
@@ -427,6 +446,7 @@ def announce_round(
         words_per_message * messages,
         words_per_message if messages else 0,
         offender,
+        senders=senders,
     )
     engine.halt(joined_set)
     topology.remove(joined_set)

@@ -20,13 +20,16 @@ the exact offending edge) the reference engine would report.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..distributed.message import Message
 from ..distributed.metrics import NetworkStats
 from ..distributed.tracing import TraceRecorder
 from ..errors import CongestViolation
 from ..graphs.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.rounds import RoundStream
 
 __all__ = ["BatchEngine"]
 
@@ -44,6 +47,12 @@ class BatchEngine:
     tracer:
         Optional :class:`TraceRecorder`; when attached, protocols emit
         the same send/halt events the reference engine would.
+    rounds:
+        Optional :class:`~repro.telemetry.rounds.RoundStream`; when
+        attached, the engine emits one per-round metrics row keyed
+        identically to the reference engine's.  Rounds are flushed
+        lazily at the next ``begin_round`` — callers must finish with
+        :meth:`finish_rounds` to emit the last one.
     """
 
     def __init__(
@@ -51,12 +60,15 @@ class BatchEngine:
         graph: Graph,
         word_budget: int | None = None,
         tracer: TraceRecorder | None = None,
+        rounds: "RoundStream | None" = None,
     ) -> None:
         self.graph = graph
         self.word_budget = word_budget
         self.tracer = tracer
+        self.rounds = rounds
         self.stats = NetworkStats()
         self.halted = bytearray(graph.num_vertices)
+        self.num_live = graph.num_vertices
         self.round = 0
 
     # ------------------------------------------------------------------
@@ -64,8 +76,15 @@ class BatchEngine:
     # ------------------------------------------------------------------
     def begin_round(self) -> None:
         """Advance to the next synchronous round (mirrors one ``step()``)."""
+        if self.rounds is not None and self.round:
+            self.rounds.end_round(self.round, self.stats, self.num_live)
         self.round += 1
         self.stats.rounds += 1
+
+    def finish_rounds(self) -> None:
+        """Flush the final round to an attached round stream (idempotent)."""
+        if self.rounds is not None and self.round:
+            self.rounds.end_round(self.round, self.stats, self.num_live)
 
     def deliver(self, count: int) -> None:
         """Record ``count`` messages handed to live receivers this round."""
@@ -77,17 +96,22 @@ class BatchEngine:
         words: int,
         peak_words: int,
         offender: tuple[int, int] | None = None,
+        senders: int = 0,
     ) -> None:
         """Record one round's aggregate outgoing traffic.
 
         ``peak_words`` is the largest word total that crossed a single
         directed edge this round; ``offender`` names such an edge (only
-        consulted when the budget is exceeded).  Raises
-        :class:`CongestViolation` exactly when the reference engine's
-        flush would.
+        consulted when the budget is exceeded).  ``senders`` is the
+        number of distinct sending vertices — the round stream's
+        frontier column (protocols may pass 0 when no stream is
+        attached).  Raises :class:`CongestViolation` exactly when the
+        reference engine's flush would.
         """
         self.stats.messages_sent += messages
         self.stats.words_sent += words
+        if senders and self.rounds is not None:
+            self.rounds.note_frontier(senders)
         if peak_words > self.stats.max_words_per_edge_round:
             self.stats.max_words_per_edge_round = peak_words
         if self.word_budget is not None and peak_words > self.word_budget:
@@ -101,10 +125,21 @@ class BatchEngine:
     # ------------------------------------------------------------------
     def halt(self, vertices: Iterable[int]) -> None:
         """Mark ``vertices`` halted; emits trace events in ascending order."""
-        for v in sorted(vertices) if self.tracer is not None else vertices:
+        tracer, rounds = self.tracer, self.rounds
+        if tracer is None and rounds is None:
+            for v in vertices:
+                self.halted[v] = 1
+            return
+        newly = 0
+        for v in sorted(vertices) if tracer is not None else vertices:
+            if not self.halted[v]:
+                newly += 1
             self.halted[v] = 1
-            if self.tracer is not None:
-                self.tracer.on_halt(v, self.round)
+            if tracer is not None:
+                tracer.on_halt(v, self.round)
+        if rounds is not None:
+            self.num_live -= newly
+            rounds.note_halts(newly)
 
     def is_halted(self, v: int) -> bool:
         """Whether vertex ``v`` has halted."""

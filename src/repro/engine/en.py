@@ -21,11 +21,14 @@ words-per-edge-per-round CONGEST figure and the exact round of a
 from __future__ import annotations
 
 import math
-from typing import Dict, Mapping
+from typing import TYPE_CHECKING, Dict, Mapping
 
 from ..graphs.graph import Graph
 from .broadcast import LiveTopology, ShiftedFlood, announce_round
 from .core import BatchEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.rounds import RoundStream
 
 __all__ = ["BatchENPhases"]
 
@@ -34,9 +37,13 @@ class BatchENPhases:
     """Columnar phase executor for the distributed EN protocol."""
 
     def __init__(
-        self, graph: Graph, mode: str, word_budget: int | None = None
+        self,
+        graph: Graph,
+        mode: str,
+        word_budget: int | None = None,
+        rounds: "RoundStream | None" = None,
     ) -> None:
-        self.engine = BatchEngine(graph, word_budget)
+        self.engine = BatchEngine(graph, word_budget, rounds=rounds)
         self.topology = LiveTopology(graph)
         self._policy = "full" if mode == "full" else 2
         self._carry = 0  # announce messages in flight into the next phase
@@ -74,3 +81,7 @@ class BatchENPhases:
                 joined[v] = best_origin[v]
         self._carry = announce_round(self.engine, self.topology, list(joined))
         return joined
+
+    def finish(self) -> None:
+        """Flush the last round to an attached round stream."""
+        self.engine.finish_rounds()

@@ -17,11 +17,14 @@ LS-specific wrinkles, both carried by the flood core's summaries:
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import TYPE_CHECKING, Dict, Mapping
 
 from ..graphs.graph import Graph
 from .broadcast import LiveTopology, ShiftedFlood, announce_round
 from .core import BatchEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.rounds import RoundStream
 
 __all__ = ["BatchLSPhases"]
 
@@ -29,8 +32,13 @@ __all__ = ["BatchLSPhases"]
 class BatchLSPhases:
     """Columnar phase executor for the distributed LS protocol."""
 
-    def __init__(self, graph: Graph, word_budget: int | None = None) -> None:
-        self.engine = BatchEngine(graph, word_budget)
+    def __init__(
+        self,
+        graph: Graph,
+        word_budget: int | None = None,
+        rounds: "RoundStream | None" = None,
+    ) -> None:
+        self.engine = BatchEngine(graph, word_budget, rounds=rounds)
         self.topology = LiveTopology(graph)
         self._carry = 0
 
@@ -59,3 +67,7 @@ class BatchLSPhases:
                 joined[v] = min_origin[v]
         self._carry = announce_round(self.engine, self.topology, list(joined))
         return joined
+
+    def finish(self) -> None:
+        """Flush the last round to an attached round stream."""
+        self.engine.finish_rounds()

@@ -14,12 +14,15 @@ both backends return bit-identical partitions and
 from __future__ import annotations
 
 import math
-from typing import Dict, Mapping, Tuple
+from typing import TYPE_CHECKING, Dict, Mapping, Tuple
 
 from ..distributed.metrics import NetworkStats
 from ..graphs.graph import Graph
 from .broadcast import LiveTopology, ShiftedFlood
 from .core import BatchEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.rounds import RoundStream
 
 __all__ = ["run_mpx_batch"]
 
@@ -30,6 +33,7 @@ def run_mpx_batch(
     budget: int,
     mode: str,
     word_budget: int | None = None,
+    rounds: "RoundStream | None" = None,
 ) -> Tuple[Dict[int, int], NetworkStats]:
     """One-shot MPX competition; returns ``(center_of, stats)``.
 
@@ -38,7 +42,7 @@ def run_mpx_batch(
     Runs ``budget + 1`` rounds: ``budget`` broadcast rounds plus the
     decision round in which every vertex halts.
     """
-    engine = BatchEngine(graph, word_budget)
+    engine = BatchEngine(graph, word_budget, rounds=rounds)
     topology = LiveTopology(graph)
     caps = {v: math.floor(s) for v, s in shifts.items()}
     flood = ShiftedFlood(
@@ -51,4 +55,5 @@ def run_mpx_batch(
     flood.run(budget)
     center_of = {v: flood.best_origin[v] for v in range(graph.num_vertices)}
     engine.halt(range(graph.num_vertices))
+    engine.finish_rounds()
     return center_of, engine.stats

@@ -40,6 +40,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..errors import ParameterError
 from .cache import ResultCache
 from .checkpoint import CampaignJournal, JournalEntry, require_compatible_header
+from ..telemetry import maybe_span, resolve
 from .env import environment_block
 from .registry import DEFAULT_ROOT_SEED, get_scenario
 from .runner import ExperimentResult, TrialResult, _execute_captured
@@ -459,61 +460,70 @@ def run_campaign(
 
     executed = 0
     interrupted = False
-    if pending:
-        emit(
-            f"{plan.name}: {len(pending)} trial(s) to execute "
-            f"({cache_hits} cached, {len(entries)} journaled)"
-        )
-        tagged = list(enumerate(pending))
+    tel = resolve(None)
+    with maybe_span(
+        tel, "campaign", name=plan.name, config=plan.config_hash
+    ) as campaign_span:
+        if pending:
+            emit(
+                f"{plan.name}: {len(pending)} trial(s) to execute "
+                f"({cache_hits} cached, {len(entries)} journaled)"
+            )
+            tagged = list(enumerate(pending))
 
-        def serial():
-            for position, (_, trial) in tagged:
-                record, error = _execute_captured(trial)
-                yield position, record, error
+            def serial():
+                for position, (_, trial) in tagged:
+                    with maybe_span(tel, "trial", key=trial.key()):
+                        record, error = _execute_captured(trial)
+                    yield position, record, error
 
-        try:
-            if workers > 1 and len(tagged) > 1:
-                pool = multiprocessing.Pool(processes=workers)
-                outcomes = pool.imap_unordered(
-                    _execute_tagged,
-                    [(position, trial) for position, (_, trial) in tagged],
-                    chunksize=1,
-                )
-            else:
-                pool = None
-                outcomes = serial()
             try:
-                for position, record, error in outcomes:
-                    member_index, trial = pending[position]
-                    if record is not None:
-                        cache.put(trial, record)
-                    entry = JournalEntry(
-                        key=trial.key(),
-                        member=member_names[member_index],
-                        error=error,
+                if workers > 1 and len(tagged) > 1:
+                    pool = multiprocessing.Pool(processes=workers)
+                    outcomes = pool.imap_unordered(
+                        _execute_tagged,
+                        [(position, trial) for position, (_, trial) in tagged],
+                        chunksize=1,
                     )
-                    journal.append(entry)
-                    entries[entry.key] = entry
-                    executed += 1
-                    emit(
-                        f"  [{executed}/{len(pending)}] "
-                        f"{entry.member}: {trial.graph}"
-                        + ("" if error is None else "  FAILED")
-                    )
-                    if (
-                        stop_after is not None
-                        and executed >= stop_after
-                        and executed < len(pending)
-                    ):
-                        interrupted = True
-                        break
-            finally:
-                if pool is not None:
-                    pool.terminate()
-                    pool.join()
-        except KeyboardInterrupt:
-            interrupted = True
+                else:
+                    pool = None
+                    outcomes = serial()
+                try:
+                    for position, record, error in outcomes:
+                        member_index, trial = pending[position]
+                        if record is not None:
+                            cache.put(trial, record)
+                        entry = JournalEntry(
+                            key=trial.key(),
+                            member=member_names[member_index],
+                            error=error,
+                        )
+                        journal.append(entry)
+                        entries[entry.key] = entry
+                        executed += 1
+                        emit(
+                            f"  [{executed}/{len(pending)}] "
+                            f"{entry.member}: {trial.graph}"
+                            + ("" if error is None else "  FAILED")
+                        )
+                        if (
+                            stop_after is not None
+                            and executed >= stop_after
+                            and executed < len(pending)
+                        ):
+                            interrupted = True
+                            break
+                finally:
+                    if pool is not None:
+                        pool.terminate()
+                        pool.join()
+            except KeyboardInterrupt:
+                interrupted = True
 
+        if campaign_span is not None:
+            campaign_span.add("executed", executed)
+            campaign_span.add("cache_hits", cache_hits)
+            campaign_span.annotate(interrupted=interrupted)
     outcome = CampaignOutcome(
         plan=plan,
         interrupted=interrupted,
@@ -627,9 +637,15 @@ def campaign_rows(outcome: CampaignOutcome) -> List[dict]:
 
 
 def campaign_payload(outcome: CampaignOutcome) -> dict:
-    """The JSON artifact for one completed campaign invocation."""
+    """The JSON artifact for one completed campaign invocation.
+
+    With telemetry enabled the payload carries a ``telemetry`` block
+    (span summary plus the trace-file path, when writing to one), so a
+    campaign artifact links to its trace.  Untraced payloads are
+    byte-identical to pre-telemetry ones — the key is simply absent.
+    """
     plan = outcome.plan
-    return {
+    payload = {
         "kind": "campaign",
         "campaign": plan.name,
         "config_hash": plan.config_hash,
@@ -652,6 +668,10 @@ def campaign_payload(outcome: CampaignOutcome) -> dict:
         "failures": len(outcome.failures),
         "environment": environment_block(),
     }
+    tel = resolve(None)
+    if tel is not None:
+        payload["telemetry"] = tel.block()
+    return payload
 
 
 def render_campaign(outcome: CampaignOutcome) -> str:

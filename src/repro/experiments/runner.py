@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ParameterError
+from ..telemetry import maybe_span, resolve
 from .adapters import run_trial
 from .cache import ResultCache
 from .spec import ExperimentSpec, TrialSpec
@@ -132,20 +133,31 @@ def run_experiment(
         else:
             pending.append((position, trial))
 
-    if pending:
-        todo = [trial for _, trial in pending]
-        if workers > 1 and len(todo) > 1:
-            with multiprocessing.Pool(processes=workers) as pool:
-                outcomes = pool.map(
-                    _execute_captured,
-                    todo,
-                    chunksize or _pool_chunksize(len(todo), workers),
+    tel = resolve(None)
+    with maybe_span(tel, "experiment", name=spec.name) as span:
+        if pending:
+            todo = [trial for _, trial in pending]
+            if workers > 1 and len(todo) > 1:
+                with multiprocessing.Pool(processes=workers) as pool:
+                    outcomes = pool.map(
+                        _execute_captured,
+                        todo,
+                        chunksize or _pool_chunksize(len(todo), workers),
+                    )
+            else:
+                outcomes = []
+                for trial in todo:
+                    with maybe_span(tel, "trial", key=trial.key()):
+                        outcomes.append(_execute_captured(trial))
+            for (position, trial), (record, error) in zip(pending, outcomes):
+                resolved[position] = TrialResult(
+                    trial=trial, record=record, error=error
                 )
-        else:
-            outcomes = [_execute_captured(trial) for trial in todo]
-        for (position, trial), (record, error) in zip(pending, outcomes):
-            resolved[position] = TrialResult(trial=trial, record=record, error=error)
-            if record is not None and cache is not None:
-                cache.put(trial, record)
+                if record is not None and cache is not None:
+                    cache.put(trial, record)
+        if span is not None:
+            span.add("trials", len(trials))
+            span.add("cache_hits", len(trials) - len(pending))
+            span.add("executed", len(pending))
 
     return ExperimentResult(spec=spec, results=[r for r in resolved if r is not None])

@@ -34,11 +34,13 @@ from __future__ import annotations
 
 import math
 from array import array
+from typing import TYPE_CHECKING
 
 from ..errors import ParameterError, SimulationError
 from ..graphs._kernel import bfs_levels as _kernel_bfs_levels
 from ..graphs.graph import Graph
 from ..rng import DEFAULT_SEED
+from ..telemetry import maybe_span, resolve
 from .hierarchy import (
     CoreLevel,
     _default_k,
@@ -47,6 +49,9 @@ from .hierarchy import (
     component_level,
 )
 from .tables import DistanceOracle, ScaleTables
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry import Telemetry
 
 __all__ = ["build_oracle", "compact_scale"]
 
@@ -183,6 +188,7 @@ def build_oracle(
     seed: int = DEFAULT_SEED,
     overlap_budget: float = 8.0,
     max_depth: int | None = None,
+    telemetry: "Telemetry | None" = None,
 ) -> DistanceOracle:
     """Build the multi-scale distance/routing oracle of ``graph``.
 
@@ -204,6 +210,11 @@ def build_oracle(
     max_depth:
         Cap on coarsening rounds (default ``⌈log₂ n⌉ + 2``); reaching it
         forces the terminal component scale.
+    telemetry:
+        Explicit :class:`~repro.telemetry.Telemetry` collector, or
+        ``None`` for the ambient one.  When enabled the build emits an
+        ``oracle.build`` span with nested per-scale ``scale`` and
+        carving ``carve`` spans.
 
     Returns
     -------
@@ -229,38 +240,57 @@ def build_oracle(
     )
     if n == 0:
         return oracle
+    tel = resolve(telemetry)
     budget_entries = int(overlap_budget * n)
-    level = base_level(graph, k, c, seed)
-    radius = 1
-    depth = 0
-    previous_stored = 0
-    while True:
-        if not level.is_components and depth >= max_depth:
-            level = component_level(graph)
-        min_distance = 2 if not oracle.scales else previous_stored + 1
-        tables = compact_scale(graph, level, radius, min_distance, budget_entries)
-        if tables is None:
-            # Fringe volume outran the budget: skip every remaining
-            # intermediate scale and finish with the exact component cover.
-            oracle.skipped_radii.append(radius)
-            level = component_level(graph)
-            continue
-        if oracle.scales and _same_cover(oracle.scales[-1], tables):
-            # The fringe saturated: N_{2W}[core] == N_W[core] means every
-            # cover cluster already fills its whole connected component,
-            # so this cover resolves every same-component pair and any
-            # coarser scale could never resolve anything new.  Relabel
-            # the stored twin with the larger covering radius and stop.
-            oracle.scales[-1].radius = radius
-            oracle.scales[-1].is_components = True
-            return oracle
-        oracle.scales.append(tables)
-        previous_stored = radius
-        if level.is_components:
-            return oracle
-        depth += 1
-        level = coarsen_level(graph, level, c, seed, depth)
-        radius *= 2
+    with maybe_span(tel, "oracle.build", n=n, k=k, c=c, seed=seed) as build_span:
+        with maybe_span(tel, "carve", depth=0):
+            level = base_level(graph, k, c, seed)
+        radius = 1
+        depth = 0
+        previous_stored = 0
+        while True:
+            if not level.is_components and depth >= max_depth:
+                level = component_level(graph)
+            min_distance = 2 if not oracle.scales else previous_stored + 1
+            with maybe_span(tel, "scale", radius=radius) as scale_span:
+                tables = compact_scale(
+                    graph, level, radius, min_distance, budget_entries
+                )
+                if scale_span is not None:
+                    if tables is None:
+                        scale_span.annotate(skipped=True)
+                    else:
+                        scale_span.add("clusters", tables.num_clusters)
+                        scale_span.add("entries", tables.entries)
+            if tables is None:
+                # Fringe volume outran the budget: skip every remaining
+                # intermediate scale and finish with the exact component cover.
+                oracle.skipped_radii.append(radius)
+                level = component_level(graph)
+                continue
+            if oracle.scales and _same_cover(oracle.scales[-1], tables):
+                # The fringe saturated: N_{2W}[core] == N_W[core] means every
+                # cover cluster already fills its whole connected component,
+                # so this cover resolves every same-component pair and any
+                # coarser scale could never resolve anything new.  Relabel
+                # the stored twin with the larger covering radius and stop.
+                oracle.scales[-1].radius = radius
+                oracle.scales[-1].is_components = True
+                break
+            oracle.scales.append(tables)
+            previous_stored = radius
+            if level.is_components:
+                break
+            depth += 1
+            with maybe_span(tel, "carve", depth=depth):
+                level = coarsen_level(graph, level, c, seed, depth)
+            radius *= 2
+        if build_span is not None:
+            build_span.add("scales", len(oracle.scales))
+            build_span.add(
+                "entries", sum(s.entries for s in oracle.scales)
+            )
+    return oracle
 
 
 def _same_cover(previous: ScaleTables, current: ScaleTables) -> bool:

@@ -30,13 +30,17 @@ always equals the returned estimate.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..engine import _backend
 from ..engine._backend import np
 from ..errors import GraphError
 from ..graphs._kernel import gather_frontier_rows
+from ..telemetry import maybe_span, resolve
 from .tables import DistanceOracle, TRIVIAL_SCALE, UNREACHABLE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry import Telemetry
 
 __all__ = ["query_distances", "query_details", "query_routes"]
 
@@ -64,15 +68,19 @@ def _split_pairs(
 
 
 def query_distances(
-    oracle: DistanceOracle, pairs: Sequence[tuple[int, int]]
+    oracle: DistanceOracle,
+    pairs: Sequence[tuple[int, int]],
+    telemetry: "Telemetry | None" = None,
 ) -> list[int]:
     """Batched distance estimates; ``-1`` marks cross-component pairs."""
-    estimates, _, _ = query_details(oracle, pairs)
+    estimates, _, _ = query_details(oracle, pairs, telemetry=telemetry)
     return estimates
 
 
 def query_details(
-    oracle: DistanceOracle, pairs: Sequence[tuple[int, int]]
+    oracle: DistanceOracle,
+    pairs: Sequence[tuple[int, int]],
+    telemetry: "Telemetry | None" = None,
 ) -> tuple[list[int], list[int], list[int]]:
     """Batched ``(estimates, scales, clusters)`` columns.
 
@@ -80,17 +88,26 @@ def query_details(
     :data:`TRIVIAL_SCALE` for exact (self/adjacent) answers or
     :data:`UNREACHABLE` for cross-component pairs; ``clusters[q]`` is the
     resolving cluster id at that scale (``-1`` when not applicable).
+    ``telemetry`` (or the ambient trace) records each batch as one
+    ``oracle.query`` span with a ``pairs`` counter.
     """
     sources, targets = _split_pairs(oracle, pairs)
     if not sources:
         return [], [], []
-    if (
+    use_numpy = (
         _backend.enabled()
         and len(sources) >= _MIN_NUMPY_BATCH
         and oracle.graph._numpy_csr() is not None
-    ):
-        return _details_numpy(oracle, sources, targets)
-    return _details_python(oracle, sources, targets)
+    )
+    tel = resolve(telemetry)
+    with maybe_span(
+        tel, "oracle.query", backend="numpy" if use_numpy else "python"
+    ) as span:
+        if span is not None:
+            span.add("pairs", len(sources))
+        if use_numpy:
+            return _details_numpy(oracle, sources, targets)
+        return _details_python(oracle, sources, targets)
 
 
 # ----------------------------------------------------------------------

@@ -179,17 +179,17 @@ class DistanceOracle:
                 bound = max(bound, 2.0 * scale.rmax / scale.min_distance)
         return bound
 
-    def distances(self, pairs: Sequence[tuple[int, int]]) -> list[int]:
+    def distances(self, pairs: Sequence[tuple[int, int]], telemetry=None) -> list[int]:
         """Batched distance estimates (``-1`` for cross-component pairs)."""
         from .query import query_distances
 
-        return query_distances(self, pairs)
+        return query_distances(self, pairs, telemetry=telemetry)
 
-    def distance_details(self, pairs: Sequence[tuple[int, int]]):
+    def distance_details(self, pairs: Sequence[tuple[int, int]], telemetry=None):
         """Batched ``(estimate, scale, cluster)`` triples (see query module)."""
         from .query import query_details
 
-        return query_details(self, pairs)
+        return query_details(self, pairs, telemetry=telemetry)
 
     def routes(self, pairs: Sequence[tuple[int, int]]) -> list[list[int] | None]:
         """Batched explicit routes; ``None`` for cross-component pairs."""

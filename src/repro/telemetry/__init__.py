@@ -1,0 +1,65 @@
+"""Unified observability layer: spans, round streams, trace sinks.
+
+Everything the library knows how to *measure* about itself flows through
+this package — it is the shared substrate under the engine's
+:class:`~repro.distributed.metrics.NetworkStats`, the oracle's build
+timings and the campaign runtime's per-trial accounting:
+
+* **hierarchical spans** (:class:`~repro.telemetry.core.Span`) carry
+  wall time, counters and structured attributes, nested by lexical
+  scope (``span("oracle.build") > span("scale") > span("carve")``);
+* **round streams** (:class:`~repro.telemetry.rounds.RoundStream`)
+  record one identically-keyed metrics row per protocol round —
+  frontier size, live nodes, messages, words, deliveries, halts — from
+  *both* execution backends, so sync and batch runs stay
+  cross-checkable row by row;
+* **sinks**: every record lands in the in-memory collector on the
+  :class:`~repro.telemetry.core.Telemetry` object and, optionally, in a
+  bounded append-only JSONL file
+  (:class:`~repro.telemetry.sink.JsonlSink`) that is schema-versioned
+  and torn-tail tolerant like the campaign journal;
+* the legacy :class:`~repro.telemetry.events.EventRecorder` (né
+  ``TraceRecorder``) remains available as a per-message compatibility
+  subscriber of the same engines.
+
+The layer is **opt-in**.  Nothing is recorded unless the caller passes
+a :class:`Telemetry` object, the process called :func:`configure` (the
+CLI's ``--trace`` flag), or the environment sets
+``REPRO_TELEMETRY=mem|<path>.jsonl`` (``off`` — the default — disables
+everything).  The disabled mode is a hard no-op: no file is created, no
+object is allocated in the engine round loop, and the measured overhead
+on the engine hot path is under 2 % (``benchmarks/bench_telemetry.py``
+gates this in CI).
+"""
+
+from .core import (
+    Span,
+    Telemetry,
+    configure,
+    maybe_span,
+    parse_setting,
+    reset,
+    resolve,
+    shutdown,
+)
+from .events import EventRecorder, TraceEvent
+from .rounds import ROUND_KEYS, RoundStream
+from .sink import TELEMETRY_VERSION, JsonlSink, read_trace
+
+__all__ = [
+    "EventRecorder",
+    "JsonlSink",
+    "ROUND_KEYS",
+    "RoundStream",
+    "Span",
+    "TELEMETRY_VERSION",
+    "Telemetry",
+    "TraceEvent",
+    "configure",
+    "maybe_span",
+    "parse_setting",
+    "read_trace",
+    "reset",
+    "resolve",
+    "shutdown",
+]

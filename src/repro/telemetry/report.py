@@ -1,0 +1,136 @@
+"""Trace reporting: the pure row-builders behind ``repro trace``.
+
+Three views over a trace (a list of records from
+:func:`~repro.telemetry.sink.read_trace` or a live
+:class:`~repro.telemetry.core.Telemetry` collector):
+
+* :func:`summarize_spans` — the span tree aggregated by path: calls,
+  cumulative and self wall time, summed counters.  Self time is summed
+  from the per-span ``self_seconds`` the collector records at close, so
+  it is exact even for recursive/repeated paths;
+* :func:`round_timeline` — the per-round convergence timeline of one
+  (or every) round stream, in emit order;
+* :func:`diff_summaries` — two span summaries aligned by path: call
+  deltas are exact, time deltas are flagged against a relative
+  tolerance (wall clock is noisy; counters are not).
+
+Everything here is a pure function of record lists — the CLI layer
+only parses arguments and formats these rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["diff_summaries", "round_timeline", "summarize_spans"]
+
+
+def _span_records(records: Iterable[dict]) -> list[dict]:
+    return [r for r in records if r.get("kind") == "span"]
+
+
+def summarize_spans(records: Iterable[dict]) -> list[dict]:
+    """Aggregate span records by path into the summary table.
+
+    One row per distinct path, ordered lexicographically by path (a
+    parent therefore always precedes its children).  ``errors`` counts
+    spans that closed with ``status != "ok"``.
+    """
+    by_path: dict[str, dict] = {}
+    order: list[str] = []
+    for record in _span_records(records):
+        path = record.get("path", record.get("name", "?"))
+        row = by_path.get(path)
+        if row is None:
+            row = {
+                "span": path,
+                "depth": record.get("depth", 0),
+                "calls": 0,
+                "seconds": 0.0,
+                "self_seconds": 0.0,
+                "errors": 0,
+                "counters": {},
+            }
+            by_path[path] = row
+            order.append(path)
+        row["calls"] += 1
+        row["seconds"] += float(record.get("seconds", 0.0))
+        row["self_seconds"] += float(record.get("self_seconds", 0.0))
+        if record.get("status", "ok") != "ok":
+            row["errors"] += 1
+        for name, value in (record.get("counters") or {}).items():
+            row["counters"][name] = row["counters"].get(name, 0) + value
+    rows = [by_path[path] for path in sorted(order)]
+    for row in rows:
+        row["seconds"] = round(row["seconds"], 6)
+        row["self_seconds"] = round(row["self_seconds"], 6)
+    return rows
+
+
+def round_timeline(
+    records: Iterable[dict], stream: str | None = None
+) -> list[dict]:
+    """The round records (of ``stream``, or all), in emit order.
+
+    Rows keep the shared :data:`~repro.telemetry.rounds.ROUND_KEYS`
+    schema plus the ``stream`` label and any driver attributes (e.g.
+    ``backend``).
+    """
+    rows = []
+    for record in records:
+        if record.get("kind") != "round":
+            continue
+        if stream is not None and record.get("stream") != stream:
+            continue
+        rows.append({k: v for k, v in record.items() if k != "kind"})
+    return rows
+
+
+def diff_summaries(
+    baseline: Sequence[dict],
+    current: Sequence[dict],
+    tolerance: float = 0.25,
+) -> list[dict]:
+    """Align two span summaries by path and flag the differences.
+
+    Statuses: ``ok`` (calls equal, time within ``tolerance``),
+    ``slower`` / ``faster`` (time drifted beyond it), ``calls`` (call
+    counts differ — a structural change), ``added`` / ``removed``
+    (path present on one side only).  Time drift on paths under 1 ms is
+    never flagged (pure noise).
+    """
+    base_by_path = {row["span"]: row for row in baseline}
+    curr_by_path = {row["span"]: row for row in current}
+    rows: list[dict] = []
+    for path in list(dict.fromkeys([*base_by_path, *curr_by_path])):
+        base, curr = base_by_path.get(path), curr_by_path.get(path)
+        if base is None:
+            rows.append(
+                {"span": path, "status": "added", "calls": f"- -> {curr['calls']}",
+                 "seconds": f"- -> {curr['seconds']}", "delta": None}
+            )
+            continue
+        if curr is None:
+            rows.append(
+                {"span": path, "status": "removed", "calls": f"{base['calls']} -> -",
+                 "seconds": f"{base['seconds']} -> -", "delta": None}
+            )
+            continue
+        base_s, curr_s = float(base["seconds"]), float(curr["seconds"])
+        delta = (curr_s - base_s) / base_s if base_s > 0 else 0.0
+        if base["calls"] != curr["calls"]:
+            status = "calls"
+        elif max(base_s, curr_s) >= 1e-3 and abs(delta) > tolerance:
+            status = "slower" if delta > 0 else "faster"
+        else:
+            status = "ok"
+        rows.append(
+            {
+                "span": path,
+                "status": status,
+                "calls": f"{base['calls']} -> {curr['calls']}",
+                "seconds": f"{base_s:.4f} -> {curr_s:.4f}",
+                "delta": f"{delta:+.1%}",
+            }
+        )
+    return rows

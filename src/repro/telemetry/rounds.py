@@ -1,0 +1,126 @@
+"""Per-round metrics streams: one identically-keyed row per round.
+
+A :class:`RoundStream` subscribes to an engine —
+``SyncNetwork(rounds=...)`` or ``BatchEngine(..., rounds=...)`` — and
+emits one record per executed round with the keys of :data:`ROUND_KEYS`:
+
+* ``round`` — the global round number (1-based; the sync engine's
+  round-0 ``on_start`` flush is recorded only if it carried traffic);
+* ``live`` — nodes not yet halted at the end of the round;
+* ``frontier`` — distinct vertices that sent at least one message;
+* ``messages`` / ``words`` — traffic sent this round;
+* ``delivered`` — messages handed to live receivers this round;
+* ``halts`` — nodes that halted this round.
+
+Traffic columns are **deltas of the engine's own**
+:class:`~repro.distributed.metrics.NetworkStats` totals, so the stream
+can never disagree with the stats the equivalence tests pin — and the
+sync/batch backends therefore produce row-identical streams on a seeded
+run (``tests/telemetry/test_rounds.py``), differing only in the
+``backend`` attribute the driver stamps on the stream.
+
+Emission points differ per engine: the sync engine emits at the end of
+each round's outbox flush; the batch engine emits each round lazily at
+the *next* ``begin_round()`` plus an explicit ``finish_rounds()`` for
+the last round (the driver calls it once after the phase loop) —
+:meth:`RoundStream.end_round` is idempotent per round, so mixed calls
+never double-emit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..distributed.metrics import NetworkStats
+    from .core import Telemetry
+
+__all__ = ["ROUND_KEYS", "RoundStream"]
+
+#: The shared per-round schema, identical across backends.
+ROUND_KEYS = ("round", "live", "frontier", "messages", "words", "delivered", "halts")
+
+
+class RoundStream:
+    """One protocol run's per-round metrics (see module docstring)."""
+
+    __slots__ = (
+        "stream",
+        "attrs",
+        "records",
+        "_telemetry",
+        "_prev_messages",
+        "_prev_words",
+        "_prev_delivered",
+        "_frontier",
+        "_halts",
+        "_flushed_round",
+    )
+
+    def __init__(self, telemetry: "Telemetry", stream: str, attrs: dict) -> None:
+        self.stream = stream
+        self.attrs = attrs
+        self.records: list[dict] = []
+        self._telemetry = telemetry
+        self._prev_messages = 0
+        self._prev_words = 0
+        self._prev_delivered = 0
+        self._frontier = 0
+        self._halts = 0
+        self._flushed_round = -1
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def note_frontier(self, senders: int) -> None:
+        """Record ``senders`` distinct sending vertices this round."""
+        self._frontier += senders
+
+    def note_halts(self, count: int) -> None:
+        """Record ``count`` nodes newly halted this round."""
+        self._halts += count
+
+    def end_round(self, round_number: int, stats: "NetworkStats", live: int) -> None:
+        """Emit the row for ``round_number`` (idempotent per round).
+
+        ``stats`` is the engine's cumulative accumulator — the row's
+        traffic columns are the deltas since the previous emitted round.
+        """
+        if round_number <= self._flushed_round:
+            return
+        messages = stats.messages_sent - self._prev_messages
+        words = stats.words_sent - self._prev_words
+        delivered = stats.messages_delivered - self._prev_delivered
+        frontier, halts = self._frontier, self._halts
+        self._prev_messages = stats.messages_sent
+        self._prev_words = stats.words_sent
+        self._prev_delivered = stats.messages_delivered
+        self._frontier = 0
+        self._halts = 0
+        self._flushed_round = round_number
+        if round_number == 0 and not (
+            messages or words or delivered or frontier or halts
+        ):
+            # The sync engine's on_start flush when nothing was sent —
+            # the batch engine has no round 0 at all.
+            return
+        record = {
+            "kind": "round",
+            "stream": self.stream,
+            **self.attrs,
+            "round": round_number,
+            "live": live,
+            "frontier": frontier,
+            "messages": messages,
+            "words": words,
+            "delivered": delivered,
+            "halts": halts,
+        }
+        # Records land in both the per-stream view (used by the
+        # cross-backend equality checks) and the shared collector; both
+        # respect the telemetry object's bound.
+        if len(self.records) < self._telemetry.limit:
+            self.records.append(record)
+        else:
+            self._telemetry.truncated = True
+        self._telemetry._keep(self._telemetry.rounds, record)

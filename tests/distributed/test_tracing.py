@@ -89,3 +89,76 @@ class TestTraceRecorder:
         net.run_rounds(5)
         payload_tags = {event.payload[0] for event in tracer.sends()}
         assert payload_tags <= {"b", "left"}
+
+
+class TestLimitHitBitIdentity:
+    """A recorder that fills up mid-run must not perturb the run.
+
+    Once the event bound is hit the recorder only flips ``truncated`` —
+    results and :class:`NetworkStats` stay bit-identical to an untraced
+    run, on both engines.
+    """
+
+    def test_sync_network_results_survive_a_full_recorder(self):
+        from repro.graphs import erdos_renyi
+
+        graph = erdos_renyi(24, 0.2, seed=3)
+
+        def run(tracer):
+            net = SyncNetwork(graph, lambda v: PingOnce(), tracer=tracer)
+            net.run_rounds(3)
+            return net.stats, [net.halted(v) for v in range(24)]
+
+        plain_stats, plain_state = run(None)
+        tracer = TraceRecorder(limit=1)
+        traced_stats, traced_state = run(tracer)
+        assert tracer.truncated and len(tracer.events) == 1
+        assert traced_stats == plain_stats
+        assert traced_state == plain_state
+
+    def test_batch_engine_results_survive_a_full_recorder(self):
+        from repro.engine import bfs_tree, flood, leader_election
+        from repro.graphs import grid_graph
+
+        graph = grid_graph(6, 6)
+        for run, view in (
+            (flood, lambda r: (r.arrival, r.stats)),
+            (bfs_tree, lambda r: (r.depths, r.parents, r.stats)),
+        ):
+            plain = run(graph, 0)
+            tracer = TraceRecorder(limit=2)
+            traced = run(graph, 0, tracer=tracer)
+            assert tracer.truncated
+            assert view(traced) == view(plain)
+        plain = leader_election(graph)
+        tracer = TraceRecorder(limit=2)
+        traced = leader_election(graph, tracer=tracer)
+        assert tracer.truncated
+        assert (traced.leader, traced.stats) == (plain.leader, plain.stats)
+
+    def test_en_protocol_phase_survives_a_full_recorder(self):
+        from repro.core.distributed_en import ENNodeAlgorithm
+        from repro.graphs import erdos_renyi
+
+        graph = erdos_renyi(20, 0.25, seed=9)
+
+        def run_phase(tracer):
+            net = SyncNetwork(
+                graph,
+                [ENNodeAlgorithm(v, 3, "toptwo") for v in range(20)],
+                tracer=tracer,
+            )
+            net.start()
+            for v in range(20):
+                net.algorithm(v).begin_phase(1, 1.0, 3)
+            net.run_rounds(5)
+            return net.stats, [
+                (net.algorithm(v).joined_phase, net.algorithm(v).center)
+                for v in range(20)
+            ]
+
+        plain = run_phase(None)
+        tracer = TraceRecorder(limit=3)
+        traced = run_phase(tracer)
+        assert tracer.truncated and len(tracer.events) == 3
+        assert traced == plain

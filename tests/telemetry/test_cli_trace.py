@@ -1,0 +1,137 @@
+"""The ``--trace`` flag and the ``repro trace`` reporting commands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.distributed_en import decompose_distributed
+from repro.graphs import erdos_renyi
+from repro.telemetry import JsonlSink, Telemetry, read_trace, reset
+
+
+@pytest.fixture(autouse=True)
+def _isolated_ambient(monkeypatch):
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    reset()
+    yield
+    reset()
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    """A real trace: a seeded distributed-EN run mirrored to JSONL."""
+    path = tmp_path / "run.jsonl"
+    tel = Telemetry(sink=JsonlSink(path))
+    decompose_distributed(
+        erdos_renyi(40, 0.12, seed=5), k=3, seed=2, backend="batch", telemetry=tel
+    )
+    tel.close()
+    return path
+
+
+class TestTraceFlag:
+    def test_traced_command_writes_a_readable_trace(self, tmp_path, capsys):
+        path = tmp_path / "cli.jsonl"
+        assert main(["--trace", str(path), "oracle", "build", "grid:6:6"]) == 0
+        capsys.readouterr()
+        header, records = read_trace(path)
+        assert header["telemetry_version"] == "en16.telemetry.v1"
+        names = {r.get("name") for r in records if r.get("kind") == "span"}
+        assert "oracle.build" in names and "scale" in names
+
+    def test_trace_off_setting_is_accepted(self, capsys):
+        assert main(["--trace", "off", "oracle", "build", "grid:5:5"]) == 0
+
+    def test_oracle_artifact_always_carries_telemetry_block(self, tmp_path, capsys):
+        path = tmp_path / "oracle.json"
+        argv = [
+            "oracle", "query", "er:48:0.08",
+            "--pairs", "50", "--json", str(path),
+        ]
+        assert main(argv) == 0
+        payload = json.loads(path.read_text())
+        block = payload["telemetry"]
+        assert block["version"] == "en16.telemetry.v1"
+        spans = {row["span"] for row in block["spans"]}
+        assert "oracle.build" in spans
+        assert any(span.startswith("oracle.query") for span in spans)
+
+
+class TestTraceSummarize:
+    def test_exits_zero_and_prints_the_tree(self, trace_file, capsys):
+        assert main(["trace", "summarize", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "en.decompose" in out
+        assert "phase" in out
+        assert "round record(s)" in out
+
+    def test_json_artifact(self, trace_file, tmp_path, capsys):
+        artifact = tmp_path / "summary.json"
+        argv = ["trace", "summarize", str(trace_file), "--json", str(artifact)]
+        assert main(argv) == 0
+        payload = json.loads(artifact.read_text())
+        assert payload["command"] == "trace summarize"
+        paths = [row["span"] for row in payload["spans"]]
+        assert "en.decompose" in paths and "en.decompose/phase" in paths
+
+    def test_missing_file_is_a_parameter_error(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "absent.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTraceTimeline:
+    def test_stream_rows_in_emit_order(self, trace_file, capsys):
+        assert main(["trace", "timeline", str(trace_file), "--stream", "en.rounds"]) == 0
+        out = capsys.readouterr().out
+        assert "frontier" in out and "halts" in out
+
+    def test_unknown_stream_lists_available(self, trace_file, capsys):
+        code = main(["trace", "timeline", str(trace_file), "--stream", "nope"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "en.rounds" in err
+
+    def test_json_rows_reconcile_with_the_run(self, trace_file, tmp_path, capsys):
+        artifact = tmp_path / "timeline.json"
+        argv = ["trace", "timeline", str(trace_file), "--json", str(artifact)]
+        assert main(argv) == 0
+        rows = json.loads(artifact.read_text())["rows"]
+        assert rows and all(row["stream"] == "en.rounds" for row in rows)
+        assert sum(row["halts"] for row in rows) == 40
+
+
+class TestTraceDiff:
+    def test_same_trace_diffs_clean(self, trace_file, tmp_path, capsys):
+        artifact = tmp_path / "diff.json"
+        argv = [
+            "trace", "diff", str(trace_file), "--baseline", str(trace_file),
+            "--json", str(artifact),
+        ]
+        assert main(argv) == 0
+        payload = json.loads(artifact.read_text())
+        assert payload["command"] == "trace diff"
+        assert all(row["status"] == "ok" for row in payload["rows"])
+
+    def test_structural_drift_is_flagged(self, trace_file, tmp_path, capsys):
+        other = tmp_path / "other.jsonl"
+        tel = Telemetry(sink=JsonlSink(other))
+        with tel.span("en.decompose"):
+            pass
+        with tel.span("extra.stage"):
+            pass
+        tel.close()
+        artifact = tmp_path / "drift.json"
+        argv = [
+            "trace", "diff", str(other), "--baseline", str(trace_file),
+            "--json", str(artifact),
+        ]
+        assert main(argv) == 0
+        statuses = {
+            row["span"]: row["status"]
+            for row in json.loads(artifact.read_text())["rows"]
+        }
+        assert statuses["extra.stage"] == "added"
+        assert statuses["en.decompose/phase"] == "removed"

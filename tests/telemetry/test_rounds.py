@@ -1,0 +1,135 @@
+"""Round streams: cross-backend equality and delta consistency.
+
+The acceptance criterion of the telemetry layer: a seeded distributed-EN
+run traced on ``backend="sync"`` and ``backend="batch"`` produces round
+streams equal on **all shared keys** — only the ``backend`` attribute
+the driver stamps may differ.  Same contract for the LS and MPX
+baselines, which share the engines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.distributed_ls import decompose_distributed as ls_distributed
+from repro.baselines.distributed_mpx import partition_distributed
+from repro.core.distributed_en import decompose_distributed
+from repro.distributed.metrics import NetworkStats
+from repro.graphs import erdos_renyi, grid_graph
+from repro.telemetry import ROUND_KEYS, Telemetry, reset
+
+
+@pytest.fixture(autouse=True)
+def _isolated_ambient(monkeypatch):
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    reset()
+    yield
+    reset()
+
+
+def _strip_backend(rows):
+    return [{k: v for k, v in row.items() if k != "backend"} for row in rows]
+
+
+def _traced(fn, **kwargs):
+    tel = Telemetry()
+    fn(telemetry=tel, **kwargs)
+    return tel.rounds
+
+
+class TestCrossBackendEquality:
+    @pytest.mark.parametrize("mode", ["toptwo", "full"])
+    def test_en_streams_are_row_identical(self, mode):
+        graph = erdos_renyi(60, 0.08, seed=5)
+        sync_rows = _traced(
+            decompose_distributed, graph=graph, k=3, seed=7, mode=mode, backend="sync"
+        )
+        batch_rows = _traced(
+            decompose_distributed, graph=graph, k=3, seed=7, mode=mode, backend="batch"
+        )
+        assert sync_rows, "traced run emitted no round records"
+        assert _strip_backend(sync_rows) == _strip_backend(batch_rows)
+        # All shared keys, not just the metric columns.
+        assert {key for row in sync_rows for key in row} == {
+            key for row in batch_rows for key in row
+        }
+
+    def test_en_fixed_budget_streams_match(self):
+        graph = grid_graph(7, 7)
+        kwargs = dict(graph=graph, k=4, seed=3, adaptive_phase_length=False)
+        sync_rows = _traced(decompose_distributed, backend="sync", **kwargs)
+        batch_rows = _traced(decompose_distributed, backend="batch", **kwargs)
+        assert _strip_backend(sync_rows) == _strip_backend(batch_rows)
+
+    def test_ls_streams_match(self):
+        graph = erdos_renyi(48, 0.1, seed=2)
+        sync_rows = _traced(ls_distributed, graph=graph, k=3, seed=5, backend="sync")
+        batch_rows = _traced(ls_distributed, graph=graph, k=3, seed=5, backend="batch")
+        assert sync_rows
+        assert _strip_backend(sync_rows) == _strip_backend(batch_rows)
+
+    @pytest.mark.parametrize("mode", ["topone", "full"])
+    def test_mpx_streams_match(self, mode):
+        graph = erdos_renyi(48, 0.1, seed=4)
+        sync_rows = _traced(
+            partition_distributed, graph=graph, beta=0.4, seed=6, mode=mode,
+            backend="sync",
+        )
+        batch_rows = _traced(
+            partition_distributed, graph=graph, beta=0.4, seed=6, mode=mode,
+            backend="batch",
+        )
+        assert sync_rows
+        assert _strip_backend(sync_rows) == _strip_backend(batch_rows)
+
+
+class TestStreamConsistency:
+    def test_schema_and_stat_deltas(self):
+        graph = erdos_renyi(60, 0.08, seed=5)
+        tel = Telemetry()
+        result = decompose_distributed(
+            graph, k=3, seed=7, backend="batch", telemetry=tel
+        )
+        rows = tel.rounds
+        for row in rows:
+            assert row["kind"] == "round" and row["stream"] == "en.rounds"
+            assert all(key in row for key in ROUND_KEYS)
+        # Traffic columns are deltas of the engine's own stats — totals
+        # must reconcile exactly with the pinned NetworkStats.
+        assert sum(row["messages"] for row in rows) == result.stats.messages_sent
+        assert sum(row["words"] for row in rows) == result.stats.words_sent
+        assert sum(row["delivered"] for row in rows) == result.stats.messages_delivered
+        # Every vertex halts exactly once; live counts never increase.
+        assert sum(row["halts"] for row in rows) == graph.num_vertices
+        lives = [row["live"] for row in rows]
+        assert all(a >= b for a, b in zip(lives, lives[1:]))
+        assert lives[-1] == 0
+
+    def test_stream_attrs_are_stamped(self):
+        graph = grid_graph(5, 5)
+        tel = Telemetry()
+        decompose_distributed(graph, k=3, seed=1, backend="batch", telemetry=tel)
+        assert all(
+            row["backend"] == "batch" and row["mode"] == "toptwo"
+            for row in tel.rounds
+        )
+
+    def test_end_round_is_idempotent(self):
+        tel = Telemetry()
+        stream = tel.round_stream("x.rounds")
+        stats = NetworkStats(messages_sent=3, words_sent=3, messages_delivered=3)
+        stream.note_frontier(1)
+        stream.end_round(1, stats, live=5)
+        stream.end_round(1, stats, live=5)  # the lazy-flush double call
+        assert len(tel.rounds) == 1
+
+    def test_round_zero_row_kept_only_with_traffic(self):
+        tel = Telemetry()
+        silent = tel.round_stream("x.rounds")
+        silent.end_round(0, NetworkStats(), live=5)
+        assert tel.rounds == []
+        noisy = tel.round_stream("y.rounds")
+        noisy.note_frontier(2)
+        stats = NetworkStats(messages_sent=2, words_sent=2)
+        noisy.end_round(0, stats, live=5)
+        assert len(tel.rounds) == 1 and tel.rounds[0]["round"] == 0
