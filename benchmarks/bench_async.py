@@ -1,0 +1,200 @@
+"""E-ASY — overhead gate for the α-synchronized asynchronous engine.
+
+The async-engine contract (``docs/async.md``): on a fault-free FIFO
+schedule, :class:`~repro.distributed.async_net.AsyncNetwork` is
+**bit-identical** to the reference
+:class:`~repro.distributed.network.SyncNetwork` — same decomposition,
+same :class:`~repro.distributed.metrics.NetworkStats`, same per-phase
+round counts — while paying only a bounded constant factor for its
+event-queue machinery.  Both claims are checked here: every arm pair is
+first asserted output-identical where the contract says so, then raced.
+
+Arms (interleaved reps, medians — machine noise hits them alike):
+
+* ``sync``         — the reference simulator, the baseline;
+* ``async-fifo``   — the async engine on the degenerate FIFO schedule
+  (the gate: this prices the event queue and synchronizer bookkeeping);
+* ``async-latest`` — adversarial latest-possible delivery at bound 3
+  (informational: adds delay bookkeeping and reorder counting);
+* ``async-faulty`` — random delays plus seeded message drops
+  (informational; outputs legitimately diverge, only termination and
+  replay-determinism are asserted).
+
+Two modes, following ``bench_telemetry.py``:
+
+* ``pytest benchmarks/bench_async.py -s`` — CI-sized workload, asserts
+  the FIFO bit-identity contract and emits the table; no wall-clock
+  gate (shared runners are too noisy at sub-second scale);
+* ``python benchmarks/bench_async.py`` — the acceptance gate: median
+  ``async-fifo``/``sync`` ratio ≤ 3.0 on an n ≈ 2·10³ workload, with up
+  to ``GATE_ATTEMPTS`` re-measurements before declaring failure (noise
+  only ever inflates the ratio, never hides real overhead).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pathlib
+import statistics
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.distributed_en import decompose_distributed
+from repro.graphs import Graph, gnp_fast
+
+from _common import BENCH_SEED, emit, strip_private
+
+REPS = int(os.environ.get("BENCH_ASYNC_REPS", "5"))
+GATE_RATIO = 3.0
+GATE_ATTEMPTS = 3
+
+
+def _signature(result):
+    """The comparable output of one run (the bit-identity contract)."""
+    return (
+        result.decomposition.cluster_index_map(),
+        result.stats,
+        result.rounds_per_phase,
+        result.phases,
+    )
+
+
+def _arms(graph: Graph, k: float):
+    """``{arm: zero-arg callable}`` — each returns a run signature."""
+
+    def sync():
+        return _signature(decompose_distributed(graph, k=k, seed=BENCH_SEED))
+
+    def async_fifo():
+        return _signature(
+            decompose_distributed(graph, k=k, seed=BENCH_SEED, backend="async")
+        )
+
+    def async_latest():
+        return _signature(
+            decompose_distributed(
+                graph, k=k, seed=BENCH_SEED, backend="async", delivery="latest:3"
+            )
+        )
+
+    def async_faulty():
+        return _signature(
+            decompose_distributed(
+                graph,
+                k=k,
+                seed=BENCH_SEED,
+                backend="async",
+                delivery="random:2",
+                faults="drop:0.02",
+            )
+        )
+
+    return {
+        "sync": sync,
+        "async-fifo": async_fifo,
+        "async-latest": async_latest,
+        "async-faulty": async_faulty,
+    }
+
+
+def measure(graph: Graph, k: float, reps: int = REPS):
+    """Interleaved timing of all arms; asserts the engine contracts.
+
+    ``async-fifo`` must be bit-identical to ``sync``; ``async-latest``
+    must reproduce the same decomposition (order-obliviousness under
+    bounded delay); ``async-faulty`` must be identical across its own
+    reps (replay determinism) — its output legitimately differs from
+    the fault-free arms.
+    """
+    arms = _arms(graph, k)
+    times: dict[str, list[float]] = {arm: [] for arm in arms}
+    outputs: dict[str, list] = {arm: [] for arm in arms}
+    for _ in range(reps):
+        for arm, fn in arms.items():
+            start = time.perf_counter()
+            result = fn()
+            times[arm].append(time.perf_counter() - start)
+            outputs[arm].append(result)
+    for arm, runs in outputs.items():
+        assert all(run == runs[0] for run in runs), (
+            f"arm {arm!r} is not replay-deterministic across reps"
+        )
+    reference = outputs["sync"][0]
+    assert outputs["async-fifo"][0] == reference, (
+        "async FIFO diverged from SyncNetwork — the bit-identity contract"
+    )
+    assert outputs["async-latest"][0][0] == reference[0], (
+        "latest-possible delivery changed the decomposition — "
+        "order-obliviousness under bounded delay is broken"
+    )
+    return {arm: statistics.median(samples) for arm, samples in times.items()}
+
+
+def _rows(workload: str, n: int, medians: dict[str, float]):
+    base = medians["sync"]
+    return [
+        {
+            "workload": workload,
+            "arm": arm,
+            "n": n,
+            "median s": round(seconds, 4),
+            "vs sync": round(seconds / max(base, 1e-9), 3),
+            "_ratio": seconds / max(base, 1e-9),
+        }
+        for arm, seconds in medians.items()
+    ]
+
+
+def test_async_overhead_bench():
+    """CI-sized run: contracts asserted, table emitted, no gate."""
+    graph = gnp_fast(512, 6.0 / 512, seed=2)
+    medians = measure(graph, k=5, reps=3)
+    rows = _rows("gnp_fast:512:6/n", graph.num_vertices, medians)
+    table = emit(
+        "E-ASY: async engine overhead (CI scale, informational)",
+        strip_private(rows),
+        "easy_async_small.txt",
+    )
+    assert table
+    print(
+        "async-fifo/sync ratio (informational): "
+        f"{medians['async-fifo'] / medians['sync']:.3f}"
+    )
+
+
+def main() -> int:
+    n = 2048
+    graph = gnp_fast(n, 6.0 / n, seed=2)
+    k = max(2, math.ceil(math.log(n)))
+    ratio = math.inf
+    medians: dict[str, float] = {}
+    for attempt in range(1, GATE_ATTEMPTS + 1):
+        medians = measure(graph, k=k)
+        ratio = medians["async-fifo"] / medians["sync"]
+        print(
+            f"attempt {attempt}: async-fifo/sync = {ratio:.4f}  "
+            f"[gate: <= {GATE_RATIO}]"
+        )
+        if ratio <= GATE_RATIO:
+            break
+    rows = _rows(f"gnp_fast:{n}:6/n", n, medians)
+    emit(
+        "E-ASY: async engine overhead (acceptance gate)",
+        strip_private(rows),
+        "easy_async_full.txt",
+    )
+    print(
+        f"async FIFO overhead: {ratio:.3f}x sync "
+        f"(latest {medians['async-latest'] / medians['sync']:.3f}x, "
+        f"faulty {medians['async-faulty'] / medians['sync']:.3f}x, "
+        "informational)"
+    )
+    return 0 if ratio <= GATE_RATIO else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,8 +28,8 @@ from typing import TYPE_CHECKING, Sequence
 from ..core.decomposition import Cluster, NetworkDecomposition
 from ..distributed.message import Message
 from ..distributed.metrics import NetworkStats
-from ..distributed.network import SyncNetwork
 from ..distributed.node import Context, NodeAlgorithm
+from ..distributed.synchronizer import build_network
 from ..errors import ParameterError, SimulationError
 from ..graphs.activeset import ActiveSet
 from ..graphs.graph import Graph
@@ -133,23 +133,34 @@ class DistributedLSResult:
 
 
 class _SyncLSPhases:
-    """Reference phase executor (one :class:`LSNodeAlgorithm` per vertex)."""
+    """Reference phase executor (one :class:`LSNodeAlgorithm` per vertex),
+    on :class:`SyncNetwork` or — with ``backend="async"`` — the
+    α-synchronized :class:`~repro.distributed.async_net.AsyncNetwork`."""
 
     def __init__(
-        self, graph: Graph, seed: int, p: float, k: int, word_budget, rounds=None
+        self, graph: Graph, seed: int, p: float, k: int, word_budget, rounds=None,
+        backend: str = "sync", delivery: str = "fifo", faults=None,
     ) -> None:
-        self._network = SyncNetwork(
+        self._network = build_network(
             graph,
             [LSNodeAlgorithm(v, seed, p, k) for v in range(graph.num_vertices)],
             seed=seed,
             word_budget=word_budget,
             rounds=rounds,
+            backend=backend,
+            delivery=delivery,
+            faults=faults,
         )
         self._network.start()
 
     @property
     def stats(self) -> NetworkStats:
         return self._network.stats
+
+    @property
+    def async_stats(self):
+        """Adversary counters (``None`` on the sync engine)."""
+        return getattr(self._network, "async_stats", None)
 
     def finish(self) -> None:
         self._network.finish_rounds()
@@ -179,6 +190,8 @@ def decompose_distributed(
     word_budget: int | None = None,
     max_phases: int | None = None,
     backend: str = "sync",
+    delivery: str = "fifo",
+    faults: str | None = None,
     telemetry: "Telemetry | None" = None,
 ) -> DistributedLSResult:
     """Run the distributed LS protocol to completion.
@@ -188,13 +201,23 @@ def decompose_distributed(
     instead of the fixed worst case ``k``.  ``backend="batch"`` runs the
     identical protocol on the columnar round engine
     (:class:`repro.engine.ls.BatchLSPhases`) — bit-identical outputs and
-    stats, engine-speed execution.  ``telemetry`` (or the ambient trace)
-    enables phase spans and the ``ls.rounds`` metrics stream.
+    stats, engine-speed execution.  ``backend="async"`` steps the node
+    algorithms on the α-synchronized asynchronous engine under a
+    ``delivery`` schedule and optional ``faults`` plan (``docs/async.md``)
+    — bit-identical to ``"sync"`` for fault-free FIFO runs.
+    ``telemetry`` (or the ambient trace) enables phase spans and the
+    ``ls.rounds`` metrics stream.
     """
     if k < 1:
         raise ParameterError(f"k must be >= 1, got {k}")
-    if backend not in ("sync", "batch"):
-        raise ParameterError(f"backend must be 'sync' or 'batch', got {backend!r}")
+    if backend not in ("sync", "batch", "async"):
+        raise ParameterError(
+            f"backend must be 'sync', 'batch' or 'async', got {backend!r}"
+        )
+    if backend != "async" and (delivery != "fifo" or faults not in (None, "", "none")):
+        raise ParameterError(
+            f"delivery/faults require backend='async', got backend={backend!r}"
+        )
     n = graph.num_vertices
     if p is None:
         p = float(max(n, 2)) ** (-1.0 / k)
@@ -209,8 +232,11 @@ def decompose_distributed(
     rounds = (
         tel.round_stream("ls.rounds", backend=backend) if tel is not None else None
     )
-    if backend == "sync":
-        runner = _SyncLSPhases(graph, seed, p, k, word_budget, rounds)
+    if backend in ("sync", "async"):
+        runner = _SyncLSPhases(
+            graph, seed, p, k, word_budget, rounds,
+            backend=backend, delivery=delivery, faults=faults,
+        )
     else:
         from ..engine.ls import BatchLSPhases
 
@@ -219,7 +245,11 @@ def decompose_distributed(
     clusters: list[Cluster] = []
     rounds_per_phase: list[int] = []
     phase = 0
-    with maybe_span(tel, "ls.decompose", backend=backend, n=n, k=k) as run_span:
+    span_attrs = {"backend": backend, "n": n, "k": k}
+    if backend == "async":
+        span_attrs["delivery"] = delivery
+        span_attrs["faults"] = faults or "none"
+    with maybe_span(tel, "ls.decompose", **span_attrs) as run_span:
         while active:
             phase += 1
             if phase > max_phases:
@@ -251,6 +281,9 @@ def decompose_distributed(
             runner.finish()
             run_span.add("phases", phase)
             run_span.add("rounds", sum(rounds_per_phase))
+            async_stats = getattr(runner, "async_stats", None)
+            if async_stats is not None:
+                run_span.annotate(**async_stats.as_dict())
     return DistributedLSResult(
         decomposition=NetworkDecomposition(graph, clusters),
         stats=runner.stats,

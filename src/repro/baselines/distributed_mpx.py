@@ -29,8 +29,8 @@ from typing import TYPE_CHECKING, Literal, Sequence
 from ..core.decomposition import Cluster, NetworkDecomposition
 from ..distributed.message import Message
 from ..distributed.metrics import NetworkStats
-from ..distributed.network import SyncNetwork
 from ..distributed.node import Context, NodeAlgorithm
+from ..distributed.synchronizer import build_network
 from ..errors import ParameterError
 from ..graphs.graph import Graph
 from ..rng import DEFAULT_SEED, stream
@@ -128,6 +128,8 @@ def partition_distributed(
     mode: Literal["full", "topone"] = "topone",
     word_budget: int | None = None,
     backend: str = "sync",
+    delivery: str = "fifo",
+    faults: str | None = None,
     telemetry: "Telemetry | None" = None,
 ) -> DistributedMPXResult:
     """Run the distributed MPX partition on ``graph`` with rate ``beta``.
@@ -137,15 +139,27 @@ def partition_distributed(
     ``O(log n / β)``); the run then takes ``B + 1`` rounds.
     ``backend="batch"`` runs the identical competition on the columnar
     round engine (:func:`repro.engine.mpx.run_mpx_batch`) — bit-identical
-    assignment and stats.  ``telemetry`` (or the ambient trace) enables
-    the run span and the ``mpx.rounds`` metrics stream.
+    assignment and stats.  ``backend="async"`` runs it on the
+    α-synchronized asynchronous engine under a ``delivery`` schedule and
+    optional ``faults`` plan (``docs/async.md``); note the one-shot
+    competition requires every vertex to decide, so fault plans that
+    crash a node through its decision round trip the assignment
+    assertion — use drop faults (a vertex always holds its own entry).
+    ``telemetry`` (or the ambient trace) enables the run span and the
+    ``mpx.rounds`` metrics stream.
     """
     if beta <= 0:
         raise ParameterError(f"beta must be positive, got {beta}")
     if mode not in ("full", "topone"):
         raise ParameterError(f"mode must be 'full' or 'topone', got {mode!r}")
-    if backend not in ("sync", "batch"):
-        raise ParameterError(f"backend must be 'sync' or 'batch', got {backend!r}")
+    if backend not in ("sync", "batch", "async"):
+        raise ParameterError(
+            f"backend must be 'sync', 'batch' or 'async', got {backend!r}"
+        )
+    if backend != "async" and (delivery != "fifo" or faults not in (None, "", "none")):
+        raise ParameterError(
+            f"delivery/faults require backend='async', got backend={backend!r}"
+        )
     n = graph.num_vertices
     tel = resolve(telemetry)
     rounds = (
@@ -157,7 +171,11 @@ def partition_distributed(
         v: stream(seed, "mpx-shift", v).expovariate(beta) for v in range(n)
     }
     budget = max((math.floor(s) for s in shifts.values()), default=0)
-    with maybe_span(tel, "mpx.partition", backend=backend, mode=mode, n=n) as run_span:
+    span_attrs = {"backend": backend, "mode": mode, "n": n}
+    if backend == "async":
+        span_attrs["delivery"] = delivery
+        span_attrs["faults"] = faults or "none"
+    with maybe_span(tel, "mpx.partition", **span_attrs) as run_span:
         if backend == "batch":
             from ..engine.mpx import run_mpx_batch
 
@@ -168,8 +186,9 @@ def partition_distributed(
             algorithms = [MPXNodeAlgorithm(v, seed, beta, mode) for v in range(n)]
             for algorithm in algorithms:
                 algorithm.configure(budget)
-            network = SyncNetwork(
-                graph, algorithms, seed=seed, word_budget=word_budget, rounds=rounds
+            network = build_network(
+                graph, algorithms, seed=seed, word_budget=word_budget,
+                rounds=rounds, backend=backend, delivery=delivery, faults=faults,
             )
             network.start()
             network.run_rounds(budget + 1)
@@ -183,6 +202,9 @@ def partition_distributed(
                 center_of[v] = algorithm.center
         if run_span is not None:
             run_span.add("rounds", budget + 1)
+            async_stats = getattr(network, "async_stats", None) if backend == "async" else None
+            if async_stats is not None:
+                run_span.annotate(**async_stats.as_dict())
     by_center: dict[int, list[int]] = {}
     for v, center in center_of.items():
         by_center.setdefault(center, []).append(v)

@@ -47,8 +47,8 @@ from typing import TYPE_CHECKING, Literal, Sequence
 
 from ..distributed.message import Message
 from ..distributed.metrics import NetworkStats
-from ..distributed.network import SyncNetwork
 from ..distributed.node import Context, NodeAlgorithm
+from ..distributed.synchronizer import build_network
 from ..errors import ParameterError, SimulationError
 from ..graphs.activeset import ActiveSet
 from ..graphs.graph import Graph
@@ -230,7 +230,9 @@ class DistributedRunResult:
 class _SyncENPhases:
     """Reference phase executor: one :class:`ENNodeAlgorithm` per vertex
     stepped by :class:`SyncNetwork` (the pre-batch-engine behaviour,
-    preserved verbatim)."""
+    preserved verbatim) — or, with ``backend="async"``, by the
+    α-synchronized :class:`~repro.distributed.async_net.AsyncNetwork`
+    under a delivery schedule and fault plan."""
 
     def __init__(
         self,
@@ -239,20 +241,31 @@ class _SyncENPhases:
         mode: ForwardMode,
         word_budget: int | None,
         rounds=None,
+        backend: str = "sync",
+        delivery: str = "fifo",
+        faults=None,
     ) -> None:
         self._seed = seed
-        self._network = SyncNetwork(
+        self._network = build_network(
             graph,
             [ENNodeAlgorithm(v, seed, mode) for v in range(graph.num_vertices)],
             seed=seed,
             word_budget=word_budget,
             rounds=rounds,
+            backend=backend,
+            delivery=delivery,
+            faults=faults,
         )
         self._network.start()
 
     @property
     def stats(self) -> NetworkStats:
         return self._network.stats
+
+    @property
+    def async_stats(self):
+        """Adversary counters (``None`` on the sync engine)."""
+        return getattr(self._network, "async_stats", None)
 
     def finish(self) -> None:
         self._network.finish_rounds()
@@ -285,6 +298,8 @@ def decompose_distributed(
     word_budget: int | None = None,
     max_phases: int | None = None,
     backend: str = "sync",
+    delivery: str = "fifo",
+    faults: str | None = None,
     telemetry: "Telemetry | None" = None,
 ) -> DistributedRunResult:
     """Run the distributed protocol to completion on ``graph``.
@@ -319,6 +334,18 @@ def decompose_distributed(
         batch round engine (:class:`repro.engine.en.BatchENPhases`);
         outputs, round counts and stats are bit-identical, only the
         wall-clock differs (see ``benchmarks/bench_engine.py``).
+        ``"async"`` steps the same node algorithms on the α-synchronized
+        :class:`~repro.distributed.async_net.AsyncNetwork` — bit-identical
+        to ``"sync"`` under the default FIFO delivery with no faults
+        (``docs/async.md``).
+    delivery:
+        Delivery-schedule spec for ``backend="async"``
+        (:mod:`repro.distributed.schedule`): ``"fifo"`` (default),
+        ``"random:B"``, ``"latest:B"``, ``"starve:B[:F]"``.
+    faults:
+        Fault-plan spec for ``backend="async"``
+        (:mod:`repro.distributed.faults`), e.g.
+        ``"crash:3@2-6;drop:0.05"``; ``None`` for a fault-free run.
     telemetry:
         Explicit :class:`~repro.telemetry.Telemetry` collector, or
         ``None`` to use the ambient one (``--trace`` /
@@ -332,8 +359,14 @@ def decompose_distributed(
     """
     if mode not in ("full", "toptwo"):
         raise ParameterError(f"mode must be 'full' or 'toptwo', got {mode!r}")
-    if backend not in ("sync", "batch"):
-        raise ParameterError(f"backend must be 'sync' or 'batch', got {backend!r}")
+    if backend not in ("sync", "batch", "async"):
+        raise ParameterError(
+            f"backend must be 'sync', 'batch' or 'async', got {backend!r}"
+        )
+    if backend != "async" and (delivery != "fifo" or faults not in (None, "", "none")):
+        raise ParameterError(
+            f"delivery/faults require backend='async', got backend={backend!r}"
+        )
     if schedule is None:
         if k is None:
             raise ParameterError("either k or an explicit schedule is required")
@@ -347,8 +380,11 @@ def decompose_distributed(
         if tel is not None
         else None
     )
-    if backend == "sync":
-        runner = _SyncENPhases(graph, seed, mode, word_budget, rounds)
+    if backend in ("sync", "async"):
+        runner = _SyncENPhases(
+            graph, seed, mode, word_budget, rounds,
+            backend=backend, delivery=delivery, faults=faults,
+        )
     else:
         from ..engine.en import BatchENPhases
 
@@ -359,7 +395,12 @@ def decompose_distributed(
     rounds_per_phase: list[int] = []
     truncations: list[TruncationEvent] = []
     phase = 0
-    with maybe_span(tel, "en.decompose", backend=backend, mode=mode, n=n) as run_span:
+    span_attrs = {"backend": backend, "mode": mode, "n": n}
+    if backend == "async":
+        # The replay key: (seed, delivery, faults) pins the adversary.
+        span_attrs["delivery"] = delivery
+        span_attrs["faults"] = faults or "none"
+    with maybe_span(tel, "en.decompose", **span_attrs) as run_span:
         while active:
             phase += 1
             if phase > max_phases:
@@ -396,6 +437,9 @@ def decompose_distributed(
             runner.finish()
             run_span.add("phases", phase)
             run_span.add("rounds", sum(rounds_per_phase))
+            async_stats = getattr(runner, "async_stats", None)
+            if async_stats is not None:
+                run_span.annotate(**async_stats.as_dict())
     decomposition = NetworkDecomposition.from_blocks(graph, blocks, centers)
     return DistributedRunResult(
         decomposition=decomposition,

@@ -12,13 +12,21 @@ form:
 * :class:`~repro.distributed.metrics.NetworkStats` — rounds / messages /
   words-per-edge-per-round measurements;
 * :func:`~repro.distributed.message.payload_words` — the O(1)-words
-  CONGEST cost model.
+  CONGEST cost model;
+* :class:`~repro.distributed.async_net.AsyncNetwork` + the α-synchronizer
+  (:mod:`~repro.distributed.synchronizer`) — the same node contract under
+  asynchronous delivery (:mod:`~repro.distributed.schedule`) and seeded
+  fault injection (:mod:`~repro.distributed.faults`); see ``docs/async.md``.
 """
 
+from .async_net import AsyncNetwork, AsyncStats, live_networks
+from .faults import CrashWindow, FaultPlan
 from .message import Message, payload_words
 from .metrics import NetworkStats
 from .network import SyncNetwork
 from .node import Context, NodeAlgorithm
+from .schedule import Schedule, parse_schedule
+from .synchronizer import AlphaSynchronizer, build_network
 from .protocols import (
     BFSTreeNode,
     ConvergecastSumNode,
@@ -32,17 +40,26 @@ from .protocols import (
 from .tracing import TraceEvent, TraceRecorder
 
 __all__ = [
+    "AlphaSynchronizer",
+    "AsyncNetwork",
+    "AsyncStats",
     "BFSTreeNode",
     "Context",
     "ConvergecastSumNode",
+    "CrashWindow",
+    "FaultPlan",
     "FloodNode",
     "LeaderElectionNode",
     "Message",
     "NetworkStats",
     "NodeAlgorithm",
+    "Schedule",
     "SyncNetwork",
     "TraceEvent",
     "TraceRecorder",
+    "build_network",
+    "live_networks",
+    "parse_schedule",
     "payload_words",
     "run_bfs_tree",
     "run_convergecast_sum",

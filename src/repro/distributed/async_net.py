@@ -1,0 +1,466 @@
+"""The asynchronous round engine: event-driven delivery under an adversary.
+
+:class:`AsyncNetwork` executes the same
+:class:`~repro.distributed.node.NodeAlgorithm` contract as
+:class:`~repro.distributed.network.SyncNetwork`, but message delivery is
+governed by a :class:`~repro.distributed.schedule.Schedule` (bounded
+delays, adversarial orderings) and an optional
+:class:`~repro.distributed.faults.FaultPlan` (seeded node crash/recovery
+and message drops).  Logical rounds survive asynchrony via the
+α-synchronizer (:mod:`.synchronizer`): messages are tagged with their
+sender's pulse and a pulse executes only when safe, so ``step()`` still
+advances one logical round — what the adversary controls is each
+message's *arrival time* inside its pulse (inbox order), each node's
+virtual clock (execution order and skew), and, with faults, which
+messages and nodes participate at all.
+
+Determinism contract: a run is a pure function of
+``(graph, algorithms, seed, delivery, faults)``.  Schedules and fault
+plans derive their streams from ``(seed, spec)``, events are totally
+ordered by ``(arrival_time, order, seq)``, and nodes execute in
+``(ready_time, id)`` order — replaying the same pair is byte-identical
+(``tests/distributed/test_schedule_properties.py``).
+
+Equivalence contract: under the FIFO schedule with no fault plan, every
+observable — decompositions, :class:`~repro.distributed.metrics
+.NetworkStats`, telemetry round streams, trace events — is bit-identical
+to a :class:`SyncNetwork` run: delays are zero, arrival order equals
+send order (which equals the sync engine's sender-sorted inbox order),
+and ready times degenerate to ascending node id.
+
+Inbox ordering is the one semantic difference from the sync engine:
+inboxes arrive in *arrival order*, not sorted by sender.  Protocols
+whose per-round merges are order-oblivious (EN/LS/MPX — commutative
+min/max merges, see ``engine/broadcast.py``) are unaffected; a protocol
+that is not order-oblivious will diverge under non-FIFO schedules, which
+is precisely what the harness exists to detect.
+
+Bookkeeping parity: messages to halted receivers are dropped at flush
+and counted as sent (sync semantics); fault-dropped messages are also
+counted as sent, never delivered; messages to *crashed* receivers are
+dropped — or buffered for redelivery — at their delivery pulse.  Async-
+only counters live in :class:`AsyncStats`, never in ``NetworkStats``,
+so the stats equality the tier-1 equivalence suites assert stays exact.
+
+Every live instance registers in a module-level weak set; the suite-wide
+leak guard in ``tests/conftest.py`` fails any test that abandons a
+network with undelivered messages (call :meth:`AsyncNetwork.close` to
+opt a deliberately-abandoned network out).
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import defaultdict
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..errors import CongestViolation, ParameterError, SimulationError
+from ..graphs.graph import Graph
+from ..rng import DEFAULT_SEED, stream
+from .faults import FaultPlan
+from .message import Message
+from .metrics import NetworkStats
+from .node import Context, NodeAlgorithm
+from .schedule import Schedule, parse_schedule
+from .synchronizer import AlphaSynchronizer
+from .tracing import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.rounds import RoundStream
+
+__all__ = ["AsyncNetwork", "AsyncStats", "live_networks"]
+
+#: Async-only round-stream columns (enabled for non-FIFO/faulty runs).
+EXTRA_ROUND_KEYS = ("delayed", "dropped", "reordered")
+
+#: Weak registry of live engines, consumed by the test-suite leak guard.
+_REGISTRY: "weakref.WeakSet[AsyncNetwork]" = weakref.WeakSet()
+
+
+def live_networks() -> "list[AsyncNetwork]":
+    """Currently-alive :class:`AsyncNetwork` instances (leak guard hook)."""
+    return list(_REGISTRY)
+
+
+@dataclass
+class AsyncStats:
+    """Asynchrony/fault counters, separate from :class:`NetworkStats`.
+
+    Kept out of the shared stats object on purpose: the sync/batch/async
+    equivalence tests compare ``NetworkStats`` dataclasses for equality,
+    and these counters are identically zero only on FIFO fault-free runs.
+    """
+
+    delayed: int = 0      #: messages assigned a positive delivery delay
+    reordered: int = 0    #: inbox positions out of sender order
+    dropped: int = 0      #: messages lost to faults (drop coins + crashes)
+    redelivered: int = 0  #: buffered messages delivered after recovery
+    crashes: int = 0      #: crash transitions
+    recoveries: int = 0   #: recovery transitions
+    max_skew: float = 0.0  #: largest within-pulse virtual-clock spread
+
+    def as_dict(self) -> dict:
+        return {
+            "delayed": self.delayed,
+            "reordered": self.reordered,
+            "dropped": self.dropped,
+            "redelivered": self.redelivered,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "max_skew": round(self.max_skew, 6),
+        }
+
+
+class AsyncNetwork:
+    """Asynchronous message-passing simulator (see module docstring).
+
+    Parameters match :class:`SyncNetwork` plus:
+
+    delivery:
+        A :mod:`.schedule` spec string (or :class:`Schedule`);
+        default ``"fifo"``.
+    faults:
+        A :mod:`.faults` spec string (or :class:`FaultPlan`), or
+        ``None`` for a fault-free run.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        algorithms: Sequence[NodeAlgorithm] | Callable[[int], NodeAlgorithm],
+        seed: int = DEFAULT_SEED,
+        word_budget: int | None = None,
+        tracer: "TraceRecorder | None" = None,
+        rounds: "RoundStream | None" = None,
+        delivery: "str | Schedule | None" = "fifo",
+        faults: "str | FaultPlan | None" = None,
+    ) -> None:
+        self.graph = graph
+        n = graph.num_vertices
+        if callable(algorithms):
+            self._algorithms = [algorithms(v) for v in range(n)]
+        else:
+            self._algorithms = list(algorithms)
+        if len(self._algorithms) != n:
+            raise SimulationError(
+                f"need one algorithm per vertex: got {len(self._algorithms)} for n={n}"
+            )
+        # Node contexts are identical to the sync engine's — same private
+        # rng streams, so node-local randomness cannot depend on backend.
+        self._contexts = [
+            Context(self, v, graph.neighbors(v), stream(seed, "node", v))
+            for v in range(n)
+        ]
+        self._schedule = parse_schedule(delivery, seed)
+        self._faults = FaultPlan.parse(faults)
+        if self._faults is not None:
+            for window in self._faults.windows:
+                if not 0 <= window.node < n:
+                    raise ParameterError(
+                        f"crash window names node {window.node}, graph has n={n}"
+                    )
+            self._faults.reset(seed)
+        self._word_budget = word_budget
+        self._tracer = tracer
+        self._rounds = rounds
+        self._extras_enabled = rounds is not None and (
+            self._schedule.bound > 0 or self._faults is not None
+        )
+        if self._extras_enabled:
+            rounds.enable_extras(*EXTRA_ROUND_KEYS)
+        self._synchronizer = AlphaSynchronizer(graph)
+        self._live: list[int] = list(range(n))
+        self._halted_seen: set[int] = set()
+        self._crashed: set[int] = set()
+        self._outbox: list[Message] = []
+        #: Event queue: (arrival_time, order, seq, Message) — every entry
+        #: is tagged for the next pulse; the heap drains fully per step.
+        self._events: list[tuple[float, int, int, Message]] = []
+        self._redelivery: dict[int, list[Message]] = {}
+        self._seq = 0
+        self._round = 0
+        self._started = False
+        self.closed = False
+        self.stats = NetworkStats()
+        self.async_stats = AsyncStats()
+        self._round_delayed = 0
+        self._round_dropped = 0
+        self._round_reordered = 0
+        _REGISTRY.add(self)
+
+    # ------------------------------------------------------------------
+    # Introspection (SyncNetwork-compatible surface)
+    # ------------------------------------------------------------------
+    @property
+    def current_round(self) -> int:
+        """The pulse currently executing (0 before/during ``on_start``)."""
+        return self._round
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._algorithms)
+
+    def algorithm(self, v: int) -> NodeAlgorithm:
+        return self._algorithms[v]
+
+    def context(self, v: int) -> Context:
+        return self._contexts[v]
+
+    def halted(self, v: int) -> bool:
+        return self._contexts[v].halted
+
+    def crashed(self, v: int) -> bool:
+        """Whether node ``v`` is currently down (crashed, not halted)."""
+        return v in self._crashed
+
+    @property
+    def all_halted(self) -> bool:
+        return all(ctx.halted for ctx in self._contexts)
+
+    @property
+    def messages_in_flight(self) -> int:
+        """Undelivered messages: scheduled events + redelivery buffers."""
+        return len(self._events) + sum(
+            len(buffer) for buffer in self._redelivery.values()
+        )
+
+    @property
+    def schedule(self) -> Schedule:
+        return self._schedule
+
+    @property
+    def fault_plan(self) -> "FaultPlan | None":
+        return self._faults
+
+    def clock(self, v: int) -> float:
+        """Node ``v``'s virtual clock (α-synchronizer pulse time)."""
+        return self._synchronizer.clock(v)
+
+    @property
+    def leaked(self) -> bool:
+        """Abandoned with undelivered messages (leak-guard predicate)."""
+        return (
+            not self.closed
+            and self.messages_in_flight > 0
+            and not self.all_halted
+        )
+
+    def close(self) -> None:
+        """Mark this network deliberately abandoned (silences the guard)."""
+        self.closed = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Run every node's ``on_start`` callback (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for v, algorithm in enumerate(self._algorithms):
+            ctx = self._contexts[v]
+            if not ctx.halted:
+                algorithm.on_start(ctx)
+        self._flush_outbox()
+
+    def step(self) -> None:
+        """Execute one pulse (= one logical synchronous round)."""
+        if not self._started:
+            self.start()
+        self._round += 1
+        self.stats.rounds += 1
+        pulse = self._round
+        inboxes = self._apply_faults_and_deliver(pulse)
+        arrivals = {v: inbox[-1][0] for v, inbox in inboxes.items() if inbox}
+        executing = [
+            v
+            for v in self._live
+            if not self._contexts[v].halted and v not in self._crashed
+        ]
+        def waived(u: int) -> bool:
+            return self._contexts[u].halted or u in self._crashed
+
+        order = self._synchronizer.ready_times(pulse, executing, arrivals, waived)
+        self.async_stats.max_skew = self._synchronizer.max_skew
+        any_halted = len(executing) < len(self._live) and any(
+            self._contexts[v].halted for v in self._live
+        )
+        for _ready, v in order:
+            ctx = self._contexts[v]
+            inbox = [message for _time, message in inboxes.get(v, ())]
+            self.stats.messages_delivered += len(inbox)
+            self._algorithms[v].on_round(ctx, inbox)
+            if ctx.halted:
+                any_halted = True
+        if any_halted:
+            self._live = [v for v in self._live if not self._contexts[v].halted]
+        self._flush_outbox()
+
+    def run_rounds(self, count: int) -> None:
+        """Execute exactly ``count`` pulses."""
+        for _ in range(count):
+            self.step()
+
+    def run_until_quiet(self, max_rounds: int = 1_000_000) -> int:
+        """Run until the event queue is empty or everyone has halted.
+
+        Redelivery buffers parked at permanently-crashed nodes do not
+        keep the loop alive (they can never drain); they still count in
+        :attr:`messages_in_flight` and trip the leak guard.
+        """
+        if not self._started:
+            self.start()
+        executed = 0
+        while self._events and not self.all_halted:
+            if executed >= max_rounds:
+                raise SimulationError(
+                    f"network not quiet after {max_rounds} rounds"
+                )
+            self.step()
+            executed += 1
+        return executed
+
+    def finish_rounds(self) -> None:
+        """Flush the final round to an attached round stream."""
+        if self._rounds is not None:
+            live = sum(1 for ctx in self._contexts if not ctx.halted)
+            self._rounds.end_round(self._round, self.stats, live)
+
+    # ------------------------------------------------------------------
+    # Engine internals
+    # ------------------------------------------------------------------
+    def _apply_faults_and_deliver(
+        self, pulse: int
+    ) -> dict[int, list[tuple[float, Message]]]:
+        """Fault transitions + event-queue drain for ``pulse``.
+
+        Returns per-receiver inboxes in arrival order, each entry
+        ``(arrival_time, message)``.  Redelivered messages (buffered
+        while their receiver was crashed) lead the inbox — they are
+        older than anything arriving this pulse.
+        """
+        plan = self._faults
+        inboxes: dict[int, list[tuple[float, Message]]] = {}
+        if plan is not None:
+            for window in plan.windows:
+                v = window.node
+                if self._contexts[v].halted:
+                    continue  # halted nodes left the computation; crashes moot
+                down = plan.crashed(v, pulse)
+                if down and v not in self._crashed:
+                    self._crashed.add(v)
+                    self.async_stats.crashes += 1
+                    plan.record("crash", pulse, node=v)
+                elif not down and v in self._crashed:
+                    self._crashed.discard(v)
+                    self.async_stats.recoveries += 1
+                    plan.record("recover", pulse, node=v)
+                    buffered = self._redelivery.pop(v, None)
+                    if buffered:
+                        self.async_stats.redelivered += len(buffered)
+                        plan.record("redeliver", pulse, node=v, count=len(buffered))
+                        inboxes[v] = [(0.0, message) for message in buffered]
+        while self._events:
+            arrival, _order, _seq, message = heappop(self._events)
+            v = message.receiver
+            if v in self._crashed:
+                if plan is not None and plan.redeliver:
+                    self._redelivery.setdefault(v, []).append(message)
+                else:
+                    self.async_stats.dropped += 1
+                    self._round_dropped += 1
+                    if plan is not None:
+                        plan.record(
+                            "crash-drop", pulse, node=v, sender=message.sender
+                        )
+                continue
+            inbox = inboxes.setdefault(v, [])
+            if inbox and inbox[-1][1].sender > message.sender:
+                self.async_stats.reordered += 1
+                self._round_reordered += 1
+            inbox.append((arrival, message))
+        return inboxes
+
+    def _enqueue(self, message: Message) -> None:
+        self._outbox.append(message)
+
+    def _flush_outbox(self) -> None:
+        """End-of-pulse accounting + event scheduling.
+
+        The bookkeeping sequence (halt detection, tracer events, traffic
+        stats, budget enforcement, round-stream emission, halted-receiver
+        drops) replicates ``SyncNetwork._flush_outbox`` operation for
+        operation — under a FIFO schedule with no faults the two engines
+        keep literally the same books.
+        """
+        newly_halted: list[int] = []
+        if self._tracer is not None or self._rounds is not None:
+            for v, ctx in enumerate(self._contexts):
+                if ctx.halted and v not in self._halted_seen:
+                    self._halted_seen.add(v)
+                    newly_halted.append(v)
+        if self._tracer is not None:
+            for message in self._outbox:
+                self._tracer.on_send(message)
+            for v in newly_halted:
+                self._tracer.on_halt(v, self._round)
+        edge_words: dict[tuple[int, int], int] = defaultdict(int)
+        for message in self._outbox:
+            self.stats.messages_sent += 1
+            self.stats.words_sent += message.words
+            key = (message.sender, message.receiver)
+            edge_words[key] += message.words
+        if edge_words:
+            peak = max(edge_words.values())
+            self.stats.max_words_per_edge_round = max(
+                self.stats.max_words_per_edge_round, peak
+            )
+            if self._word_budget is not None and peak > self._word_budget:
+                offender = max(edge_words, key=edge_words.get)
+                raise CongestViolation(
+                    f"edge {offender} carried {edge_words[offender]} words in round "
+                    f"{self._round}, budget is {self._word_budget}"
+                )
+        # Schedule surviving messages as delivery events for the next
+        # pulse.  Drop coins are rolled here, in send order, *after* the
+        # bandwidth accounting: a lost message still crossed the wire.
+        plan, sched, clocks = self._faults, self._schedule, self._synchronizer.clocks
+        for message in self._outbox:
+            if self._contexts[message.receiver].halted:
+                continue  # sync semantics: counted as sent, silently dropped
+            if plan is not None and plan.drops(
+                message.sender, message.receiver, self._round
+            ):
+                self.async_stats.dropped += 1
+                self._round_dropped += 1
+                continue
+            seq = self._seq
+            self._seq += 1
+            delay, order = sched.assign(
+                message.sender, message.receiver, self._round, seq
+            )
+            if delay > 0.0:
+                self.async_stats.delayed += 1
+                self._round_delayed += 1
+            heappush(
+                self._events,
+                (clocks[message.sender] + 1.0 + delay, order, seq, message),
+            )
+        if self._rounds is not None:
+            if self._outbox:
+                self._rounds.note_frontier(
+                    len({message.sender for message in self._outbox})
+                )
+            self._rounds.note_halts(len(newly_halted))
+            if self._extras_enabled:
+                self._rounds.note_extras(
+                    delayed=self._round_delayed,
+                    dropped=self._round_dropped,
+                    reordered=self._round_reordered,
+                )
+            live = sum(1 for ctx in self._contexts if not ctx.halted)
+            self._rounds.end_round(self._round, self.stats, live)
+        self._round_delayed = self._round_dropped = self._round_reordered = 0
+        self._outbox = []

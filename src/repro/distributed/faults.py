@@ -1,0 +1,177 @@
+"""Seeded fault injection: node crash/recovery windows and message drops.
+
+A :class:`FaultPlan` describes *what goes wrong* in an asynchronous run,
+deterministically.  Crash windows are explicit (part of the spec);
+message drops are seeded (derived from ``(seed, spec)``), so any faulty
+execution is replayable from ``(seed, fault_spec)`` alone — the same
+contract delivery schedules obey (:mod:`.schedule`).
+
+Spec grammar (parsed by :meth:`FaultPlan.parse`) — ``;``-joined clauses::
+
+    crash:V@S-E[,V@S-E...]   node V is down for pulses S <= p < E
+                             (E omitted = down forever)
+    drop:R                   each message is lost i.i.d. with rate R
+                             (seeded; decided at send time)
+    redeliver                messages addressed to a crashed node are
+                             buffered and delivered at its first
+                             post-recovery pulse instead of dropped
+
+Fault semantics (pinned by ``tests/distributed/test_faults_golden.py``):
+
+* a **crashed** node executes nothing — no ``on_round``, no sends — but
+  keeps its state; on recovery it resumes where it stopped (its local
+  phase clock lags the network, exactly as a real crash-recovery node's
+  would).  Crashes are *not* halts: a crashed node still counts as live.
+* messages **to** a crashed node are decided at their delivery pulse:
+  dropped (default) or buffered for redelivery (``redeliver``).
+  Redelivered messages arrive *before* that pulse's regular arrivals,
+  in original send order — they are older.
+* **drop** faults are decided at send time, after bandwidth accounting
+  (a lost message still crossed the wire: it is counted as sent, never
+  delivered — the same books as messages to halted receivers).
+
+Every fault event is appended to :attr:`FaultPlan.log`, so two runs of
+the same ``(seed, spec)`` can be compared event-for-event.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..rng import derive_seed
+
+__all__ = ["CrashWindow", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """Node ``node`` is crashed for pulses ``start <= p < end``."""
+
+    node: int
+    start: int
+    end: int | None  # None = never recovers
+
+    def covers(self, pulse: int) -> bool:
+        return self.start <= pulse and (self.end is None or pulse < self.end)
+
+
+class FaultPlan:
+    """A parsed, seeded fault plan (see the module grammar).
+
+    Instances are bound to one run: :meth:`reset` re-arms the drop
+    stream and clears the event log, and the engine calls it once at
+    construction — reusing a plan across networks replays identically.
+    """
+
+    def __init__(
+        self,
+        windows: tuple[CrashWindow, ...] = (),
+        drop_rate: float = 0.0,
+        redeliver: bool = False,
+        spec: str = "",
+    ) -> None:
+        if not 0.0 <= drop_rate < 1.0:
+            raise ParameterError(f"drop rate must be in [0, 1), got {drop_rate}")
+        for window in windows:
+            if window.start < 1:
+                raise ParameterError(
+                    f"crash windows start at pulse 1 (on_start cannot crash), "
+                    f"got {window.start} for node {window.node}"
+                )
+            if window.end is not None and window.end <= window.start:
+                raise ParameterError(
+                    f"empty crash window {window.start}-{window.end} "
+                    f"for node {window.node}"
+                )
+        self.windows = tuple(windows)
+        self.drop_rate = drop_rate
+        self.redeliver = redeliver
+        self.spec = spec or self._canonical()
+        self._rng: random.Random | None = None
+        self.log: list[dict] = []
+
+    def _canonical(self) -> str:
+        clauses = []
+        if self.windows:
+            clauses.append(
+                "crash:"
+                + ",".join(
+                    f"{w.node}@{w.start}-{'' if w.end is None else w.end}"
+                    for w in self.windows
+                )
+            )
+        if self.drop_rate:
+            clauses.append(f"drop:{self.drop_rate}")
+        if self.redeliver:
+            clauses.append("redeliver")
+        return ";".join(clauses)
+
+    @classmethod
+    def parse(cls, spec: "str | FaultPlan | None") -> "FaultPlan | None":
+        """Parse a fault spec; ``None``/``""``/``"none"`` mean fault-free."""
+        if spec is None or isinstance(spec, FaultPlan):
+            return spec or None
+        if spec in ("", "none"):
+            return None
+        windows: list[CrashWindow] = []
+        drop_rate = 0.0
+        redeliver = False
+        for clause in spec.split(";"):
+            if clause == "redeliver":
+                redeliver = True
+            elif clause.startswith("crash:"):
+                for item in clause[len("crash:"):].split(","):
+                    try:
+                        node_part, span = item.split("@")
+                        start_part, _, end_part = span.partition("-")
+                        windows.append(
+                            CrashWindow(
+                                node=int(node_part),
+                                start=int(start_part),
+                                end=int(end_part) if end_part else None,
+                            )
+                        )
+                    except ValueError:
+                        raise ParameterError(
+                            f"bad crash clause {item!r} in {spec!r} "
+                            f"(expected V@S-E or V@S-)"
+                        ) from None
+            elif clause.startswith("drop:"):
+                try:
+                    drop_rate = float(clause[len("drop:"):])
+                except ValueError:
+                    raise ParameterError(f"bad drop rate in {spec!r}") from None
+            else:
+                raise ParameterError(
+                    f"unknown fault clause {clause!r} in {spec!r} "
+                    f"(try crash:V@S-E, drop:R, redeliver)"
+                )
+        return cls(tuple(windows), drop_rate, redeliver, spec)
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def reset(self, seed: int) -> None:
+        """Arm the plan for one run of ``seed`` (drop stream + log)."""
+        self._rng = random.Random(derive_seed(seed, "faults", self.spec))
+        self.log = []
+
+    def crashed(self, node: int, pulse: int) -> bool:
+        """Whether ``node`` is down at ``pulse``."""
+        return any(w.node == node and w.covers(pulse) for w in self.windows)
+
+    def drops(self, sender: int, receiver: int, pulse: int) -> bool:
+        """Roll the seeded drop coin for one message (send order)."""
+        if not self.drop_rate:
+            return False
+        assert self._rng is not None, "FaultPlan.reset() not called"
+        if self._rng.random() < self.drop_rate:
+            self.record("drop", pulse, sender=sender, receiver=receiver)
+            return True
+        return False
+
+    def record(self, kind: str, pulse: int, **details) -> None:
+        """Append one event to the replay log."""
+        self.log.append({"kind": kind, "pulse": pulse, **details})

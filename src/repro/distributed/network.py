@@ -65,6 +65,18 @@ class SyncNetwork:
     The engine is deterministic: inboxes are sorted by sender and nodes are
     stepped in ascending id order, so a fixed ``(graph, algorithms, seed)``
     triple always yields identical runs.
+
+    **Inbox-order contract.** The per-round inbox handed to ``on_round``
+    is *sorted by sender id* — this is part of the node API, not an
+    accident of the queue: :meth:`step` sorts each inbox explicitly, so
+    the internal order of ``_pending`` (outbox flush order) is
+    deliberately irrelevant and any permutation of it yields an
+    identical run (``tests/distributed/test_network.py::
+    TestInboxOrderContract``).  Protocols may therefore rely on
+    sender-sorted delivery; protocols that must *survive* arbitrary
+    arrival order are exercised on the async engine
+    (:class:`~repro.distributed.async_net.AsyncNetwork`), where inboxes
+    arrive in schedule order instead.
     """
 
     def __init__(

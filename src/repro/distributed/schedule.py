@@ -1,0 +1,219 @@
+"""Delivery schedules: the asynchronous adversary, seeded and bounded.
+
+An asynchronous execution is a synchronous one plus an adversary that
+chooses *when* each message arrives.  A :class:`Schedule` is that
+adversary, constrained two ways so runs stay analysable:
+
+* **bounded delay** — every message sent at virtual time ``s`` arrives
+  within ``(s + 1, s + 1 + bound]``; ``bound = 0`` is the synchronous
+  FIFO discipline.  The α-synchronizer (:mod:`.synchronizer`) still
+  delivers the message in its logical pulse — the delay moves its
+  *arrival order* (inbox position, per-node clock skew), never its
+  logical round, which is exactly the guarantee a synchronizer buys;
+* **seed determinism** — every choice is drawn from a stream derived
+  from ``(seed, spec)``, so any schedule is replayable from the pair
+  ``(seed, schedule_spec)`` alone (the golden/seeding contract of
+  ``docs/async.md``).
+
+Spec grammar (parsed by :func:`parse_schedule`)::
+
+    fifo                    zero delay, arrival order = send order
+    random:B                i.i.d. uniform delays in [0, B]
+    random:B:geom           geometric delays (p = 1/2), capped at B
+    latest:B                every message as late as possible (delay B),
+                            ties delivered in *reverse* send order — the
+                            maximal reordering adversary within the bound
+    starve:B[:F]            a seeded fraction F (default 0.5) of directed
+                            edges always delivers maximally late; the
+                            rest are FIFO — per-edge starvation within
+                            the bound
+
+Schedules assign each message a ``(delay, order)`` pair; the engine
+orders simultaneous arrivals by ``(arrival_time, order, seq)`` where
+``seq`` is the global send sequence number, so delivery is a total
+deterministic order.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ParameterError
+from ..rng import derive_seed
+
+__all__ = [
+    "FifoSchedule",
+    "LatestSchedule",
+    "RandomDelaySchedule",
+    "Schedule",
+    "StarvationSchedule",
+    "parse_schedule",
+]
+
+
+class Schedule:
+    """Base class: assigns each message a delay within the bound.
+
+    Attributes
+    ----------
+    spec:
+        The canonical spec string (round-trips through
+        :func:`parse_schedule`; recorded in telemetry and goldens).
+    bound:
+        The delay bound ``B`` — the largest extra virtual time the
+        adversary may add on top of the unit transit time.  ``0`` means
+        the schedule is FIFO and the engine's behaviour is bit-identical
+        to :class:`~repro.distributed.network.SyncNetwork`.
+    """
+
+    spec = "fifo"
+    bound = 0.0
+
+    def assign(
+        self, sender: int, receiver: int, pulse: int, seq: int
+    ) -> tuple[float, int]:
+        """``(delay, order)`` for one message, in global send order.
+
+        Called exactly once per message, in the engine's deterministic
+        flush order — stateful schedules (the random ones) consume their
+        stream in that order, which is what makes replay exact.
+        """
+        raise NotImplementedError
+
+
+class FifoSchedule(Schedule):
+    """Zero delay: arrival order equals send order (the synchronous case)."""
+
+    def assign(self, sender, receiver, pulse, seq):
+        return 0.0, seq
+
+
+class RandomDelaySchedule(Schedule):
+    """I.i.d. bounded delays from a seeded stream.
+
+    ``dist="uniform"`` draws from ``[0, bound]``; ``dist="geom"`` draws
+    a geometric number of half-unit hops (p = 1/2) capped at the bound —
+    most messages arrive nearly on time, a thin tail straggles.
+    """
+
+    def __init__(self, bound: float, dist: str, seed: int, spec: str) -> None:
+        if bound <= 0:
+            raise ParameterError(f"random schedule needs bound > 0, got {bound}")
+        if dist not in ("uniform", "geom"):
+            raise ParameterError(f"dist must be 'uniform' or 'geom', got {dist!r}")
+        self.bound = float(bound)
+        self.dist = dist
+        self.spec = spec
+        self._rng = random.Random(derive_seed(seed, "schedule", spec))
+
+    def assign(self, sender, receiver, pulse, seq):
+        if self.dist == "uniform":
+            delay = self._rng.random() * self.bound
+        else:
+            hops = 0
+            while hops < 2 * self.bound and self._rng.random() < 0.5:
+                hops += 1
+            delay = min(self.bound, 0.5 * hops)
+        return delay, seq
+
+
+class LatestSchedule(Schedule):
+    """Everything as late as the bound allows, ties in reverse send order.
+
+    The strongest reordering adversary available within a delay bound:
+    each pulse's inbox arrives back-to-front relative to the synchronous
+    order.  Deterministic without a seed (there is nothing to draw).
+    """
+
+    def __init__(self, bound: float, spec: str) -> None:
+        if bound <= 0:
+            raise ParameterError(f"latest schedule needs bound > 0, got {bound}")
+        self.bound = float(bound)
+        self.spec = spec
+
+    def assign(self, sender, receiver, pulse, seq):
+        return self.bound, -seq
+
+
+class StarvationSchedule(Schedule):
+    """A seeded set of directed edges is always maximally late.
+
+    Each directed edge flips one seeded coin (derived from
+    ``(seed, spec, sender, receiver)`` — stateless, so the starved set
+    is independent of traffic order): with probability ``fraction`` the
+    edge is *starved* and every message it carries arrives ``bound``
+    late; otherwise the edge is FIFO.  Models one persistently slow
+    link per-direction within the delay bound.
+    """
+
+    def __init__(self, bound: float, fraction: float, seed: int, spec: str) -> None:
+        if bound <= 0:
+            raise ParameterError(f"starve schedule needs bound > 0, got {bound}")
+        if not 0.0 < fraction <= 1.0:
+            raise ParameterError(f"starve fraction must be in (0, 1], got {fraction}")
+        self.bound = float(bound)
+        self.fraction = fraction
+        self.spec = spec
+        self._seed = seed
+        self._starved: dict[tuple[int, int], bool] = {}
+
+    def starved(self, sender: int, receiver: int) -> bool:
+        """Whether the directed edge ``sender -> receiver`` is starved."""
+        key = (sender, receiver)
+        cached = self._starved.get(key)
+        if cached is None:
+            roll = random.Random(
+                derive_seed(self._seed, "schedule", self.spec, sender, receiver)
+            ).random()
+            cached = self._starved[key] = roll < self.fraction
+        return cached
+
+    def assign(self, sender, receiver, pulse, seq):
+        if self.starved(sender, receiver):
+            return self.bound, seq
+        return 0.0, seq
+
+
+def _positive(token: str, spec: str) -> float:
+    try:
+        value = float(token)
+    except ValueError:
+        raise ParameterError(f"bad number {token!r} in schedule spec {spec!r}") from None
+    return value
+
+
+def parse_schedule(spec: "str | Schedule | None", seed: int) -> Schedule:
+    """Parse a schedule spec string (see the module grammar).
+
+    Passing an existing :class:`Schedule` returns it unchanged (callers
+    that build one programmatically); ``None`` means FIFO.  The pair
+    ``(seed, spec)`` fully determines the schedule's behaviour.
+    """
+    if spec is None:
+        return FifoSchedule()
+    if isinstance(spec, Schedule):
+        return spec
+    parts = spec.split(":")
+    kind = parts[0]
+    if kind == "fifo":
+        if len(parts) != 1:
+            raise ParameterError(f"fifo takes no arguments, got {spec!r}")
+        return FifoSchedule()
+    if kind == "random":
+        if len(parts) not in (2, 3):
+            raise ParameterError(f"expected random:<bound>[:<dist>], got {spec!r}")
+        dist = parts[2] if len(parts) == 3 else "uniform"
+        return RandomDelaySchedule(_positive(parts[1], spec), dist, seed, spec)
+    if kind == "latest":
+        if len(parts) != 2:
+            raise ParameterError(f"expected latest:<bound>, got {spec!r}")
+        return LatestSchedule(_positive(parts[1], spec), spec)
+    if kind == "starve":
+        if len(parts) not in (2, 3):
+            raise ParameterError(f"expected starve:<bound>[:<fraction>], got {spec!r}")
+        fraction = _positive(parts[2], spec) if len(parts) == 3 else 0.5
+        return StarvationSchedule(_positive(parts[1], spec), fraction, seed, spec)
+    raise ParameterError(
+        f"unknown schedule {spec!r} (try fifo, random:B[:dist], latest:B, "
+        f"starve:B[:frac])"
+    )

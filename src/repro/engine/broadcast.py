@@ -229,7 +229,17 @@ class ShiftedFlood:
     # ------------------------------------------------------------------
     def _deliver(self, outgoing: Sequence[Tuple[int, int, int]]):
         """Deliver last round's broadcasts; returns the updated vertices
-        (top-``k`` policy: a set) or the new frontier (full policy)."""
+        (top-``k`` policy: a set) or the new frontier (full policy).
+
+        Order-oblivious by construction: every streaming merge below is
+        a commutative max/min with a deterministic id tie-break, so any
+        permutation of ``outgoing`` leaves the decision arrays
+        (``best_*``, ``second_value``, ``min_*``, ``num_entries``)
+        identical (``tests/engine/test_broadcast_order.py``).  This is
+        the same property that lets the async engine deliver the
+        reference protocols' traffic in adversarial arrival order
+        without changing decompositions (``docs/async.md``).
+        """
         engine = self.engine
         if self._pending_count:
             engine.deliver(self._pending_count)

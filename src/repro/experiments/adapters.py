@@ -32,6 +32,7 @@ from ..graphs import (
 )
 from ..oracle import build_oracle, estimates_checksum, validate_sample
 from ..rng import stream
+from ..telemetry import Telemetry
 from .spec import TrialSpec
 
 __all__ = ["ALGORITHMS", "Adapter", "algorithm_names", "run_trial"]
@@ -428,6 +429,108 @@ def _adapt_shootout(graph: Graph, trial: TrialSpec) -> Record:
     return record
 
 
+#: Adversary counters the async engine annotates on its run span, lifted
+#: verbatim into robustness records (zero on fault-free FIFO runs).
+_ASYNC_COUNTER_KEYS = (
+    "delayed",
+    "reordered",
+    "dropped",
+    "redelivered",
+    "crashes",
+    "recoveries",
+    "max_skew",
+)
+
+
+def _adapt_robustness(graph: Graph, trial: TrialSpec) -> Record:
+    """Adversarial-execution leg: one protocol on ``backend="async"``.
+
+    Runs one of EN/LS/MPX on the α-synchronized asynchronous engine
+    under a ``delivery`` schedule and optional ``faults`` plan, next to
+    the synchronous reference on the *same* seed, and records whether
+    the decompositions agree (``matches_sync``) together with the
+    engine's adversary counters.  Fault-free runs must always match —
+    delay-only schedules exercise the order-obliviousness the
+    α-synchronizer guarantees — while faulted runs measure how far the
+    output drifts.  ``faults="none"`` is the explicit no-faults
+    sentinel so the parameter grids stay JSON-flat.  Records are pure
+    functions of the trial spec: the async engine is replay-
+    deterministic from ``(seed, delivery, faults)`` by contract
+    (``docs/async.md``), and the local telemetry object exists only to
+    read the deterministic counters off the run span.
+    """
+    params = trial.param_dict()
+    algo = params.get("algo", "en")
+    delivery = str(params.get("delivery", "fifo"))
+    faults = str(params.get("faults", "none"))
+    fault_arg = None if faults in ("", "none") else faults
+    tel = Telemetry()
+    if algo == "en":
+        kwargs = dict(
+            k=_default_k(graph, params),
+            c=params.get("c", 4.0),
+            seed=trial.seed,
+            mode=params.get("mode", "toptwo"),
+        )
+        run = decompose_distributed(
+            graph, backend="async", delivery=delivery, faults=fault_arg,
+            telemetry=tel, **kwargs,
+        )
+        ref = decompose_distributed(graph, **kwargs)
+        rounds, phases = run.total_rounds, run.phases
+    elif algo == "ls":
+        kwargs = dict(k=int(_default_k(graph, params)), seed=trial.seed)
+        run = distributed_ls.decompose_distributed(
+            graph, backend="async", delivery=delivery, faults=fault_arg,
+            telemetry=tel, **kwargs,
+        )
+        ref = distributed_ls.decompose_distributed(graph, **kwargs)
+        rounds, phases = run.total_rounds, run.phases
+    elif algo == "mpx":
+        kwargs = dict(
+            beta=params.get("beta", 0.3),
+            seed=trial.seed,
+            mode=params.get("mode", "topone"),
+        )
+        # The one-shot competition needs every vertex to decide, so
+        # robustness grids give MPX drop faults only (see the driver
+        # docstring); crash plans would trip the assignment assertion.
+        run = distributed_mpx.partition_distributed(
+            graph, backend="async", delivery=delivery, faults=fault_arg,
+            telemetry=tel, **kwargs,
+        )
+        ref = distributed_mpx.partition_distributed(graph, **kwargs)
+        rounds, phases = run.rounds, 1
+    else:
+        raise ParameterError(
+            f"robustness algo must be 'en', 'ls' or 'mpx', got {algo!r}"
+        )
+    attrs = next(s for s in tel.spans if s["depth"] == 0)["attrs"]
+    decomposition = run.decomposition
+    record: Record = {
+        "n": graph.num_vertices,
+        "m": graph.num_edges,
+        "algo": algo,
+        "delivery": delivery,
+        "faults": faults,
+        "rounds": rounds,
+        "phases": phases,
+        "colors": decomposition.num_colors,
+        "clusters": decomposition.num_clusters,
+        "disconnected": sum(
+            1 for d in decomposition.strong_diameters() if math.isinf(d)
+        ),
+        "checksum": _cluster_checksum(decomposition),
+        "matches_sync": (
+            decomposition.cluster_index_map()
+            == ref.decomposition.cluster_index_map()
+        ),
+    }
+    for key in _ASYNC_COUNTER_KEYS:
+        record[key] = attrs.get(key, 0)
+    return record
+
+
 #: Algorithm name → adapter.  Registering here exposes the algorithm to
 #: every scenario and to ``python -m repro bench``.
 ALGORITHMS: Dict[str, Adapter] = {
@@ -442,6 +545,7 @@ ALGORITHMS: Dict[str, Adapter] = {
     "engine": _adapt_engine,
     "oracle": _adapt_oracle,
     "shootout": _adapt_shootout,
+    "robustness": _adapt_robustness,
 }
 
 

@@ -222,6 +222,44 @@ CAMPAIGNS: Dict[str, Campaign] = {
             CampaignMember(name="strong-vs-weak", scenario="strong-vs-weak"),
         ),
     ),
+    "robustness": Campaign(
+        description="Adversarial-execution sweep on the async engine: "
+        "every protocol under every delivery schedule (fault-free legs "
+        "must match the sync reference bit-for-bit), plus an EN fault "
+        "grid measuring drift under seeded drops and crash windows",
+        members=(
+            CampaignMember(
+                name="schedules",
+                algorithm="robustness",
+                points=grid_points(
+                    ("gnp_fast:96:0.05",),
+                    algo=("en", "ls", "mpx"),
+                    delivery=("fifo", "latest:3", "random:4", "starve:3:0.5"),
+                    k=4,
+                    beta=0.3,
+                ),
+                trials=2,
+            ),
+            CampaignMember(
+                name="faults",
+                algorithm="robustness",
+                points=grid_points(
+                    ("gnp_fast:96:0.05",),
+                    algo="en",
+                    k=4,
+                    delivery="random:2",
+                    faults=(
+                        "drop:0.05",
+                        "drop:0.15",
+                        "crash:3@2-6",
+                        "crash:3@2-6;crash:17@5-11;redeliver",
+                        "drop:0.03;crash:5@3-9",
+                    ),
+                ),
+                trials=2,
+            ),
+        ),
+    ),
     "campaign-smoke": Campaign(
         description="Tiny end-to-end campaign (scenario member + shootout "
         "grid member) for CI and the checkpoint/resume tests",

@@ -231,6 +231,34 @@ SCENARIOS: Dict[str, Scenario] = {
         ),
         trials=2,
     ),
+    "robustness": Scenario(
+        description="Adversarial execution: distributed EN on the async "
+        "engine under delay schedules and seeded fault plans, with a "
+        "sync-reference match bit (fault-free legs must match; faulted "
+        "legs measure drift — see docs/async.md)",
+        algorithm="robustness",
+        points=(
+            _P("er:64:0.0625", algo="en", k=4, delivery="fifo"),
+            _P("er:64:0.0625", algo="en", k=4, delivery="latest:3"),
+            _P("er:64:0.0625", algo="en", k=4, delivery="random:4"),
+            _P("er:64:0.0625", algo="en", k=4, delivery="starve:3:0.5"),
+            _P(
+                "er:64:0.0625",
+                algo="en",
+                k=4,
+                delivery="random:2",
+                faults="drop:0.05",
+            ),
+            _P(
+                "er:64:0.0625",
+                algo="en",
+                k=4,
+                delivery="fifo",
+                faults="crash:5@2-9;crash:11@4-7;redeliver",
+            ),
+        ),
+        trials=3,
+    ),
     "smoke": Scenario(
         description="Tiny end-to-end exercise of the runtime (CI smoke test)",
         algorithm="en",

@@ -55,6 +55,8 @@ class RoundStream:
         "_frontier",
         "_halts",
         "_flushed_round",
+        "_extra_names",
+        "_extras",
     )
 
     def __init__(self, telemetry: "Telemetry", stream: str, attrs: dict) -> None:
@@ -68,10 +70,28 @@ class RoundStream:
         self._frontier = 0
         self._halts = 0
         self._flushed_round = -1
+        self._extra_names: tuple = ()
+        self._extras: dict = {}
 
     # ------------------------------------------------------------------
     # Engine hooks
     # ------------------------------------------------------------------
+    def enable_extras(self, *names: str) -> None:
+        """Extend the per-round schema with engine-specific columns.
+
+        The async engine adds its adversary counters (``delayed`` /
+        ``dropped`` / ``reordered``) this way — but only on runs where a
+        non-FIFO schedule or fault plan is active, so FIFO fault-free
+        async streams stay row-identical to the sync engine's (the
+        bit-identity contract strips only the ``backend`` attribute).
+        """
+        self._extra_names = names
+        self._extras = dict.fromkeys(names, 0)
+
+    def note_extras(self, **counts: int) -> None:
+        """Accumulate extra-column values for the current round."""
+        for name, value in counts.items():
+            self._extras[name] = self._extras.get(name, 0) + value
     def note_frontier(self, senders: int) -> None:
         """Record ``senders`` distinct sending vertices this round."""
         self._frontier += senders
@@ -92,14 +112,18 @@ class RoundStream:
         words = stats.words_sent - self._prev_words
         delivered = stats.messages_delivered - self._prev_delivered
         frontier, halts = self._frontier, self._halts
+        extras = dict(self._extras)
         self._prev_messages = stats.messages_sent
         self._prev_words = stats.words_sent
         self._prev_delivered = stats.messages_delivered
         self._frontier = 0
         self._halts = 0
+        if self._extra_names:
+            self._extras = dict.fromkeys(self._extra_names, 0)
         self._flushed_round = round_number
         if round_number == 0 and not (
             messages or words or delivered or frontier or halts
+            or any(extras.values())
         ):
             # The sync engine's on_start flush when nothing was sent —
             # the batch engine has no round 0 at all.
@@ -116,6 +140,8 @@ class RoundStream:
             "delivered": delivered,
             "halts": halts,
         }
+        if self._extra_names:
+            record.update(extras)
         # Records land in both the per-stream view (used by the
         # cross-backend equality checks) and the shared collector; both
         # respect the telemetry object's bound.

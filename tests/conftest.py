@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.distributed.async_net import _REGISTRY, live_networks
 from repro.graphs import (
     Graph,
     balanced_tree,
@@ -17,6 +18,28 @@ from repro.graphs import (
     random_regular,
     star_graph,
 )
+
+
+@pytest.fixture(autouse=True)
+def _async_network_leak_guard():
+    """Fail any test that abandons an async engine mid-flight.
+
+    An :class:`~repro.distributed.async_net.AsyncNetwork` left with
+    undelivered messages (scheduled events or redelivery buffers) while
+    some node is still live is a flakiness hazard: the test passed
+    without the protocol actually finishing.  Run the network to
+    quiescence, or call ``close()`` on a deliberately-abandoned one.
+    """
+    _REGISTRY.clear()
+    yield
+    leaked = [net for net in live_networks() if net.leaked]
+    _REGISTRY.clear()
+    assert not leaked, (
+        f"{len(leaked)} AsyncNetwork(s) abandoned with "
+        f"{sum(net.messages_in_flight for net in leaked)} undelivered "
+        "message(s): run to quiescence or close() deliberately-abandoned "
+        "networks"
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,359 @@
+"""Unit tests for the asynchronous engine: schedules, faults, parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import (
+    AsyncNetwork,
+    Context,
+    CrashWindow,
+    FaultPlan,
+    NodeAlgorithm,
+    Schedule,
+    SyncNetwork,
+    parse_schedule,
+)
+from repro.distributed.schedule import (
+    FifoSchedule,
+    LatestSchedule,
+    RandomDelaySchedule,
+    StarvationSchedule,
+)
+from repro.errors import CongestViolation, ParameterError
+from repro.graphs import complete_graph, cycle_graph, path_graph
+
+
+class Echo(NodeAlgorithm):
+    """Sends its id to all neighbours once, records everything received."""
+
+    def __init__(self) -> None:
+        self.received: list[tuple[int, object]] = []
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast(("id", ctx.node_id))
+
+    def on_round(self, ctx: Context, inbox) -> None:
+        for message in inbox:
+            self.received.append((message.sender, message.payload))
+
+
+class Ticker(NodeAlgorithm):
+    """Broadcasts every round; records per-round inboxes and round ids."""
+
+    def __init__(self) -> None:
+        self.rounds_seen: list[int] = []
+        self.inboxes: list[list[int]] = []
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast(("tick", 0))
+
+    def on_round(self, ctx: Context, inbox) -> None:
+        self.rounds_seen.append(ctx.round_number)
+        self.inboxes.append([message.sender for message in inbox])
+        ctx.broadcast(("tick", ctx.round_number))
+
+
+# ---------------------------------------------------------------------------
+# Schedule parsing + semantics
+# ---------------------------------------------------------------------------
+class TestScheduleParsing:
+    def test_fifo_default_and_none(self):
+        assert isinstance(parse_schedule("fifo", 1), FifoSchedule)
+        assert isinstance(parse_schedule(None, 1), FifoSchedule)
+        assert parse_schedule("fifo", 1).bound == 0.0
+
+    def test_existing_schedule_passes_through(self):
+        schedule = LatestSchedule(2.0, "latest:2")
+        assert parse_schedule(schedule, 7) is schedule
+
+    def test_spec_roundtrip(self):
+        for spec, cls in (
+            ("random:3", RandomDelaySchedule),
+            ("random:2:geom", RandomDelaySchedule),
+            ("latest:4", LatestSchedule),
+            ("starve:2", StarvationSchedule),
+            ("starve:3:0.25", StarvationSchedule),
+        ):
+            schedule = parse_schedule(spec, 1)
+            assert isinstance(schedule, cls)
+            assert schedule.spec == spec
+            assert schedule.bound > 0
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "fifo:1",
+            "random",
+            "random:0",
+            "random:2:weird",
+            "random:x",
+            "latest",
+            "latest:0",
+            "starve:0",
+            "starve:2:0",
+            "starve:2:1.5",
+            "warp:3",
+        ],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ParameterError):
+            parse_schedule(spec, 1)
+
+    def test_random_delays_bounded_and_seeded(self):
+        a = parse_schedule("random:3", 42)
+        b = parse_schedule("random:3", 42)
+        delays_a = [a.assign(0, 1, 1, i)[0] for i in range(50)]
+        delays_b = [b.assign(0, 1, 1, i)[0] for i in range(50)]
+        assert delays_a == delays_b  # same (seed, spec) -> same stream
+        assert all(0.0 <= d <= 3.0 for d in delays_a)
+        assert parse_schedule("random:3", 43).assign(0, 1, 1, 0) != a.assign(
+            0, 1, 1, 50
+        )
+
+    def test_geom_delays_half_unit_hops(self):
+        schedule = parse_schedule("random:2:geom", 5)
+        delays = {schedule.assign(0, 1, 1, i)[0] for i in range(200)}
+        assert delays <= {0.0, 0.5, 1.0, 1.5, 2.0}
+        assert 0.0 in delays  # p=1/2: most messages are on time
+
+    def test_latest_reverses_tie_order(self):
+        schedule = parse_schedule("latest:2", 1)
+        assert schedule.assign(0, 1, 1, 10) == (2.0, -10)
+        assert schedule.assign(5, 1, 1, 11) == (2.0, -11)
+
+    def test_starvation_is_stateless_per_edge(self):
+        a = parse_schedule("starve:2:0.5", 9)
+        b = parse_schedule("starve:2:0.5", 9)
+        edges = [(u, v) for u in range(8) for v in range(8) if u != v]
+        assert [a.starved(u, v) for u, v in edges] == [
+            b.starved(u, v) for u, v in edges
+        ]
+        kinds = {a.starved(u, v) for u, v in edges}
+        assert kinds == {True, False}  # both behaviours present at 0.5
+
+    def test_starvation_full_fraction_delays_everything(self):
+        schedule = parse_schedule("starve:2:1.0", 3)
+        assert all(
+            schedule.assign(u, v, 1, 0)[0] == 2.0
+            for u in range(4)
+            for v in range(4)
+            if u != v
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fault-plan parsing + semantics
+# ---------------------------------------------------------------------------
+class TestFaultParsing:
+    def test_fault_free_sentinels(self):
+        assert FaultPlan.parse(None) is None
+        assert FaultPlan.parse("") is None
+        assert FaultPlan.parse("none") is None
+
+    def test_full_grammar(self):
+        plan = FaultPlan.parse("crash:3@2-6,5@4-;drop:0.1;redeliver")
+        assert plan.windows == (
+            CrashWindow(node=3, start=2, end=6),
+            CrashWindow(node=5, start=4, end=None),
+        )
+        assert plan.drop_rate == 0.1
+        assert plan.redeliver
+        assert plan.crashed(3, 2) and plan.crashed(3, 5)
+        assert not plan.crashed(3, 6) and not plan.crashed(3, 1)
+        assert plan.crashed(5, 1000)  # no recovery
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "crash:3",
+            "crash:3@x-2",
+            "crash:3@0-2",  # windows start at pulse 1
+            "crash:3@4-4",  # empty window
+            "drop:nope",
+            "drop:1.0",
+            "explode:3",
+        ],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ParameterError):
+            FaultPlan.parse(spec)
+
+    def test_drop_stream_replayable(self):
+        rolls = []
+        for _ in range(2):
+            plan = FaultPlan.parse("drop:0.3")
+            plan.reset(17)
+            rolls.append([plan.drops(0, 1, p) for p in range(200)])
+        assert rolls[0] == rolls[1]
+        assert any(rolls[0]) and not all(rolls[0])
+
+    def test_crash_window_must_name_existing_node(self):
+        with pytest.raises(ParameterError, match="graph has n=3"):
+            AsyncNetwork(path_graph(3), lambda v: Echo(), faults="crash:7@1-2")
+
+
+# ---------------------------------------------------------------------------
+# Crash / recovery / redelivery semantics
+# ---------------------------------------------------------------------------
+class TestCrashSemantics:
+    def test_crashed_node_misses_rounds_but_keeps_state(self):
+        net = AsyncNetwork(path_graph(3), lambda v: Ticker(), faults="crash:1@2-4")
+        net.run_rounds(6)
+        # Node 1 is down for pulses 2 and 3: no on_round, no sends.
+        assert net.algorithm(1).rounds_seen == [1, 4, 5, 6]
+        assert net.algorithm(0).rounds_seen == [1, 2, 3, 4, 5, 6]
+        # Node 0's only neighbour is 1; silence at pulses 3-4 (nothing was
+        # sent at pulses 2-3), traffic resumes at pulse 5.
+        assert net.algorithm(0).inboxes == [[1], [1], [], [], [1], [1]]
+        assert net.async_stats.crashes == 1
+        assert net.async_stats.recoveries == 1
+        # Messages addressed to the crashed node are dropped: 2 senders x
+        # 2 crashed pulses.
+        assert net.async_stats.dropped == 4
+        kinds = [event["kind"] for event in net.fault_plan.log]
+        assert kinds == ["crash", "crash-drop", "crash-drop", "crash-drop",
+                        "crash-drop", "recover"]
+        net.close()  # Tickers never halt; deliberate abandonment
+
+    def test_redelivery_leads_first_recovered_inbox(self):
+        net = AsyncNetwork(
+            path_graph(3), lambda v: Ticker(), faults="crash:1@2-4;redeliver"
+        )
+        net.run_rounds(6)
+        ticker = net.algorithm(1)
+        assert ticker.rounds_seen == [1, 4, 5, 6]
+        # Pulse 4's inbox: the 4 buffered messages (send order) lead, then
+        # the regular pulse-4 arrivals.
+        assert ticker.inboxes[1] == [0, 2, 0, 2, 0, 2]
+        assert net.async_stats.redelivered == 4
+        assert net.async_stats.dropped == 0
+        net.close()
+
+    def test_crashes_are_not_halts(self):
+        net = AsyncNetwork(path_graph(3), lambda v: Ticker(), faults="crash:1@2-")
+        net.run_rounds(3)
+        assert net.crashed(1)
+        assert not net.halted(1)
+        assert not net.all_halted
+        net.close()
+
+    def test_permanent_crash_with_redelivery_strands_buffer(self):
+        net = AsyncNetwork(
+            path_graph(3), lambda v: Ticker(), faults="crash:1@2-;redeliver"
+        )
+        net.run_rounds(4)
+        assert net.messages_in_flight > 0  # parked in the redelivery buffer
+        assert net.leaked
+        net.close()
+        assert not net.leaked
+
+    def test_halted_node_cannot_crash(self):
+        class HaltAtOnce(NodeAlgorithm):
+            def on_round(self, ctx: Context, inbox) -> None:
+                ctx.halt()
+
+        net = AsyncNetwork(
+            path_graph(2), lambda v: HaltAtOnce(), faults="crash:0@2-4"
+        )
+        net.run_rounds(4)
+        assert net.all_halted
+        assert net.async_stats.crashes == 0
+
+
+# ---------------------------------------------------------------------------
+# Sync parity on the degenerate schedule
+# ---------------------------------------------------------------------------
+class TestSyncParity:
+    def test_fifo_echo_bit_identical(self):
+        sync_net = SyncNetwork(complete_graph(5), lambda v: Echo(), seed=3)
+        async_net = AsyncNetwork(complete_graph(5), lambda v: Echo(), seed=3)
+        sync_net.run_rounds(2)
+        async_net.run_rounds(2)
+        assert sync_net.stats == async_net.stats
+        for v in range(5):
+            assert sync_net.algorithm(v).received == async_net.algorithm(v).received
+
+    def test_congest_violation_message_identical(self):
+        class Chatter(NodeAlgorithm):
+            def on_start(self, ctx: Context) -> None:
+                for _ in range(5):
+                    ctx.broadcast(("x", 1, 2, 3))
+
+        errors = []
+        for engine in (SyncNetwork, AsyncNetwork):
+            with pytest.raises(CongestViolation) as info:
+                engine(path_graph(2), lambda v: Chatter(), word_budget=8).start()
+            errors.append(str(info.value))
+        assert errors[0] == errors[1]
+
+    def test_messages_to_halted_dropped_like_sync(self):
+        class HaltFirst(NodeAlgorithm):
+            def __init__(self, vertex: int) -> None:
+                self.vertex = vertex
+                self.got = 0
+
+            def on_round(self, ctx: Context, inbox) -> None:
+                self.got += len(inbox)
+                if ctx.round_number == 1 and self.vertex == 0:
+                    ctx.halt()
+                elif ctx.round_number == 1:
+                    ctx.broadcast("late")
+
+        net = AsyncNetwork(path_graph(2), lambda v: HaltFirst(v))
+        net.run_rounds(3)
+        assert net.algorithm(0).got == 0
+        assert net.stats.messages_sent == 1
+        assert net.stats.messages_delivered == 0
+        assert net.messages_in_flight == 0
+
+    def test_latest_schedule_reverses_inbox_order(self):
+        net = AsyncNetwork(complete_graph(4), lambda v: Echo(), delivery="latest:2")
+        net.run_rounds(1)
+        # Sync order would be senders 1, 2, 3; the maximal adversary
+        # delivers back-to-front.
+        assert [s for s, _ in net.algorithm(0).received] == [3, 2, 1]
+        assert net.async_stats.reordered > 0
+        assert net.async_stats.delayed == 12
+
+    def test_dropped_messages_counted_sent_never_delivered(self):
+        net = AsyncNetwork(
+            cycle_graph(6), lambda v: Echo(), seed=2, faults="drop:0.5"
+        )
+        net.run_rounds(1)
+        assert net.stats.messages_sent == 12
+        assert net.async_stats.dropped > 0
+        assert (
+            net.stats.messages_delivered
+            == net.stats.messages_sent - net.async_stats.dropped
+        )
+
+
+# ---------------------------------------------------------------------------
+# Leak guard plumbing
+# ---------------------------------------------------------------------------
+class TestLeakGuard:
+    def test_quiescent_network_not_leaked(self):
+        net = AsyncNetwork(path_graph(4), lambda v: Echo())
+        net.run_until_quiet()
+        assert net.messages_in_flight == 0
+        assert not net.leaked
+
+    def test_abandoned_network_is_leaked_until_closed(self):
+        net = AsyncNetwork(path_graph(4), lambda v: Ticker())
+        net.run_rounds(2)  # Tickers rebroadcast forever: events queued
+        assert net.messages_in_flight > 0
+        assert net.leaked
+        net.close()
+        assert not net.leaked
+
+    def test_run_until_quiet_ignores_stranded_redelivery(self):
+        # The heap drains (the crashed node's neighbours fall silent once
+        # nothing echoes back), while the redelivery buffer never can: the
+        # loop must terminate rather than spin on messages_in_flight.
+        net = AsyncNetwork(
+            path_graph(3), lambda v: Echo(), faults="crash:1@1-;redeliver"
+        )
+        net.run_until_quiet(max_rounds=50)
+        assert net.messages_in_flight > 0  # the stranded buffer
+        net.close()

@@ -1,0 +1,102 @@
+"""Golden adversarial executions: three canonical crash plans, pinned.
+
+``tests/data/golden_async.json`` freezes complete observable outcomes —
+decomposition checksum and cluster map, phase/round structure,
+``NetworkStats``, adversary counters — of distributed EN runs on the
+async engine under three canonical fault plans:
+
+* ``crash-before-send`` — the node goes down at pulse 1, before its
+  first broadcast round (its ``on_start`` traffic is already in flight);
+* ``crash-mid-phase``   — the node drops out mid-phase and returns
+  within the same run, its phase clock lagging the network;
+* ``crash-recover-redeliver`` — a long outage under random delays with
+  buffered redelivery at recovery.
+
+Any engine change that shifts scheduling, fault application order, or
+stream derivation shows up here as a diff against the goldens.  If the
+change is *intentional*, regenerate by re-running the recipe below and
+committing the result::
+
+    fixtures are produced by decompose_distributed(graph, k, seed,
+    backend="async", delivery=..., faults=...) on
+    parse_graph_spec(payload["graph"], seed=payload["graph_seed"])
+    with the span-annotated async counters — see this test's loader
+    for the exact field set.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.distributed_en import decompose_distributed
+from repro.experiments.adapters import _cluster_checksum
+from repro.graphs import parse_graph_spec
+from repro.telemetry import Telemetry
+
+GOLDEN_PATH = pathlib.Path(__file__).parent.parent / "data" / "golden_async.json"
+
+
+def _load():
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf8"))
+
+
+PAYLOAD = _load()
+
+
+@pytest.fixture(scope="module")
+def golden_graph():
+    return parse_graph_spec(PAYLOAD["graph"], seed=PAYLOAD["graph_seed"])
+
+
+@pytest.mark.parametrize(
+    "plan", PAYLOAD["plans"], ids=[plan["name"] for plan in PAYLOAD["plans"]]
+)
+def test_golden_fault_plan_pinned(plan, golden_graph):
+    telemetry = Telemetry()
+    result = decompose_distributed(
+        golden_graph,
+        k=PAYLOAD["k"],
+        seed=PAYLOAD["seed"],
+        backend="async",
+        delivery=plan["delivery"],
+        faults=plan["faults"],
+        telemetry=telemetry,
+    )
+    decomposition = result.decomposition
+    assert _cluster_checksum(decomposition) == plan["checksum"]
+    assert decomposition.num_colors == plan["colors"]
+    assert decomposition.num_clusters == plan["clusters"]
+    assert result.phases == plan["phases"]
+    assert result.rounds_per_phase == plan["rounds_per_phase"]
+    stats = result.stats
+    for field, expected in plan["stats"].items():
+        assert getattr(stats, field) == expected, field
+    attrs = next(
+        span for span in telemetry.spans if span["name"] == "en.decompose"
+    )["attrs"]
+    for counter, expected in plan["async"].items():
+        assert attrs[counter] == expected, counter
+    assert {
+        str(v): c for v, c in decomposition.cluster_index_map().items()
+    } == plan["cluster_index_map"]
+
+
+def test_goldens_cover_the_three_canonical_plans():
+    names = [plan["name"] for plan in PAYLOAD["plans"]]
+    assert names == [
+        "crash-before-send",
+        "crash-mid-phase",
+        "crash-recover-redeliver",
+    ]
+    # Each plan exercises a distinct failure shape: all crash + recover,
+    # and the redelivery leg actually redelivers under real delays.
+    assert all(plan["async"]["crashes"] == 1 for plan in PAYLOAD["plans"])
+    assert all(plan["async"]["recoveries"] == 1 for plan in PAYLOAD["plans"])
+    redeliver = PAYLOAD["plans"][2]["async"]
+    assert redeliver["redelivered"] > 0
+    assert redeliver["delayed"] > 0
+    drops = [plan["async"]["dropped"] for plan in PAYLOAD["plans"]]
+    assert drops[0] > 0 and drops[1] > 0 and drops[2] == 0

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.distributed import Context, Message, NodeAlgorithm, SyncNetwork
 from repro.errors import CongestViolation, SimulationError
-from repro.graphs import Graph, complete_graph, cycle_graph, path_graph
+from repro.graphs import Graph, complete_graph, cycle_graph, erdos_renyi, path_graph
 
 
 class Echo(NodeAlgorithm):
@@ -200,6 +202,70 @@ class TestRunUntilQuiet:
         net = SyncNetwork(path_graph(2), lambda v: Forever())
         with pytest.raises(SimulationError, match="not quiet"):
             net.run_until_quiet(max_rounds=10)
+
+
+class ShufflingNetwork(SyncNetwork):
+    """SyncNetwork with its pending queue shuffled before every round.
+
+    The engine's inbox-order contract (``network.py`` docstring) says
+    per-round inboxes are sorted by sender, making the internal order of
+    ``_pending`` irrelevant — this subclass is the property test's
+    adversary for that claim.
+    """
+
+    def __init__(self, *args, shuffle_seed: int = 0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._shuffle_rng = random.Random(shuffle_seed)
+
+    def step(self) -> None:
+        self._shuffle_rng.shuffle(self._pending)
+        super().step()
+
+
+class TestInboxOrderContract:
+    """Shuffle-then-sort: pending-queue order never leaks into a run."""
+
+    def test_inbox_sorted_despite_shuffled_queue(self):
+        net = ShufflingNetwork(complete_graph(6), lambda v: Echo(), shuffle_seed=99)
+        net.run_rounds(1)
+        for v in range(6):
+            senders = [s for s, _ in net.algorithm(v).received]
+            assert senders == sorted(s for s in range(6) if s != v)
+
+    @pytest.mark.parametrize("shuffle_seed", [1, 2, 3])
+    def test_shuffled_flood_identical_to_reference(self, shuffle_seed):
+        g = erdos_renyi(24, 0.15, seed=4)
+        reference = SyncNetwork(g, lambda v: Flooder())
+        shuffled = ShufflingNetwork(
+            g, lambda v: Flooder(), shuffle_seed=shuffle_seed
+        )
+        reference.run_rounds(8)
+        shuffled.run_rounds(8)
+        assert reference.stats == shuffled.stats
+        for v in range(24):
+            assert reference.algorithm(v).heard_at == shuffled.algorithm(v).heard_at
+
+    @pytest.mark.parametrize("shuffle_seed", [5, 17])
+    def test_shuffled_en_phase_identical_joins(self, shuffle_seed):
+        from repro.core.distributed_en import ENNodeAlgorithm
+
+        g = erdos_renyi(24, 0.15, seed=4)
+
+        def one_phase(network_cls, **kwargs):
+            algorithms = [ENNodeAlgorithm(v, 3, "toptwo") for v in range(24)]
+            net = network_cls(g, algorithms, seed=3, **kwargs)
+            net.start()
+            for algorithm in algorithms:
+                algorithm.begin_phase(1, 0.5, 4)
+            net.run_rounds(6)
+            return (
+                {v: a.center for v, a in enumerate(algorithms) if a.joined_phase == 1},
+                net.stats,
+            )
+
+        assert one_phase(SyncNetwork) == one_phase(
+            ShufflingNetwork, shuffle_seed=shuffle_seed
+        )
 
 
 class TestContext:

@@ -1,0 +1,94 @@
+"""Permutation-invariance of the columnar broadcast merge.
+
+``ShiftedFlood._deliver`` promises (its docstring) that its streaming
+merges are commutative — any permutation of one round's broadcast
+records leaves the decision arrays identical.  That property is what
+the asynchronous engine's adversarial schedules lean on, so it gets a
+direct property test here rather than only an end-to-end one.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.broadcast import LiveTopology, ShiftedFlood
+from repro.engine.core import BatchEngine
+from repro.graphs import erdos_renyi
+from repro.rng import stream
+
+
+def _decision_state(flood: ShiftedFlood):
+    return (
+        list(flood.best_value),
+        list(flood.best_origin),
+        list(flood.second_value),
+        list(flood.num_entries),
+        list(flood.min_origin),
+        list(flood.min_shifted),
+        dict(flood.entries),
+    )
+
+
+def _fresh_flood(graph, policy):
+    rng = stream(42, "broadcast-order", policy if policy == "full" else policy)
+    values = {v: 1.0 + 3.0 * rng.random() for v in range(graph.num_vertices)}
+    caps = {v: int(values[v]) for v in values}
+    engine = BatchEngine(graph)
+    flood = ShiftedFlood(engine, LiveTopology(graph), values, caps, policy)
+    return flood
+
+
+@pytest.mark.parametrize("policy", ["full", 1, 2])
+@pytest.mark.parametrize("permutation_seed", [1, 2, 3])
+def test_deliver_is_permutation_invariant(policy, permutation_seed):
+    graph = erdos_renyi(30, 0.2, seed=6)
+    # One realistic round of traffic: every vertex broadcasts its own
+    # value at distance 0 (the epoch's round-1 sends).
+    outgoing = [(v, v, 0) for v in range(graph.num_vertices)]
+    shuffled = list(outgoing)
+    random.Random(permutation_seed).shuffle(shuffled)
+
+    reference = _fresh_flood(graph, policy)
+    reference._pending_count = 0
+    reference_updated = reference._deliver(outgoing)
+
+    permuted = _fresh_flood(graph, policy)
+    permuted._pending_count = 0
+    permuted_updated = permuted._deliver(shuffled)
+
+    assert _decision_state(reference) == _decision_state(permuted)
+    if policy == "full":
+        # The frontier is an ordered record list; only its *content* is
+        # order-defined.
+        assert sorted(reference_updated) == sorted(permuted_updated)
+    else:
+        assert reference_updated == permuted_updated  # a set
+
+
+@pytest.mark.parametrize("policy", ["full", 2])
+def test_two_round_epoch_state_permutation_invariant(policy):
+    """Permute the *second* round's records too — distances now vary."""
+    graph = erdos_renyi(30, 0.2, seed=6)
+    round_one = [(v, v, 0) for v in range(graph.num_vertices)]
+
+    def run(perm_seed):
+        flood = _fresh_flood(graph, policy)
+        flood._pending_count = 0
+        flood._deliver(round_one)
+        # Second-round traffic: forward every eligible entry (superset of
+        # what either policy would send — a harder permutation test).
+        n = graph.num_vertices
+        second = [
+            (v, key % n, dist)
+            for key, dist in sorted(flood.entries.items())
+            for v in [key // n]
+            if dist + 1 <= flood.caps[key % n]
+        ]
+        if perm_seed:
+            random.Random(perm_seed).shuffle(second)
+        flood._deliver(second)
+        return _decision_state(flood)
+
+    assert run(0) == run(9) == run(23)
