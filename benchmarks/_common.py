@@ -29,7 +29,7 @@ from repro.experiments import (
     environment_block,
     run_experiment,
 )
-from repro.telemetry import maybe_span, resolve
+from repro.telemetry import maybe_span, resolve, usage_block
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -89,7 +89,10 @@ def emit(title: str, records: Sequence[Mapping[str, object]], filename: str) -> 
         "benchmark": stem,
         "title": title,
         "rows": strip_private(records),
-        "environment": environment_block(),
+        # Peak RSS / CPU time ride in the environment block so `repro
+        # campaign compare` band-checks memory alongside the metrics
+        # (it ignores "resources" for the environments-match test).
+        "environment": {**environment_block(), "resources": usage_block()},
     }
     telemetry = resolve(None)
     if telemetry is not None:

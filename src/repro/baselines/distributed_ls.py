@@ -249,6 +249,7 @@ def decompose_distributed(
     if backend == "async":
         span_attrs["delivery"] = delivery
         span_attrs["faults"] = faults or "none"
+    phase_hist = tel.histogram("ls.phase_seconds") if tel is not None else None
     with maybe_span(tel, "ls.decompose", **span_attrs) as run_span:
         while active:
             phase += 1
@@ -263,6 +264,8 @@ def decompose_distributed(
                 if phase_span is not None:
                     phase_span.annotate(budget=budget)
                     phase_span.add("joined", len(joined))
+            if phase_span is not None:
+                phase_hist.record(phase_span.seconds)
             rounds_per_phase.append(budget + 2)
             by_center: dict[int, list[int]] = {}
             for v, center in joined.items():

@@ -205,6 +205,8 @@ def partition_distributed(
             async_stats = getattr(network, "async_stats", None) if backend == "async" else None
             if async_stats is not None:
                 run_span.annotate(**async_stats.as_dict())
+    if run_span is not None:
+        tel.histogram("mpx.partition_seconds").record(run_span.seconds)
     by_center: dict[int, list[int]] = {}
     for v, center in center_of.items():
         by_center.setdefault(center, []).append(v)

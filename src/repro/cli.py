@@ -26,9 +26,16 @@ Subcommands
 ``trace``
     Inspect telemetry traces recorded with ``--trace PATH`` (or
     ``REPRO_TELEMETRY=PATH``): ``summarize`` the span tree with
-    self/cumulative wall time, print the per-round convergence
-    ``timeline`` of a protocol run, or ``diff`` two traces' span
-    summaries.
+    self/cumulative wall time (``--sort self|cum|count`` reorders),
+    print the per-round convergence ``timeline`` of a protocol run,
+    ``diff`` two traces' span summaries, or ``export`` a trace as
+    Chrome trace-event JSON loadable in Perfetto
+    (``--format chrome|jsonl``).
+
+The global ``--profile HZ`` flag (or ``REPRO_PROFILE=HZ``) runs any
+command under the stdlib sampling profiler: the collapsed flame table
+(samples attributed to the open span path) is printed to stderr at
+exit and mirrored into the active trace file, if any.
 
 Graphs are described by compact specs: ``er:200:0.03``, ``grid:10:12``,
 ``path:50``, ``cycle:64``, ``tree:2:5``, ``hypercube:6``, ``conn:300:0.01``,
@@ -84,13 +91,19 @@ from .graphs import parse_graph_spec
 from .oracle import build_oracle, estimates_checksum, validate_sample
 from .rng import DEFAULT_SEED, stream
 from .telemetry import (
+    SamplingProfiler,
     Telemetry,
     configure,
+    configure_profile,
+    parse_profile_setting,
     parse_setting,
     read_trace,
+    reset_profile,
     resolve,
+    resolve_profile,
     shutdown,
 )
+from .telemetry.export import export_text
 from .telemetry.report import diff_summaries, round_timeline, summarize_spans
 
 __all__ = ["parse_graph_spec", "main"]
@@ -577,11 +590,25 @@ def _load_trace(path: str) -> list[dict]:
     return records
 
 
-def _format_summary_rows(rows: list[dict]) -> list[dict]:
-    """Flatten summarize_spans rows for the text table."""
+#: summarize --sort choices -> (summary-row key, descending).
+_SUMMARY_SORT_KEYS = {
+    "self": "self_seconds",
+    "cum": "seconds",
+    "count": "calls",
+}
+
+
+def _format_summary_rows(rows: list[dict], flat: bool = False) -> list[dict]:
+    """Flatten summarize_spans rows for the text table.
+
+    ``flat`` prints full span paths without tree indentation — used when
+    a ``--sort`` order breaks the parent-before-child layout the
+    indentation relies on.
+    """
     return [
         {
-            "span": ("  " * row["depth"]) + row["span"].rsplit("/", 1)[-1],
+            "span": row["span"] if flat
+            else ("  " * row["depth"]) + row["span"].rsplit("/", 1)[-1],
             "calls": row["calls"],
             "seconds": f"{row['seconds']:.4f}",
             "self": f"{row['self_seconds']:.4f}",
@@ -596,17 +623,52 @@ def _format_summary_rows(rows: list[dict]) -> list[dict]:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "export":
+        records = _load_trace(args.trace_file)
+        text = export_text(records, fmt=args.format)
+        if args.out:
+            path = pathlib.Path(args.out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text, encoding="utf8")
+            events = text.count("\n") if args.format == "jsonl" else len(
+                json.loads(text)["traceEvents"]
+            )
+            print(
+                f"wrote {events} trace event(s) ({args.format}) to {path}",
+                file=sys.stderr,
+            )
+        else:
+            sys.stdout.write(text)
+        return 0
     if args.trace_command == "summarize":
         records = _load_trace(args.trace_file)
         rows = summarize_spans(records)
+        if args.sort != "path":
+            rows = sorted(
+                rows, key=lambda row: -row[_SUMMARY_SORT_KEYS[args.sort]]
+            )
         rounds = round_timeline(records)
+        # The sink and the in-memory collectors are bounded; a trace that
+        # overflowed carries `truncated` markers — surface the drop count
+        # so a summary is never mistaken for the whole story.
+        dropped = sum(
+            int(record.get("dropped", 0))
+            for record in records
+            if record.get("kind") == "truncated"
+        )
+        title = (
+            f"span summary of {args.trace_file} "
+            f"({len(rows)} path(s), {len(rounds)} round record(s)"
+            + (f", {dropped} record(s) dropped" if dropped else "")
+            + ")"
+        )
         print(format_records(
-            _format_summary_rows(rows),
-            title=f"span summary of {args.trace_file} "
-            f"({len(rows)} path(s), {len(rounds)} round record(s))",
+            _format_summary_rows(rows, flat=args.sort != "path"),
+            title=title,
         ))
         payload = {"command": "trace summarize", "trace": args.trace_file,
-                   "spans": rows, "rounds": len(rounds)}
+                   "sort": args.sort, "spans": rows, "rounds": len(rounds),
+                   "dropped": dropped}
     elif args.trace_command == "timeline":
         records = _load_trace(args.trace_file)
         rows = round_timeline(records, stream=args.stream)
@@ -680,6 +742,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SETTING",
         help="telemetry: 'mem' collects in memory, a path writes a JSONL "
         "trace file, 'off' disables (overrides REPRO_TELEMETRY)",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="HZ",
+        help="sample the run's stacks at HZ (or 'on' for the default "
+        "rate); the span-attributed flame table prints to stderr and "
+        "lands in the trace file, if any (overrides REPRO_PROFILE)",
     )
     parser.set_defaults(seed_given=False)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -882,6 +952,13 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="span tree with calls, cumulative and self time"
     )
     tp.add_argument("trace_file", help="trace JSONL path")
+    tp.add_argument(
+        "--sort",
+        choices=("path", "self", "cum", "count"),
+        default="path",
+        help="row order: tree order (path, default), self time, "
+        "cumulative time, or call count",
+    )
     tp.add_argument("--json", default=None, metavar="PATH",
                     help="also write the summary rows as JSON to PATH")
     tp.set_defaults(func=_cmd_trace)
@@ -916,25 +993,74 @@ def build_parser() -> argparse.ArgumentParser:
     tp.add_argument("--json", default=None, metavar="PATH",
                     help="also write the diff rows as JSON to PATH")
     tp.set_defaults(func=_cmd_trace)
+
+    tp = tsub.add_parser(
+        "export", help="convert a trace to Chrome trace-event JSON (Perfetto)"
+    )
+    tp.add_argument("trace_file", help="trace JSONL path")
+    tp.add_argument(
+        "--format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="chrome: one trace-event JSON object (default); "
+        "jsonl: one trace event per line",
+    )
+    tp.add_argument("--out", default=None, metavar="PATH",
+                    help="write to PATH instead of stdout")
+    tp.set_defaults(func=_cmd_trace)
     return parser
+
+
+#: Flame-table rows printed to stderr after a profiled run.
+_PROFILE_STDERR_ROWS = 15
+
+
+def _report_profile(profiler: SamplingProfiler) -> None:
+    """Print the flame table to stderr; mirror it into the trace file."""
+    rows = profiler.flame_table()
+    shown = rows[:_PROFILE_STDERR_ROWS]
+    print(
+        format_records(
+            shown,
+            title=f"profile: {profiler.sample_count} sample(s) at "
+            f"{profiler.hz:g} Hz (top {len(shown)} of {len(rows)} frames)",
+        ),
+        file=sys.stderr,
+    )
+    tel = resolve(None)
+    if tel is not None and tel.sink is not None:
+        tel.sink.write(profiler.record())
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "trace", None):
-        configure(parse_setting(args.trace))
+    profiler = None
     try:
+        if getattr(args, "trace", None):
+            configure(parse_setting(args.trace))
+        if getattr(args, "profile", None):
+            configure_profile(parse_profile_setting(args.profile))
+        hz = resolve_profile()
+        if hz is not None:
+            # Bind to the ambient trace (if any) so samples carry the
+            # open span path; the sampler only reads, never records.
+            profiler = SamplingProfiler(hz, telemetry=resolve(None))
+            profiler.start()
         return args.func(args)
     except ParameterError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
+        if profiler is not None:
+            profiler.stop()
+            _report_profile(profiler)
         # Flush and close whatever trace was active (--trace flag or the
         # REPRO_TELEMETRY environment), so the JSONL file carries its
         # summary record even on error exits.
         shutdown()
+        reset_profile()
 
 
 if __name__ == "__main__":  # pragma: no cover

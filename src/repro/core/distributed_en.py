@@ -400,6 +400,7 @@ def decompose_distributed(
         # The replay key: (seed, delivery, faults) pins the adversary.
         span_attrs["delivery"] = delivery
         span_attrs["faults"] = faults or "none"
+    phase_hist = tel.histogram("en.phase_seconds") if tel is not None else None
     with maybe_span(tel, "en.decompose", **span_attrs) as run_span:
         while active:
             phase += 1
@@ -429,6 +430,8 @@ def decompose_distributed(
                 if phase_span is not None:
                     phase_span.annotate(budget=budget)
                     phase_span.add("joined", len(joined))
+            if phase_span is not None:
+                phase_hist.record(phase_span.seconds)
             rounds_per_phase.append(budget + 2)
             blocks.append(sorted(joined))
             centers.update(joined)

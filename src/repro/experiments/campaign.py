@@ -40,7 +40,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..errors import ParameterError
 from .cache import ResultCache
 from .checkpoint import CampaignJournal, JournalEntry, require_compatible_header
-from ..telemetry import maybe_span, resolve
+from ..telemetry import maybe_span, measure_span, resolve, usage_block
 from .env import environment_block
 from .registry import DEFAULT_ROOT_SEED, get_scenario
 from .runner import ExperimentResult, TrialResult, _execute_captured
@@ -511,7 +511,8 @@ def run_campaign(
 
             def serial():
                 for position, (_, trial) in tagged:
-                    with maybe_span(tel, "trial", key=trial.key()):
+                    with maybe_span(tel, "trial", key=trial.key()) as tspan, \
+                            measure_span(tspan):
                         record, error = _execute_captured(trial)
                     yield position, record, error
 
@@ -709,6 +710,10 @@ def campaign_payload(outcome: CampaignOutcome) -> dict:
     tel = resolve(None)
     if tel is not None:
         payload["telemetry"] = tel.block()
+        # Peak RSS / CPU ride along only on traced runs: untraced
+        # artifacts stay byte-identical to pre-telemetry ones (the
+        # resume-equivalence CI check `cmp`s them).
+        payload["resources"] = usage_block()
     return payload
 
 

@@ -29,10 +29,13 @@ Metric policy is inferred from the name:
 ``--tolerance NAME=FRAC`` overrides the relative tolerance per metric
 (glob patterns allowed).  The comparison is environment-aware: when the
 two artifacts' environment blocks differ (other than the git SHA, which
-legitimately differs across the PRs being compared), wall-clock-style
-regressions are downgraded to warnings — numbers measured on different
-interpreters or kernel backends are not comparable — while the
-deterministic contract is still enforced.
+legitimately differs across the PRs being compared, and the run's own
+``resources`` usage), wall-clock-style regressions are downgraded to
+warnings — numbers measured on different interpreters or kernel
+backends are not comparable — while the deterministic contract is
+still enforced.  When both artifacts stamp a ``resources`` block (peak
+RSS, CPU time), those are band-compared too — advisory warnings at the
+same 10% default tolerance, overridable as ``resources.<name>=FRAC``.
 """
 
 from __future__ import annotations
@@ -303,11 +306,59 @@ def metric_policy(
     return direction, tolerance
 
 
+# Environment keys that legitimately differ between comparable runs:
+# the git SHA (the PRs being compared) and the run's own resource usage
+# (compared separately, as advisory bands, by _compare_resources).
+_ENV_IGNORED_KEYS = frozenset(("git_sha", "resources"))
+
+
 def _environments_match(base: Optional[dict], current: Optional[dict]) -> bool:
     if base is None or current is None:
         return False
-    strip = lambda env: {k: v for k, v in env.items() if k != "git_sha"}
+    strip = lambda env: {
+        k: v for k, v in env.items() if k not in _ENV_IGNORED_KEYS
+    }
     return strip(base) == strip(current)
+
+
+def _compare_resources(
+    report: "ComparisonReport",
+    baseline: Artifact,
+    current: Artifact,
+    tolerances: Optional[Mapping[str, float]],
+) -> None:
+    """Band-compare the environment ``resources`` blocks (advisory).
+
+    Peak RSS and CPU time are lower-is-better with the default relative
+    tolerance (override per metric as ``resources.<name>``).  Excesses
+    are **warnings**, never failures: resource usage is measured, not
+    contracted, and varies with the host.
+    """
+    base = (baseline.environment or {}).get("resources")
+    cur = (current.environment or {}).get("resources")
+    if not isinstance(base, dict) or not isinstance(cur, dict):
+        return
+    for name in sorted(base):
+        base_value, cur_value = base[name], cur.get(name)
+        if not (_is_number(base_value) and _is_number(cur_value)):
+            continue
+        _, tolerance = metric_policy(f"resources.{name}", tolerances)
+        change = _relative_change(float(base_value), float(cur_value))
+        if change > tolerance:
+            report.findings.append(
+                Finding(
+                    "warning", "<resources>", name, base_value, cur_value,
+                    f"{change:+.1%} vs tolerance {tolerance:.0%} "
+                    "(resource band is advisory)",
+                )
+            )
+        elif change < -tolerance:
+            report.findings.append(
+                Finding(
+                    "improved", "<resources>", name, base_value, cur_value,
+                    f"{change:+.1%}",
+                )
+            )
 
 
 def _relative_change(baseline: float, current: float) -> float:
@@ -352,6 +403,8 @@ def compare_artifacts(
             report.findings.append(
                 Finding("warning", "<environment>", "environment", None, None, detail)
             )
+
+    _compare_resources(report, baseline, current, tolerances)
 
     shared = [key for key in baseline.rows if key in current.rows]
     if not shared:

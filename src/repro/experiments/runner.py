@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ParameterError
-from ..telemetry import maybe_span, resolve
+from ..telemetry import maybe_span, measure_span, resolve
 from .adapters import run_trial
 from .cache import ResultCache
 from .spec import ExperimentSpec, TrialSpec
@@ -147,7 +147,8 @@ def run_experiment(
             else:
                 outcomes = []
                 for trial in todo:
-                    with maybe_span(tel, "trial", key=trial.key()):
+                    with maybe_span(tel, "trial", key=trial.key()) as tspan, \
+                            measure_span(tspan):
                         outcomes.append(_execute_captured(trial))
             for (position, trial), (record, error) in zip(pending, outcomes):
                 resolved[position] = TrialResult(

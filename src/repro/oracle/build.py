@@ -40,7 +40,7 @@ from ..errors import ParameterError, SimulationError
 from ..graphs._kernel import bfs_levels as _kernel_bfs_levels
 from ..graphs.graph import Graph
 from ..rng import DEFAULT_SEED
-from ..telemetry import maybe_span, resolve
+from ..telemetry import maybe_span, measure_span, resolve
 from .hierarchy import (
     CoreLevel,
     _default_k,
@@ -242,7 +242,8 @@ def build_oracle(
         return oracle
     tel = resolve(telemetry)
     budget_entries = int(overlap_budget * n)
-    with maybe_span(tel, "oracle.build", n=n, k=k, c=c, seed=seed) as build_span:
+    with maybe_span(tel, "oracle.build", n=n, k=k, c=c, seed=seed) as build_span, \
+            measure_span(build_span):
         with maybe_span(tel, "carve", depth=0):
             level = base_level(graph, k, c, seed)
         radius = 1

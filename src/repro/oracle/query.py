@@ -30,6 +30,7 @@ always equals the returned estimate.
 from __future__ import annotations
 
 from bisect import bisect_left
+from time import perf_counter
 from typing import TYPE_CHECKING, Sequence
 
 from ..engine import _backend
@@ -105,9 +106,18 @@ def query_details(
     ) as span:
         if span is not None:
             span.add("pairs", len(sources))
+            started = perf_counter()
         if use_numpy:
-            return _details_numpy(oracle, sources, targets)
-        return _details_python(oracle, sources, targets)
+            details = _details_numpy(oracle, sources, targets)
+        else:
+            details = _details_python(oracle, sources, targets)
+        if span is not None:
+            # Per-batch latency feeds the trace's mergeable histogram so
+            # sharded campaigns can combine query-latency quantiles.
+            elapsed = perf_counter() - started
+            span.annotate(batch_seconds=round(elapsed, 9))
+            tel.histogram("oracle.query.batch_seconds").record(elapsed)
+        return details
 
 
 # ----------------------------------------------------------------------

@@ -20,7 +20,21 @@ timings and the campaign runtime's per-trial accounting:
   and torn-tail tolerant like the campaign journal;
 * the legacy :class:`~repro.telemetry.events.EventRecorder` (né
   ``TraceRecorder``) remains available as a per-message compatibility
-  subscriber of the same engines.
+  subscriber of the same engines;
+* **histograms** (:class:`~repro.telemetry.hist.LogHistogram`):
+  mergeable log-bucketed latency distributions with deterministic
+  boundaries — round streams feed per-round wall time into them and the
+  oracle's batched query path feeds per-batch latency, and shard/trial
+  histograms combine exactly;
+* **profiling** (:class:`~repro.telemetry.profile.SamplingProfiler`):
+  a stdlib sampling profiler attributing stack samples to the open span
+  path, opt-in via ``--profile`` / ``REPRO_PROFILE``;
+* **resources** (:mod:`repro.telemetry.resources`): RSS / CPU / GC /
+  tracemalloc snapshots annotated onto trial spans and artifact
+  environment blocks;
+* **export** (:func:`~repro.telemetry.export.chrome_trace`): lossless
+  conversion of a trace into Chrome trace-event JSON
+  (``repro trace export``), loadable in Perfetto.
 
 The layer is **opt-in**.  Nothing is recorded unless the caller passes
 a :class:`Telemetry` object, the process called :func:`configure` (the
@@ -43,23 +57,46 @@ from .core import (
     shutdown,
 )
 from .events import EventRecorder, TraceEvent
+from .export import chrome_trace, validate_chrome_trace
+from .hist import HIST_SCHEMA, LogHistogram
+from .profile import (
+    SamplingProfiler,
+    configure_profile,
+    parse_profile_setting,
+    reset_profile,
+    resolve_profile,
+)
+from .resources import ResourceSnapshot, measure_span, snapshot, usage_block
 from .rounds import ROUND_KEYS, RoundStream
 from .sink import TELEMETRY_VERSION, JsonlSink, read_trace
 
 __all__ = [
     "EventRecorder",
+    "HIST_SCHEMA",
     "JsonlSink",
+    "LogHistogram",
     "ROUND_KEYS",
+    "ResourceSnapshot",
     "RoundStream",
+    "SamplingProfiler",
     "Span",
     "TELEMETRY_VERSION",
     "Telemetry",
     "TraceEvent",
+    "chrome_trace",
     "configure",
+    "configure_profile",
     "maybe_span",
+    "measure_span",
+    "parse_profile_setting",
     "parse_setting",
     "read_trace",
     "reset",
+    "reset_profile",
     "resolve",
+    "resolve_profile",
     "shutdown",
+    "snapshot",
+    "usage_block",
+    "validate_chrome_trace",
 ]

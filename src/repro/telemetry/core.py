@@ -33,6 +33,7 @@ from time import perf_counter
 from typing import TYPE_CHECKING
 
 from ..errors import ParameterError
+from .hist import LogHistogram
 from .rounds import RoundStream
 from .sink import JsonlSink
 
@@ -155,7 +156,9 @@ class Telemetry:
         self.spans: list[dict] = []  # closed-span records, close order
         self.rounds: list[dict] = []  # round records, emit order
         self.events = 0  # mirrored EventRecorder events (count only)
+        self.hists: dict[str, LogHistogram] = {}  # named, creation order
         self.truncated = False
+        self.epoch = perf_counter()  # span starts are offsets from here
         self._stack: list[Span] = []
         self._closed = False
 
@@ -196,6 +199,9 @@ class Telemetry:
             "path": span.path,
             "depth": span.depth,
             "status": span.status,
+            # Offset from the trace epoch — what places the span on a
+            # real timeline in `repro trace export` Chrome output.
+            "start": round(span._start - self.epoch, 9),
             "seconds": round(span.seconds, 9),
             "self_seconds": round(
                 max(span.seconds - span._children_seconds, 0.0), 9
@@ -211,6 +217,19 @@ class Telemetry:
     def round_stream(self, stream: str, **attrs) -> RoundStream:
         """A per-round metrics stream feeding this trace (see rounds.py)."""
         return RoundStream(self, stream, attrs)
+
+    def histogram(self, name: str, **kwargs) -> LogHistogram:
+        """The named mergeable histogram of this trace (first use creates).
+
+        ``kwargs`` (``min_value``/``buckets_per_octave``) apply only on
+        creation; later callers get the existing histogram regardless —
+        boundaries must stay uniform for shards to merge exactly.
+        """
+        hist = self.hists.get(name)
+        if hist is None:
+            hist = LogHistogram(**kwargs)
+            self.hists[name] = hist
+        return hist
 
     def event_recorder(self, **kwargs) -> "EventRecorder":
         """An :class:`EventRecorder` mirroring its events into this trace."""
@@ -265,6 +284,7 @@ class Telemetry:
             "spans": summarize_spans(self.spans),
             "rounds": len(self.rounds),
             "events": self.events,
+            "hists": {name: hist.summary() for name, hist in self.hists.items()},
             "truncated": self.truncated
             or (self.sink.truncated if self.sink is not None else False),
         }
@@ -278,12 +298,18 @@ class Telemetry:
             return
         self._closed = True
         if self.sink is not None:
+            # Histograms flush at close (they aggregate, so there is no
+            # natural per-record emission point), each as one lossless —
+            # still mergeable — "hist" record ahead of the summary.
+            for name, hist in self.hists.items():
+                self.sink.write({"kind": "hist", "name": name, **hist.to_dict()})
             self.sink.write(
                 {
                     "kind": "summary",
                     "spans": len(self.spans),
                     "rounds": len(self.rounds),
                     "events": self.events,
+                    "hists": len(self.hists),
                 }
             )
             self.sink.close()

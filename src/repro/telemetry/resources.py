@@ -1,0 +1,169 @@
+"""Process resource snapshots: RSS, CPU time, GC activity, heap peaks.
+
+Where the spans in :mod:`repro.telemetry.core` answer *how long*, this
+module answers *how much*: :func:`snapshot` captures the process's
+resident set (``/proc/self/status`` on Linux, with a
+``resource.getrusage`` peak fallback elsewhere), cumulative user/system
+CPU time, total garbage-collection passes and — when the caller enabled
+``tracemalloc`` — the traced-heap peak.
+
+Two consumers:
+
+* :class:`measure_span` wraps a span body and annotates the *delta*
+  between entry and exit onto the span's ``resources`` attribute, so
+  per-trial memory/CPU accounting rides the existing trace records
+  (campaign and experiment trial spans use this);
+* :func:`usage_block` returns the absolute ``{peak_rss_kb,
+  cpu_seconds}`` pair that benchmark artifacts stamp into their
+  ``environment`` block, which ``repro campaign compare`` then bands
+  like any other timing metric (warnings beyond 10%).
+
+Everything degrades gracefully: on platforms without ``/proc`` the RSS
+fields are ``None`` and the CPU/GC fields still work — consumers must
+treat every field as optional.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import tracemalloc
+from typing import NamedTuple
+
+__all__ = ["ResourceSnapshot", "measure_span", "snapshot", "usage_block"]
+
+_PROC_STATUS = "/proc/self/status"
+
+
+class ResourceSnapshot(NamedTuple):
+    """One point-in-time reading of the process's resource usage."""
+
+    rss_kb: int | None  # current resident set (None off-Linux)
+    peak_rss_kb: int | None  # high-water resident set
+    cpu_user_seconds: float
+    cpu_system_seconds: float
+    gc_collections: int  # cumulative passes across all generations
+    tracemalloc_peak_kb: float | None  # None unless tracemalloc is tracing
+
+    @property
+    def cpu_seconds(self) -> float:
+        """User + system CPU time."""
+        return self.cpu_user_seconds + self.cpu_system_seconds
+
+
+def _proc_status_kb() -> dict | None:
+    """``{"VmRSS": kB, "VmHWM": kB}`` from ``/proc``, or ``None``."""
+    try:
+        values: dict[str, int] = {}
+        with open(_PROC_STATUS, encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith(("VmRSS:", "VmHWM:")):
+                    name, _, rest = line.partition(":")
+                    values[name] = int(rest.split()[0])
+        return values or None
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _getrusage_peak_kb() -> int | None:
+    """Peak RSS via ``resource.getrusage`` (kB; bytes on macOS)."""
+    try:
+        import resource as _resource
+
+        peak = int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+    except (ImportError, OSError, ValueError):
+        return None
+    if sys.platform == "darwin":  # pragma: no cover - platform specific
+        peak //= 1024
+    return peak
+
+
+def snapshot() -> ResourceSnapshot:
+    """Capture the current process resource usage (never raises)."""
+    vm = _proc_status_kb()
+    rss = vm.get("VmRSS") if vm else None
+    peak = vm.get("VmHWM") if vm else None
+    if peak is None:
+        peak = _getrusage_peak_kb()
+    times = os.times()
+    gc_total = sum(stat.get("collections", 0) for stat in gc.get_stats())
+    traced_peak = None
+    if tracemalloc.is_tracing():
+        traced_peak = tracemalloc.get_traced_memory()[1] / 1024.0
+    return ResourceSnapshot(
+        rss_kb=rss,
+        peak_rss_kb=peak,
+        cpu_user_seconds=times.user,
+        cpu_system_seconds=times.system,
+        gc_collections=gc_total,
+        tracemalloc_peak_kb=traced_peak,
+    )
+
+
+def delta_block(before: ResourceSnapshot, after: ResourceSnapshot) -> dict:
+    """The span-attribute block for the interval ``before`` → ``after``.
+
+    Deltas for the monotone counters (CPU, GC), absolutes for the
+    point-in-time gauges (RSS, peaks) — a peak is meaningful on its own,
+    a CPU total is not.
+    """
+    block: dict = {
+        "cpu_seconds": round(after.cpu_seconds - before.cpu_seconds, 6),
+        "gc_collections": after.gc_collections - before.gc_collections,
+    }
+    if after.rss_kb is not None:
+        block["rss_kb"] = after.rss_kb
+        if before.rss_kb is not None:
+            block["rss_delta_kb"] = after.rss_kb - before.rss_kb
+    if after.peak_rss_kb is not None:
+        block["peak_rss_kb"] = after.peak_rss_kb
+    if after.tracemalloc_peak_kb is not None:
+        block["tracemalloc_peak_kb"] = round(after.tracemalloc_peak_kb, 1)
+    return block
+
+
+class measure_span:
+    """Context manager annotating a span with its resource delta.
+
+    ``span`` may be ``None`` (the disabled-telemetry case), in which
+    case nothing is captured — the body pays one ``is None`` test, the
+    same contract as :func:`~repro.telemetry.core.maybe_span`::
+
+        with maybe_span(tel, "trial", key=key) as span, measure_span(span):
+            run_the_trial()
+
+    On exit the delta lands under the single ``resources`` attribute
+    (one nested dict, keeping the span's attr namespace clean).
+    """
+
+    __slots__ = ("_span", "_before")
+
+    def __init__(self, span) -> None:
+        self._span = span
+        self._before: ResourceSnapshot | None = None
+
+    def __enter__(self):
+        if self._span is not None:
+            self._before = snapshot()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._span is not None and self._before is not None:
+            self._span.annotate(resources=delta_block(self._before, snapshot()))
+        return False
+
+
+def usage_block() -> dict:
+    """The ``{peak_rss_kb, cpu_seconds}`` pair for artifact environments.
+
+    Stamped by ``benchmarks/_common.emit`` under
+    ``environment["resources"]``; ``repro campaign compare`` strips it
+    from the environment-identity check and instead bands each field
+    like a timing metric (see :mod:`repro.experiments.compare`).
+    """
+    snap = snapshot()
+    return {
+        "peak_rss_kb": snap.peak_rss_kb,
+        "cpu_seconds": round(snap.cpu_seconds, 3),
+    }

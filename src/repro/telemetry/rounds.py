@@ -25,10 +25,20 @@ the *next* ``begin_round()`` plus an explicit ``finish_rounds()`` for
 the last round (the driver calls it once after the phase loop) —
 :meth:`RoundStream.end_round` is idempotent per round, so mixed calls
 never double-emit.
+
+Per-round **wall time** never appears in the records — it would differ
+across backends and break the row-identity contract above.  Instead,
+each stream feeds the interval between consecutive emissions into the
+trace's ``<stream>.round_seconds``
+:class:`~repro.telemetry.hist.LogHistogram` (for the batch engine's
+lazy flush that interval is exactly one round's compute), so p50/p99
+round latency survives as a mergeable histogram while the rows stay
+bit-comparable.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -57,6 +67,8 @@ class RoundStream:
         "_flushed_round",
         "_extra_names",
         "_extras",
+        "_hist",
+        "_last_emit",
     )
 
     def __init__(self, telemetry: "Telemetry", stream: str, attrs: dict) -> None:
@@ -72,6 +84,8 @@ class RoundStream:
         self._flushed_round = -1
         self._extra_names: tuple = ()
         self._extras: dict = {}
+        self._hist = None  # lazy: created at the first emitted round
+        self._last_emit = perf_counter()
 
     # ------------------------------------------------------------------
     # Engine hooks
@@ -108,6 +122,9 @@ class RoundStream:
         """
         if round_number <= self._flushed_round:
             return
+        now = perf_counter()
+        elapsed = now - self._last_emit
+        self._last_emit = now
         messages = stats.messages_sent - self._prev_messages
         words = stats.words_sent - self._prev_words
         delivered = stats.messages_delivered - self._prev_delivered
@@ -142,6 +159,9 @@ class RoundStream:
         }
         if self._extra_names:
             record.update(extras)
+        if self._hist is None:
+            self._hist = self._telemetry.histogram(f"{self.stream}.round_seconds")
+        self._hist.record(elapsed)
         # Records land in both the per-stream view (used by the
         # cross-backend equality checks) and the shared collector; both
         # respect the telemetry object's bound.

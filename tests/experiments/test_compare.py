@@ -312,3 +312,81 @@ class TestCompareCampaignArtifacts:
         ]) == 0
         report = compare_paths(path, path)
         assert report.compared_rows >= 1
+
+
+class TestResourceBands:
+    """The environment `resources` block: advisory memory/CPU bands."""
+
+    RESOURCES = {"peak_rss_kb": 100_000, "cpu_seconds": 10.0}
+
+    def _pair(self, tmp_path, current_resources):
+        base = bench_artifact(
+            tmp_path, "base.json",
+            **{"environment.resources": dict(self.RESOURCES)},
+        )
+        cur = bench_artifact(
+            tmp_path, "cur.json",
+            **{"environment.resources": current_resources},
+        )
+        return base, cur
+
+    def test_resources_do_not_break_environment_identity(self, tmp_path):
+        base, cur = self._pair(
+            tmp_path, {"peak_rss_kb": 101_000, "cpu_seconds": 10.2}
+        )
+        report = compare_paths(base, cur)
+        assert report.environment_matches
+        assert report.exit_code == 0
+
+    def test_memory_regression_beyond_band_warns(self, tmp_path):
+        base, cur = self._pair(
+            tmp_path, {"peak_rss_kb": 120_000, "cpu_seconds": 10.0}
+        )
+        report = compare_paths(base, cur)
+        findings = {
+            (f.metric, f.status) for f in report.findings
+            if f.label == "<resources>"
+        }
+        assert ("peak_rss_kb", "warning") in findings
+        assert report.exit_code == 0  # advisory, never a failure
+
+    def test_memory_improvement_is_reported(self, tmp_path):
+        base, cur = self._pair(
+            tmp_path, {"peak_rss_kb": 50_000, "cpu_seconds": 10.0}
+        )
+        report = compare_paths(base, cur)
+        statuses = {
+            f.metric: f.status for f in report.findings
+            if f.label == "<resources>"
+        }
+        assert statuses.get("peak_rss_kb") == "improved"
+
+    def test_within_band_is_silent(self, tmp_path):
+        base, cur = self._pair(
+            tmp_path, {"peak_rss_kb": 105_000, "cpu_seconds": 10.4}
+        )
+        report = compare_paths(base, cur)
+        assert not [f for f in report.findings if f.label == "<resources>"]
+
+    def test_tolerance_override_tightens_the_band(self, tmp_path):
+        base, cur = self._pair(
+            tmp_path, {"peak_rss_kb": 105_000, "cpu_seconds": 10.0}
+        )
+        report = compare_paths(
+            base, cur, tolerances={"resources.peak_rss_kb": 0.01}
+        )
+        findings = [
+            f for f in report.findings
+            if f.label == "<resources>" and f.metric == "peak_rss_kb"
+        ]
+        assert findings and findings[0].status == "warning"
+
+    def test_missing_resources_block_is_tolerated(self, tmp_path):
+        base = bench_artifact(tmp_path, "base.json")
+        cur = bench_artifact(
+            tmp_path, "cur.json",
+            **{"environment.resources": dict(self.RESOURCES)},
+        )
+        report = compare_paths(base, cur)
+        assert report.environment_matches
+        assert not [f for f in report.findings if f.label == "<resources>"]

@@ -135,3 +135,123 @@ class TestTraceDiff:
         }
         assert statuses["extra.stage"] == "added"
         assert statuses["en.decompose/phase"] == "removed"
+
+
+class TestTraceSummarizeSort:
+    def test_sort_self_prints_full_paths_ordered_by_self_time(
+        self, trace_file, tmp_path, capsys
+    ):
+        artifact = tmp_path / "sorted.json"
+        argv = [
+            "trace", "summarize", str(trace_file),
+            "--sort", "self", "--json", str(artifact),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        # Flat mode: the child row keeps its full slash path.
+        assert "en.decompose/phase" in out
+        rows = json.loads(artifact.read_text())["spans"]
+        selfs = [row["self_seconds"] for row in rows]
+        assert selfs == sorted(selfs, reverse=True)
+
+    def test_sort_count_orders_by_calls(self, trace_file, tmp_path):
+        artifact = tmp_path / "counts.json"
+        argv = [
+            "trace", "summarize", str(trace_file),
+            "--sort", "count", "--json", str(artifact),
+        ]
+        assert main(argv) == 0
+        calls = [row["calls"] for row in json.loads(artifact.read_text())["spans"]]
+        assert calls == sorted(calls, reverse=True)
+
+    def test_truncation_count_surfaces_in_the_header(self, tmp_path, capsys):
+        path = tmp_path / "truncated.jsonl"
+        records = [
+            {"kind": "span", "name": "a", "path": "a", "depth": 0,
+             "status": "ok", "seconds": 0.1, "self_seconds": 0.1,
+             "attrs": {}, "counters": {}},
+            {"kind": "truncated", "dropped": 7},
+        ]
+        path.write_text(
+            "\n".join(json.dumps(record) for record in records) + "\n",
+            encoding="utf8",
+        )
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "7 record(s) dropped" in out
+
+    def test_untruncated_header_stays_clean(self, trace_file, capsys):
+        assert main(["trace", "summarize", str(trace_file)]) == 0
+        assert "dropped" not in capsys.readouterr().out
+
+
+class TestTraceExport:
+    def test_chrome_export_to_stdout_is_valid(self, trace_file, capsys):
+        from repro.telemetry import validate_chrome_trace
+
+        assert main(["trace", "export", str(trace_file)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_chrome_trace(payload)
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "en.decompose" in names
+
+    def test_chrome_export_to_file(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "trace.chrome.json"
+        argv = ["trace", "export", str(trace_file), "--out", str(out_path)]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "trace event(s)" in err
+        payload = json.loads(out_path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["hists"]
+
+    def test_jsonl_export_one_event_per_line(self, trace_file, capsys):
+        argv = ["trace", "export", str(trace_file), "--format", "jsonl"]
+        assert main(argv) == 0
+        lines = capsys.readouterr().out.strip().split("\n")
+        assert all(json.loads(line)["ph"] in "XCiM" for line in lines)
+
+    def test_missing_file_is_a_parameter_error(self, tmp_path, capsys):
+        assert main(["trace", "export", str(tmp_path / "absent.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestProfileFlag:
+    @pytest.fixture(autouse=True)
+    def _isolated_profile(self, monkeypatch):
+        from repro.telemetry import reset_profile
+
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        reset_profile()
+        yield
+        reset_profile()
+
+    def test_profiled_command_prints_the_flame_table(self, capsys):
+        assert main(["--profile", "500", "oracle", "build", "grid:6:6"]) == 0
+        err = capsys.readouterr().err
+        assert "profile:" in err and "Hz" in err
+
+    def test_profile_record_lands_in_the_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "profiled.jsonl"
+        argv = [
+            "--trace", str(path), "--profile", "500",
+            "oracle", "build", "grid:6:6",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        _header, records = read_trace(path)
+        profiles = [r for r in records if r["kind"] == "profile"]
+        assert len(profiles) == 1
+        assert profiles[0]["hz"] == 500.0
+
+    def test_bad_profile_setting_is_a_parameter_error(self, capsys):
+        assert main(["--profile", "warp", "oracle", "build", "grid:5:5"]) == 2
+        assert "profile" in capsys.readouterr().err
+
+    def test_env_setting_profiles_too(self, monkeypatch, capsys):
+        from repro.telemetry import reset_profile
+
+        monkeypatch.setenv("REPRO_PROFILE", "on")
+        reset_profile()
+        assert main(["oracle", "build", "grid:6:6"]) == 0
+        assert "profile:" in capsys.readouterr().err

@@ -1,0 +1,194 @@
+"""LogHistogram: bucket geometry, merge algebra, quantile error bound."""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.telemetry import HIST_SCHEMA, LogHistogram, Telemetry
+from repro.telemetry.hist import merge_all
+
+
+def _dumps(hist: LogHistogram) -> str:
+    """Byte-stable serialization — the merge-algebra equality witness."""
+    return json.dumps(hist.to_dict(), sort_keys=True)
+
+
+def _filled(values) -> LogHistogram:
+    hist = LogHistogram()
+    for value in values:
+        hist.record(value)
+    return hist
+
+
+def _exact_quantile(values, q: float) -> float:
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestBucketGeometry:
+    def test_boundaries_are_deterministic_functions_of_the_parameters(self):
+        hist = LogHistogram(min_value=1e-6, buckets_per_octave=4)
+        assert hist.bucket_upper(0) == 1e-6
+        assert hist.bucket_upper(4) == pytest.approx(2e-6)
+        assert hist.bucket_upper(8) == pytest.approx(4e-6)
+
+    def test_every_value_lands_in_its_own_bucket(self):
+        hist = LogHistogram()
+        rng = random.Random(7)
+        for _ in range(500):
+            value = rng.uniform(0, 10) ** 3  # spread over decades
+            index = hist.bucket_index(value)
+            lower = 0.0 if index == 0 else hist.bucket_upper(index - 1)
+            assert lower < value or (index == 0 and value <= hist.min_value)
+            assert value <= hist.bucket_upper(index) * (1 + 1e-12)
+
+    def test_values_at_or_below_min_value_take_bucket_zero(self):
+        hist = LogHistogram(min_value=1e-3)
+        assert hist.bucket_index(0.0) == 0
+        assert hist.bucket_index(1e-3) == 0
+        assert hist.bucket_index(1.0001e-3) >= 1
+
+    def test_negative_values_and_bad_parameters_are_rejected(self):
+        with pytest.raises(ParameterError):
+            LogHistogram().record(-1.0)
+        with pytest.raises(ParameterError):
+            LogHistogram(min_value=0)
+        with pytest.raises(ParameterError):
+            LogHistogram(buckets_per_octave=0)
+
+
+class TestMergeAlgebra:
+    def test_merge_is_commutative(self):
+        rng = random.Random(11)
+        a = _filled(rng.expovariate(100) for _ in range(300))
+        b = _filled(rng.expovariate(5) for _ in range(200))
+        assert _dumps(a.merge(b)) == _dumps(b.merge(a))
+
+    def test_merge_is_associative(self):
+        rng = random.Random(13)
+        a = _filled(rng.expovariate(1000) for _ in range(150))
+        b = _filled(rng.uniform(0, 2) for _ in range(150))
+        c = _filled(rng.expovariate(2) for _ in range(150))
+        assert _dumps(a.merge(b).merge(c)) == _dumps(a.merge(b.merge(c)))
+
+    def test_merge_equals_recording_the_concatenated_samples(self):
+        rng = random.Random(17)
+        left = [rng.expovariate(50) for _ in range(250)]
+        right = [rng.expovariate(500) for _ in range(250)]
+        merged = _filled(left).merge(_filled(right))
+        assert _dumps(merged) == _dumps(_filled(left + right))
+
+    def test_incompatible_boundaries_refuse_to_merge(self):
+        with pytest.raises(ParameterError):
+            LogHistogram(min_value=1e-6).merge(LogHistogram(min_value=1e-7))
+        with pytest.raises(ParameterError):
+            LogHistogram(buckets_per_octave=4).merge(
+                LogHistogram(buckets_per_octave=8)
+            )
+
+    def test_merge_all_folds_any_order(self):
+        rng = random.Random(19)
+        shards = [
+            _filled(rng.expovariate(10) for _ in range(80)) for _ in range(5)
+        ]
+        forward = merge_all(shards)
+        backward = merge_all(reversed(shards))
+        assert _dumps(forward) == _dumps(backward)
+        assert merge_all([]) is None
+
+
+class TestQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        hist = LogHistogram()
+        assert hist.quantile(0.5) is None
+        assert hist.summary() == {
+            "count": 0, "min": None, "max": None,
+            "p50": None, "p90": None, "p99": None,
+        }
+
+    def test_single_value_histogram(self):
+        hist = _filled([0.25])
+        assert hist.count == 1
+        assert hist.vmin == hist.vmax == 0.25
+        for q in (0.0, 0.5, 0.99, 1.0):
+            estimate = hist.quantile(q)
+            assert 0 <= estimate - 0.25 <= hist.bucket_width(0.25)
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    def test_quantile_error_is_at_most_one_bucket_width(self, q):
+        rng = random.Random(23)
+        values = [rng.expovariate(200) + 1e-6 for _ in range(2000)]
+        hist = _filled(values)
+        exact = _exact_quantile(values, q)
+        estimate = hist.quantile(q)
+        assert estimate >= exact * (1 - 1e-12)
+        assert estimate - exact <= hist.bucket_width(exact) + 1e-15
+
+    def test_quantile_range_is_validated(self):
+        with pytest.raises(ParameterError):
+            _filled([1.0]).quantile(1.5)
+
+
+class TestSerialization:
+    def test_round_trip_is_byte_identical(self):
+        rng = random.Random(29)
+        hist = _filled(rng.expovariate(300) for _ in range(400))
+        payload = json.loads(json.dumps(hist.to_dict()))
+        assert _dumps(LogHistogram.from_dict(payload)) == _dumps(hist)
+
+    def test_schema_tag_is_enforced(self):
+        assert LogHistogram().to_dict()["schema"] == HIST_SCHEMA
+        with pytest.raises(ParameterError):
+            LogHistogram.from_dict({"schema": "bogus"})
+
+    def test_rebuilt_histograms_stay_mergeable(self):
+        a = _filled([0.001, 0.002, 0.004])
+        b = LogHistogram.from_dict(json.loads(json.dumps(a.to_dict())))
+        assert _dumps(a.merge(b)) == _dumps(b.merge(a))
+
+
+class TestTelemetryIntegration:
+    def test_named_histograms_are_created_once_and_summarized(self):
+        tel = Telemetry()
+        tel.histogram("lat").record(0.01)
+        tel.histogram("lat").record(0.02)
+        assert tel.histogram("lat").count == 2
+        block = tel.block()
+        assert block["hists"]["lat"]["count"] == 2
+
+    def test_oracle_query_histogram_p99_tracks_exact_batch_latency(self):
+        # The acceptance bound from the issue: the histogram's p99 of the
+        # oracle's batched-query latency agrees with the exact
+        # sorted-latency p99 within one bucket width.
+        from repro.graphs import erdos_renyi
+        from repro.oracle import build_oracle
+        from repro.oracle.query import query_details
+
+        tel = Telemetry()
+        graph = erdos_renyi(60, 0.08, seed=3)
+        oracle = build_oracle(graph, telemetry=tel)
+        rng = random.Random(31)
+        pairs = [
+            (rng.randrange(60), rng.randrange(60)) for _ in range(20)
+        ]
+        for start in range(0, 20, 4):  # five batches -> five samples
+            query_details(oracle, pairs[start:start + 4], telemetry=tel)
+        latencies = [
+            span["attrs"]["batch_seconds"]
+            for span in tel.spans
+            if span["name"] == "oracle.query"
+        ]
+        assert len(latencies) == 5
+        hist = tel.hists["oracle.query.batch_seconds"]
+        assert hist.count == 5
+        exact = _exact_quantile(latencies, 0.99)
+        estimate = hist.quantile(0.99)
+        # batch_seconds attrs are rounded to 1 ns; allow that slack too.
+        assert estimate >= exact - 1e-9
+        assert estimate - exact <= hist.bucket_width(exact) + 1e-9

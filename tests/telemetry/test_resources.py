@@ -1,0 +1,99 @@
+"""Resource snapshots: fields, span annotation, artifact usage block."""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from repro.telemetry import (
+    ResourceSnapshot,
+    Telemetry,
+    measure_span,
+    snapshot,
+    usage_block,
+)
+from repro.telemetry.resources import delta_block
+
+
+class TestSnapshot:
+    def test_fields_have_the_documented_shapes(self):
+        snap = snapshot()
+        assert isinstance(snap, ResourceSnapshot)
+        assert snap.cpu_user_seconds >= 0
+        assert snap.cpu_system_seconds >= 0
+        assert snap.gc_collections >= 0
+        for field in (snap.rss_kb, snap.peak_rss_kb):
+            assert field is None or (isinstance(field, int) and field > 0)
+
+    def test_cpu_seconds_sums_user_and_system(self):
+        snap = snapshot()
+        assert snap.cpu_seconds == pytest.approx(
+            snap.cpu_user_seconds + snap.cpu_system_seconds
+        )
+
+    def test_tracemalloc_peak_only_when_tracing(self):
+        assert not tracemalloc.is_tracing()
+        assert snapshot().tracemalloc_peak_kb is None
+        tracemalloc.start()
+        try:
+            blob = [0] * 50_000  # noqa: F841 -- grow the traced heap
+            assert snapshot().tracemalloc_peak_kb > 0
+        finally:
+            tracemalloc.stop()
+
+    def test_monotone_counters_never_regress(self):
+        before = snapshot()
+        sum(i * i for i in range(200_000))
+        after = snapshot()
+        assert after.cpu_seconds >= before.cpu_seconds
+        assert after.gc_collections >= before.gc_collections
+
+
+class TestDeltaBlock:
+    def test_deltas_for_counters_absolutes_for_gauges(self):
+        before = snapshot()
+        sum(i * i for i in range(200_000))
+        block = delta_block(before, snapshot())
+        assert block["cpu_seconds"] >= 0
+        assert block["gc_collections"] >= 0
+        if block.get("rss_kb") is not None:
+            assert block["rss_kb"] > 0
+            assert "rss_delta_kb" in block
+
+    def test_json_serializable(self):
+        import json
+
+        json.dumps(delta_block(snapshot(), snapshot()))
+
+
+class TestMeasureSpan:
+    def test_annotates_the_span_with_one_resources_attr(self):
+        tel = Telemetry()
+        with tel.span("trial") as span, measure_span(span):
+            sum(i for i in range(50_000))
+        record = tel.spans[-1]
+        resources = record["attrs"]["resources"]
+        assert resources["cpu_seconds"] >= 0
+        assert "gc_collections" in resources
+
+    def test_none_span_is_a_no_op(self):
+        with measure_span(None) as span:
+            assert span is None
+
+    def test_annotates_even_when_the_body_raises(self):
+        tel = Telemetry()
+        with pytest.raises(RuntimeError):
+            with tel.span("trial") as span, measure_span(span):
+                raise RuntimeError("boom")
+        record = tel.spans[-1]
+        assert record["status"] == "error"
+        assert "resources" in record["attrs"]
+
+
+class TestUsageBlock:
+    def test_shape_matches_the_artifact_contract(self):
+        block = usage_block()
+        assert set(block) == {"peak_rss_kb", "cpu_seconds"}
+        assert block["cpu_seconds"] >= 0
+        assert block["peak_rss_kb"] is None or block["peak_rss_kb"] > 0

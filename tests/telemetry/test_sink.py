@@ -103,7 +103,10 @@ class TestTelemetrySinkIntegration:
         stream.end_round(1, stats, live=10)
         tel.close()
         header, records = read_trace(path)
-        assert [record["kind"] for record in records] == ["span", "round", "summary"]
+        # The round stream feeds its wall-time histogram, flushed at close.
+        assert [record["kind"] for record in records] == [
+            "span", "round", "hist", "summary",
+        ]
         round_record = records[1]
         assert round_record["stream"] == "test.rounds"
         assert round_record["backend"] == "sync"
