@@ -29,6 +29,16 @@ Two modes, following ``bench_telemetry.py``:
   ``async-fifo``/``sync`` ratio ≤ 3.0 on an n ≈ 2·10³ workload, with up
   to ``GATE_ATTEMPTS`` re-measurements before declaring failure (noise
   only ever inflates the ratio, never hides real overhead).
+
+Each arm's row also carries its causal critical-path and slack figures
+(:mod:`repro.telemetry.critical`), collected in one untimed traced pass
+per arm so the timing reps stay untraced: the ``cp rounds``/``cp
+drift`` columns quantify how much timeline inflation each schedule
+actually forced, and the slack columns how much delay headroom the
+delivered messages had.  They land in the compare-ready JSON artifact
+next to the timing columns (``campaign compare`` bands them like any
+other metric); the fault-free arms re-assert the critical-path ==
+rounds invariant on the way.
 """
 
 from __future__ import annotations
@@ -45,6 +55,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.distributed_en import decompose_distributed
 from repro.graphs import Graph, gnp_fast
+from repro.telemetry import Telemetry, critical_path
 
 from _common import BENCH_SEED, emit, strip_private
 
@@ -63,42 +74,60 @@ def _signature(result):
     )
 
 
+#: Arm name -> driver configuration, shared by the timed callables and
+#: the untimed causal-stats pass.
+_ARM_CONFIGS = {
+    "sync": dict(backend="sync"),
+    "async-fifo": dict(backend="async"),
+    "async-latest": dict(backend="async", delivery="latest:3"),
+    "async-faulty": dict(
+        backend="async", delivery="random:2", faults="drop:0.02"
+    ),
+}
+
+
 def _arms(graph: Graph, k: float):
     """``{arm: zero-arg callable}`` — each returns a run signature."""
 
-    def sync():
-        return _signature(decompose_distributed(graph, k=k, seed=BENCH_SEED))
-
-    def async_fifo():
+    def run(config):
         return _signature(
-            decompose_distributed(graph, k=k, seed=BENCH_SEED, backend="async")
-        )
-
-    def async_latest():
-        return _signature(
-            decompose_distributed(
-                graph, k=k, seed=BENCH_SEED, backend="async", delivery="latest:3"
-            )
-        )
-
-    def async_faulty():
-        return _signature(
-            decompose_distributed(
-                graph,
-                k=k,
-                seed=BENCH_SEED,
-                backend="async",
-                delivery="random:2",
-                faults="drop:0.02",
-            )
+            decompose_distributed(graph, k=k, seed=BENCH_SEED, **config)
         )
 
     return {
-        "sync": sync,
-        "async-fifo": async_fifo,
-        "async-latest": async_latest,
-        "async-faulty": async_faulty,
+        arm: (lambda config=config: run(config))
+        for arm, config in _ARM_CONFIGS.items()
     }
+
+
+def causal_stats(graph: Graph, k: float) -> dict[str, dict]:
+    """One untimed traced pass per arm: critical-path and slack columns.
+
+    Fault-free arms (``sync``, ``async-fifo``) re-assert the invariant
+    that the critical path's length equals the driver's round count
+    with zero drift; the adversarial arms report what the schedule
+    actually cost on the binding dependency chain.
+    """
+    stats: dict[str, dict] = {}
+    for arm, config in _ARM_CONFIGS.items():
+        telemetry = Telemetry()
+        result = decompose_distributed(
+            graph, k=k, seed=BENCH_SEED, telemetry=telemetry, **config
+        )
+        path = critical_path(telemetry.causal)
+        if config.get("delivery", "fifo") == "fifo" and "faults" not in config:
+            assert path["rounds"] == result.total_rounds, (
+                f"{arm}: critical path {path['rounds']} != "
+                f"rounds {result.total_rounds}"
+            )
+            assert path["drift"] == 0, f"{arm}: fault-free drift {path['drift']}"
+        stats[arm] = {
+            "cp rounds": path["rounds"],
+            "cp drift": path["drift"],
+            "slack mean": path["slack"]["mean"],
+            "slack max": path["slack"]["max"],
+        }
+    return stats
 
 
 def measure(graph: Graph, k: float, reps: int = REPS):
@@ -134,7 +163,12 @@ def measure(graph: Graph, k: float, reps: int = REPS):
     return {arm: statistics.median(samples) for arm, samples in times.items()}
 
 
-def _rows(workload: str, n: int, medians: dict[str, float]):
+def _rows(
+    workload: str,
+    n: int,
+    medians: dict[str, float],
+    causal: dict[str, dict] | None = None,
+):
     base = medians["sync"]
     return [
         {
@@ -143,6 +177,7 @@ def _rows(workload: str, n: int, medians: dict[str, float]):
             "n": n,
             "median s": round(seconds, 4),
             "vs sync": round(seconds / max(base, 1e-9), 3),
+            **(causal or {}).get(arm, {}),
             "_ratio": seconds / max(base, 1e-9),
         }
         for arm, seconds in medians.items()
@@ -153,7 +188,10 @@ def test_async_overhead_bench():
     """CI-sized run: contracts asserted, table emitted, no gate."""
     graph = gnp_fast(512, 6.0 / 512, seed=2)
     medians = measure(graph, k=5, reps=3)
-    rows = _rows("gnp_fast:512:6/n", graph.num_vertices, medians)
+    rows = _rows(
+        "gnp_fast:512:6/n", graph.num_vertices, medians,
+        causal=causal_stats(graph, k=5),
+    )
     table = emit(
         "E-ASY: async engine overhead (CI scale, informational)",
         strip_private(rows),
@@ -181,7 +219,7 @@ def main() -> int:
         )
         if ratio <= GATE_RATIO:
             break
-    rows = _rows(f"gnp_fast:{n}:6/n", n, medians)
+    rows = _rows(f"gnp_fast:{n}:6/n", n, medians, causal=causal_stats(graph, k=k))
     emit(
         "E-ASY: async engine overhead (acceptance gate)",
         strip_private(rows),

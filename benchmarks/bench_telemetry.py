@@ -19,7 +19,11 @@ Arms (interleaved reps, medians — machine noise hits them alike):
 * ``profile``  — disabled telemetry under the sampling profiler at its
   default rate (the second gate: ≤ 1.10× the ``off`` arm, since the
   sampler reads stacks from outside the workload it must never perturb
-  the measured code — and every arm's outputs stay bit-identical).
+  the measured code — and every arm's outputs stay bit-identical);
+* ``causal``   — in-memory collector with the causal message log it
+  implies, plus a :func:`~repro.telemetry.critical_path` extraction
+  whose round count is asserted equal to the driver's (informational
+  price of full provenance; the fault-free invariant rides along).
 
 Two modes, following ``bench_engine.py``:
 
@@ -53,7 +57,13 @@ from repro.core.shifts import find_truncation_events, sample_phase_radii
 from repro.engine.en import BatchENPhases
 from repro.graphs import Graph, gnp_fast
 from repro.graphs.activeset import ActiveSet
-from repro.telemetry import JsonlSink, SamplingProfiler, Telemetry, reset
+from repro.telemetry import (
+    JsonlSink,
+    SamplingProfiler,
+    Telemetry,
+    critical_path,
+    reset,
+)
 
 from _common import emit, strip_private
 
@@ -128,12 +138,25 @@ def _arms(graph: Graph, k: float, sink_path: str):
             result = decompose_distributed(graph, k=k, seed=SEED, backend="batch")
         return result.stats, result.phases, result.total_rounds
 
+    def causal():
+        telemetry = Telemetry()
+        result = decompose_distributed(
+            graph, k=k, seed=SEED, backend="batch", telemetry=telemetry
+        )
+        path = critical_path(telemetry.causal)
+        assert path["rounds"] == result.total_rounds, (
+            f"critical path {path['rounds']} != rounds {result.total_rounds}"
+        )
+        assert path["drift"] == 0, f"fault-free drift {path['drift']}"
+        return result.stats, result.phases, result.total_rounds
+
     return {
         "baseline": baseline,
         "off": off,
         "mem": mem,
         "jsonl": jsonl,
         "profile": profile,
+        "causal": causal,
     }
 
 
@@ -215,7 +238,8 @@ def main() -> int:
         f"disabled-mode overhead: {100 * (ratio - 1):+.2f}%, "
         f"sampling-on overhead: {100 * (profile_ratio - 1):+.2f}% "
         f"(mem {medians['mem'] / medians['baseline']:.3f}x, "
-        f"jsonl {medians['jsonl'] / medians['baseline']:.3f}x, informational)"
+        f"jsonl {medians['jsonl'] / medians['baseline']:.3f}x, "
+        f"causal {medians['causal'] / medians['baseline']:.3f}x, informational)"
     )
     return 0 if ratio <= GATE_RATIO and profile_ratio <= PROFILE_GATE_RATIO else 1
 

@@ -139,7 +139,7 @@ class _SyncLSPhases:
 
     def __init__(
         self, graph: Graph, seed: int, p: float, k: int, word_budget, rounds=None,
-        backend: str = "sync", delivery: str = "fifo", faults=None,
+        causal=None, backend: str = "sync", delivery: str = "fifo", faults=None,
     ) -> None:
         self._network = build_network(
             graph,
@@ -147,6 +147,7 @@ class _SyncLSPhases:
             seed=seed,
             word_budget=word_budget,
             rounds=rounds,
+            causal=causal,
             backend=backend,
             delivery=delivery,
             faults=faults,
@@ -232,15 +233,16 @@ def decompose_distributed(
     rounds = (
         tel.round_stream("ls.rounds", backend=backend) if tel is not None else None
     )
+    causal = tel.causal_log("ls.causal") if tel is not None else None
     if backend in ("sync", "async"):
         runner = _SyncLSPhases(
-            graph, seed, p, k, word_budget, rounds,
+            graph, seed, p, k, word_budget, rounds, causal,
             backend=backend, delivery=delivery, faults=faults,
         )
     else:
         from ..engine.ls import BatchLSPhases
 
-        runner = BatchLSPhases(graph, word_budget, rounds=rounds)
+        runner = BatchLSPhases(graph, word_budget, rounds=rounds, causal=causal)
     active = ActiveSet.full(n)
     clusters: list[Cluster] = []
     rounds_per_phase: list[int] = []

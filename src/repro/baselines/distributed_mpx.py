@@ -167,6 +167,7 @@ def partition_distributed(
         if tel is not None
         else None
     )
+    causal = tel.causal_log("mpx.causal") if tel is not None else None
     shifts = {
         v: stream(seed, "mpx-shift", v).expovariate(beta) for v in range(n)
     }
@@ -180,7 +181,8 @@ def partition_distributed(
             from ..engine.mpx import run_mpx_batch
 
             center_of, stats = run_mpx_batch(
-                graph, shifts, budget, mode, word_budget, rounds=rounds
+                graph, shifts, budget, mode, word_budget, rounds=rounds,
+                causal=causal,
             )
         else:
             algorithms = [MPXNodeAlgorithm(v, seed, beta, mode) for v in range(n)]
@@ -188,7 +190,8 @@ def partition_distributed(
                 algorithm.configure(budget)
             network = build_network(
                 graph, algorithms, seed=seed, word_budget=word_budget,
-                rounds=rounds, backend=backend, delivery=delivery, faults=faults,
+                rounds=rounds, causal=causal, backend=backend,
+                delivery=delivery, faults=faults,
             )
             network.start()
             network.run_rounds(budget + 1)

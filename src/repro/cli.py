@@ -103,8 +103,14 @@ from .telemetry import (
     resolve_profile,
     shutdown,
 )
+from .telemetry.critical import critical_path, lag_timeline
 from .telemetry.export import export_text
-from .telemetry.report import diff_summaries, round_timeline, summarize_spans
+from .telemetry.report import (
+    causality_table,
+    diff_summaries,
+    round_timeline,
+    summarize_spans,
+)
 
 __all__ = ["parse_graph_spec", "main"]
 
@@ -622,6 +628,39 @@ def _format_summary_rows(rows: list[dict], flat: bool = False) -> list[dict]:
     ]
 
 
+def _format_chain_rows(chain: list[dict]) -> list[dict]:
+    """Critical-path chain steps as text-table rows."""
+    rows = []
+    for position, step in enumerate(chain, 1):
+        if step["edge"] == "msg":
+            rows.append(
+                {
+                    "step": position,
+                    "edge": "msg",
+                    "link": f"{step['send']}@{step['send_round']} -> "
+                    f"{step['recv']}@{step['recv_round']}",
+                    "transit": step["transit"],
+                    "delay": step["delay"],
+                    "fault": step["fault"],
+                    "compute": "",
+                }
+            )
+        else:
+            rows.append(
+                {
+                    "step": position,
+                    "edge": "local",
+                    "link": f"{step['node']}: {step['from_round']} -> "
+                    f"{step['to_round']}",
+                    "transit": "",
+                    "delay": "",
+                    "fault": "",
+                    "compute": step["compute"],
+                }
+            )
+    return rows
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "export":
         records = _load_trace(args.trace_file)
@@ -662,13 +701,27 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             + (f", {dropped} record(s) dropped" if dropped else "")
             + ")"
         )
+        # The close-time summary record carries the sink's per-kind
+        # census — print it as the header so a summary says up front
+        # what the trace actually holds (spans vs rounds vs causal ...).
+        summary = next(
+            (r for r in records if r.get("kind") == "summary"), None
+        )
+        kinds = dict((summary or {}).get("kinds") or {})
+        if kinds:
+            print(
+                "records: "
+                + ", ".join(
+                    f"{name}={count}" for name, count in sorted(kinds.items())
+                )
+            )
         print(format_records(
             _format_summary_rows(rows, flat=args.sort != "path"),
             title=title,
         ))
         payload = {"command": "trace summarize", "trace": args.trace_file,
                    "sort": args.sort, "spans": rows, "rounds": len(rounds),
-                   "dropped": dropped}
+                   "dropped": dropped, "kinds": kinds}
     elif args.trace_command == "timeline":
         records = _load_trace(args.trace_file)
         rows = round_timeline(records, stream=args.stream)
@@ -689,6 +742,74 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             print(f"... {len(rows) - args.limit} more round(s)", file=sys.stderr)
         payload = {"command": "trace timeline", "trace": args.trace_file,
                    "stream": args.stream, "rows": rows}
+    elif args.trace_command == "causality":
+        records = _load_trace(args.trace_file)
+        rows = causality_table(records, stream=args.stream)
+        if not rows:
+            streams = sorted(
+                {r.get("stream") for r in records if r.get("kind") == "causal"}
+            )
+            raise ParameterError(
+                f"no causal records for stream {args.stream!r} in "
+                f"{args.trace_file!r} (streams present: {streams or 'none'})"
+            )
+        print(format_records(
+            rows,
+            title=f"causal census of {args.trace_file}"
+            + (f" (stream {args.stream})" if args.stream else ""),
+        ))
+        payload = {"command": "trace causality", "trace": args.trace_file,
+                   "stream": args.stream, "rows": rows}
+        if len(rows) == 1:
+            timeline = lag_timeline(records, stream=rows[0]["stream"])
+            shown = timeline[: args.limit] if args.limit else timeline
+            print(format_records(
+                shown,
+                title=f"lag timeline (stream {rows[0]['stream']})",
+            ))
+            if args.limit and len(timeline) > args.limit:
+                print(
+                    f"... {len(timeline) - args.limit} more round(s)",
+                    file=sys.stderr,
+                )
+            payload["timeline"] = timeline
+    elif args.trace_command == "critical-path":
+        records = _load_trace(args.trace_file)
+        try:
+            result = critical_path(
+                records, stream=args.stream, node=args.node
+            )
+        except ValueError as exc:
+            raise ParameterError(str(exc)) from exc
+        attribution = result["attribution"]
+        slack = result["slack"]
+        print(
+            f"critical path of {args.trace_file} (stream {result['stream']}): "
+            f"node {result['node']} "
+            + ("halts" if result["halted"] else "last seen")
+            + f" at round {result['rounds']}, time {result['time']:g} "
+            f"(drift {result['drift']:+g}), {len(result['chain'])} step(s)"
+        )
+        print(
+            "attribution: "
+            + ", ".join(
+                f"{key}={attribution[key]:g}"
+                for key in ("transit", "delay", "fault", "compute")
+            )
+            + f"; slack mean={slack['mean']:g} max={slack['max']:g} "
+            f"over {slack['edges']} edge(s)"
+        )
+        chain_rows = _format_chain_rows(result["chain"])
+        shown = chain_rows[: args.limit] if args.limit else chain_rows
+        print(format_records(shown, title="critical-path chain"))
+        if args.limit and len(chain_rows) > args.limit:
+            print(
+                f"... {len(chain_rows) - args.limit} more step(s)",
+                file=sys.stderr,
+            )
+        payload = {"command": "trace critical-path", "trace": args.trace_file,
+                   "trace_stream": args.stream, "pinned_node": args.node,
+                   **result}
     else:  # diff
         baseline = summarize_spans(_load_trace(args.baseline))
         current = summarize_spans(_load_trace(args.current))
@@ -977,6 +1098,43 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print at most N rows (0 = all)")
     tp.add_argument("--json", default=None, metavar="PATH",
                     help="also write the timeline rows as JSON to PATH")
+    tp.set_defaults(func=_cmd_trace)
+
+    tp = tsub.add_parser(
+        "causality",
+        help="causal message-log census (edges, halts, Lamport depth, slack)",
+    )
+    tp.add_argument("trace_file", help="trace JSONL path")
+    tp.add_argument(
+        "--stream",
+        default=None,
+        metavar="NAME",
+        help="only this causal stream (e.g. en.causal)",
+    )
+    tp.add_argument("--limit", type=int, default=0, metavar="N",
+                    help="print at most N lag-timeline rows (0 = all)")
+    tp.add_argument("--json", default=None, metavar="PATH",
+                    help="also write the census (and timeline) as JSON to PATH")
+    tp.set_defaults(func=_cmd_trace)
+
+    tp = tsub.add_parser(
+        "critical-path",
+        help="longest causal dependency chain ending at a halt, with "
+        "per-edge schedule/fault/compute attribution",
+    )
+    tp.add_argument("trace_file", help="trace JSONL path")
+    tp.add_argument(
+        "--stream",
+        default=None,
+        metavar="NAME",
+        help="causal stream to analyze (required if the trace mixes streams)",
+    )
+    tp.add_argument("--node", type=int, default=None, metavar="V",
+                    help="pin the chain to node V's halt")
+    tp.add_argument("--limit", type=int, default=0, metavar="N",
+                    help="print at most N chain rows (0 = all)")
+    tp.add_argument("--json", default=None, metavar="PATH",
+                    help="also write the full result as JSON to PATH")
     tp.set_defaults(func=_cmd_trace)
 
     tp = tsub.add_parser("diff", help="diff two traces' span summaries")

@@ -241,6 +241,7 @@ class _SyncENPhases:
         mode: ForwardMode,
         word_budget: int | None,
         rounds=None,
+        causal=None,
         backend: str = "sync",
         delivery: str = "fifo",
         faults=None,
@@ -252,6 +253,7 @@ class _SyncENPhases:
             seed=seed,
             word_budget=word_budget,
             rounds=rounds,
+            causal=causal,
             backend=backend,
             delivery=delivery,
             faults=faults,
@@ -380,15 +382,16 @@ def decompose_distributed(
         if tel is not None
         else None
     )
+    causal = tel.causal_log("en.causal") if tel is not None else None
     if backend in ("sync", "async"):
         runner = _SyncENPhases(
-            graph, seed, mode, word_budget, rounds,
+            graph, seed, mode, word_budget, rounds, causal,
             backend=backend, delivery=delivery, faults=faults,
         )
     else:
         from ..engine.en import BatchENPhases
 
-        runner = BatchENPhases(graph, mode, word_budget, rounds=rounds)
+        runner = BatchENPhases(graph, mode, word_budget, rounds=rounds, causal=causal)
     active = ActiveSet.full(n)
     blocks: list[list[int]] = []
     centers: dict[int, int] = {}

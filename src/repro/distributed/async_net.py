@@ -68,6 +68,7 @@ from .synchronizer import AlphaSynchronizer
 from .tracing import TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.causality import CausalLog
     from ..telemetry.rounds import RoundStream
 
 __all__ = ["AsyncNetwork", "AsyncStats", "live_networks"]
@@ -134,6 +135,7 @@ class AsyncNetwork:
         word_budget: int | None = None,
         tracer: "TraceRecorder | None" = None,
         rounds: "RoundStream | None" = None,
+        causal: "CausalLog | None" = None,
         delivery: "str | Schedule | None" = "fifo",
         faults: "str | FaultPlan | None" = None,
     ) -> None:
@@ -165,19 +167,29 @@ class AsyncNetwork:
         self._word_budget = word_budget
         self._tracer = tracer
         self._rounds = rounds
+        self._causal = causal
         self._extras_enabled = rounds is not None and (
             self._schedule.bound > 0 or self._faults is not None
         )
         if self._extras_enabled:
             rounds.enable_extras(*EXTRA_ROUND_KEYS)
+        # Causal timing extras obey the same gate as the round-stream
+        # adversary columns: fault-free FIFO logs stay row-identical to
+        # the sync engine's.
+        if causal is not None and (
+            self._schedule.bound > 0 or self._faults is not None
+        ):
+            causal.enable_extras()
         self._synchronizer = AlphaSynchronizer(graph)
         self._live: list[int] = list(range(n))
         self._halted_seen: set[int] = set()
         self._crashed: set[int] = set()
         self._outbox: list[Message] = []
-        #: Event queue: (arrival_time, order, seq, Message) — every entry
-        #: is tagged for the next pulse; the heap drains fully per step.
-        self._events: list[tuple[float, int, int, Message]] = []
+        #: Event queue: (arrival_time, order, seq, send_time, Message) —
+        #: every entry is tagged for the next pulse; the heap drains
+        #: fully per step.  ``seq`` is unique, so the trailing fields
+        #: never get compared.
+        self._events: list[tuple[float, int, int, float, Message]] = []
         self._redelivery: dict[int, list[Message]] = {}
         self._seq = 0
         self._round = 0
@@ -289,8 +301,11 @@ class AsyncNetwork:
         )
         for _ready, v in order:
             ctx = self._contexts[v]
-            inbox = [message for _time, message in inboxes.get(v, ())]
+            entries = inboxes.get(v, ())
+            inbox = [message for _time, _sent, message in entries]
             self.stats.messages_delivered += len(inbox)
+            if self._causal is not None and entries:
+                self._log_deliveries(v, _ready, entries)
             self._algorithms[v].on_round(ctx, inbox)
             if ctx.halted:
                 any_halted = True
@@ -331,18 +346,72 @@ class AsyncNetwork:
     # ------------------------------------------------------------------
     # Engine internals
     # ------------------------------------------------------------------
+    def _log_deliveries(
+        self,
+        v: int,
+        ready: float,
+        entries: "Sequence[tuple[float, float, Message]]",
+    ) -> None:
+        """Causal edges for one delivered inbox, in arrival order.
+
+        Consecutive ``(sender, sent_round)`` runs aggregate into one
+        edge record — under FIFO with no faults the arrival order *is*
+        the sync engine's sender-sorted order, so the logs coincide
+        row for row.  On adversarial runs each record carries the
+        timing extras; a sentinel arrival of ``0.0`` marks a
+        redelivered (crash-buffered) edge.
+        """
+        causal = self._causal
+        extras = causal.extras_enabled
+        arrival, send_time, message = entries[0]
+        sender, sent_round = message.sender, message.sent_round
+        last_arrival, count = arrival, 0
+        pulse = self._round
+
+        def flush() -> None:
+            if not extras:
+                causal.message(sender, sent_round, v, pulse, count)
+                return
+            fault = (
+                self._faults.buffered_rounds(sent_round, pulse)
+                if last_arrival == 0.0 and self._faults is not None
+                else 0
+            )
+            causal.message(
+                sender,
+                sent_round,
+                v,
+                pulse,
+                count,
+                send_time=send_time,
+                arrive=last_arrival,
+                recv_time=ready,
+                fault=fault,
+            )
+
+        for arrival, next_send_time, message in entries:
+            if message.sender != sender or message.sent_round != sent_round:
+                flush()
+                sender, sent_round = message.sender, message.sent_round
+                send_time, count = next_send_time, 0
+            last_arrival = arrival
+            count += 1
+        flush()
+
     def _apply_faults_and_deliver(
         self, pulse: int
-    ) -> dict[int, list[tuple[float, Message]]]:
+    ) -> dict[int, list[tuple[float, float, Message]]]:
         """Fault transitions + event-queue drain for ``pulse``.
 
         Returns per-receiver inboxes in arrival order, each entry
-        ``(arrival_time, message)``.  Redelivered messages (buffered
-        while their receiver was crashed) lead the inbox — they are
-        older than anything arriving this pulse.
+        ``(arrival_time, send_time, message)``.  Redelivered messages
+        (buffered while their receiver was crashed) lead the inbox —
+        they are older than anything arriving this pulse — and carry
+        the sentinel arrival time ``0.0`` (real arrivals are ``>= 1``),
+        which the causal log records as a fault edge.
         """
         plan = self._faults
-        inboxes: dict[int, list[tuple[float, Message]]] = {}
+        inboxes: dict[int, list[tuple[float, float, Message]]] = {}
         if plan is not None:
             for window in plan.windows:
                 v = window.node
@@ -361,9 +430,12 @@ class AsyncNetwork:
                     if buffered:
                         self.async_stats.redelivered += len(buffered)
                         plan.record("redeliver", pulse, node=v, count=len(buffered))
-                        inboxes[v] = [(0.0, message) for message in buffered]
+                        inboxes[v] = [
+                            (0.0, float(message.sent_round), message)
+                            for message in buffered
+                        ]
         while self._events:
-            arrival, _order, _seq, message = heappop(self._events)
+            arrival, _order, _seq, send_time, message = heappop(self._events)
             v = message.receiver
             if v in self._crashed:
                 if plan is not None and plan.redeliver:
@@ -377,10 +449,10 @@ class AsyncNetwork:
                         )
                 continue
             inbox = inboxes.setdefault(v, [])
-            if inbox and inbox[-1][1].sender > message.sender:
+            if inbox and inbox[-1][2].sender > message.sender:
                 self.async_stats.reordered += 1
                 self._round_reordered += 1
-            inbox.append((arrival, message))
+            inbox.append((arrival, send_time, message))
         return inboxes
 
     def _enqueue(self, message: Message) -> None:
@@ -396,7 +468,11 @@ class AsyncNetwork:
         keep literally the same books.
         """
         newly_halted: list[int] = []
-        if self._tracer is not None or self._rounds is not None:
+        if (
+            self._tracer is not None
+            or self._rounds is not None
+            or self._causal is not None
+        ):
             for v, ctx in enumerate(self._contexts):
                 if ctx.halted and v not in self._halted_seen:
                     self._halted_seen.add(v)
@@ -406,6 +482,9 @@ class AsyncNetwork:
                 self._tracer.on_send(message)
             for v in newly_halted:
                 self._tracer.on_halt(v, self._round)
+        if self._causal is not None:
+            for v in newly_halted:
+                self._causal.halt(v, self._round)
         edge_words: dict[tuple[int, int], int] = defaultdict(int)
         for message in self._outbox:
             self.stats.messages_sent += 1
@@ -446,7 +525,13 @@ class AsyncNetwork:
                 self._round_delayed += 1
             heappush(
                 self._events,
-                (clocks[message.sender] + 1.0 + delay, order, seq, message),
+                (
+                    clocks[message.sender] + 1.0 + delay,
+                    order,
+                    seq,
+                    clocks[message.sender],
+                    message,
+                ),
             )
         if self._rounds is not None:
             if self._outbox:

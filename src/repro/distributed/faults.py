@@ -172,6 +172,18 @@ class FaultPlan:
             return True
         return False
 
+    def buffered_rounds(self, sent_round: int, pulse: int) -> int:
+        """Rounds a redelivered message spent in a crash buffer.
+
+        A message sent in round ``sent_round`` would have been delivered
+        at ``sent_round + 1``; releasing it at the recovery ``pulse``
+        cost the difference.  This is the ``fault`` attribution the
+        causal log stamps on redelivery edges
+        (:mod:`repro.telemetry.causality`) and the fault-window share
+        of critical-path time (:mod:`repro.telemetry.critical`).
+        """
+        return max(pulse - sent_round - 1, 0)
+
     def record(self, kind: str, pulse: int, **details) -> None:
         """Append one event to the replay log."""
         self.log.append({"kind": kind, "pulse": pulse, **details})

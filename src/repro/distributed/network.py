@@ -31,6 +31,7 @@ from .node import Context, NodeAlgorithm
 from .tracing import TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.causality import CausalLog
     from ..telemetry.rounds import RoundStream
 
 __all__ = ["SyncNetwork"]
@@ -59,6 +60,14 @@ class SyncNetwork:
         Optional per-round metrics subscriber
         (:class:`~repro.telemetry.rounds.RoundStream`): one
         identically-keyed row per round, matching the batch engine's.
+    causal:
+        Optional causal provenance subscriber
+        (:class:`~repro.telemetry.causality.CausalLog`): one aggregated
+        parent-edge record per ``(sender, send round)`` run of each
+        delivered inbox, plus one halt record per halted node — emitted
+        in the engine's deterministic order (receivers ascending,
+        sender-sorted inboxes), which the batch engine reproduces
+        row-identically.
 
     Notes
     -----
@@ -87,6 +96,7 @@ class SyncNetwork:
         word_budget: int | None = None,
         tracer: "TraceRecorder | None" = None,
         rounds: "RoundStream | None" = None,
+        causal: "CausalLog | None" = None,
     ) -> None:
         self.graph = graph
         n = graph.num_vertices
@@ -105,6 +115,7 @@ class SyncNetwork:
         self._word_budget = word_budget
         self._tracer = tracer
         self._rounds = rounds
+        self._causal = causal
         # Live-node list (ascending): rebuilt only on rounds where some
         # node halts, so late rounds of a mostly-carved graph dispatch
         # O(survivors) instead of rescanning all n vertices.
@@ -183,6 +194,8 @@ class SyncNetwork:
                 continue
             inbox = sorted(inboxes.get(v, ()), key=lambda msg: msg.sender)
             self.stats.messages_delivered += len(inbox)
+            if self._causal is not None and inbox:
+                self._log_deliveries(v, inbox)
             self._algorithms[v].on_round(ctx, inbox)
             if ctx.halted:
                 any_halted = True
@@ -228,13 +241,34 @@ class SyncNetwork:
     # ------------------------------------------------------------------
     # Engine internals (called from Context)
     # ------------------------------------------------------------------
+    def _log_deliveries(self, v: int, inbox: "Sequence[Message]") -> None:
+        """One causal edge per ``(sender, sent_round)`` run of ``inbox``.
+
+        The inbox is sender-sorted, so aggregating consecutive runs
+        yields exactly one record per sending neighbour per round — the
+        shape the batch engine derives from its broadcast columns.
+        """
+        causal = self._causal
+        sender, sent_round = inbox[0].sender, inbox[0].sent_round
+        count = 0
+        for message in inbox:
+            if message.sender != sender or message.sent_round != sent_round:
+                causal.message(sender, sent_round, v, self._round, count)
+                sender, sent_round, count = message.sender, message.sent_round, 0
+            count += 1
+        causal.message(sender, sent_round, v, self._round, count)
+
     def _enqueue(self, message: Message) -> None:
         self._outbox.append(message)
 
     def _flush_outbox(self) -> None:
         """Move sent messages into the pending queue, enforcing bandwidth."""
         newly_halted: list[int] = []
-        if self._tracer is not None or self._rounds is not None:
+        if (
+            self._tracer is not None
+            or self._rounds is not None
+            or self._causal is not None
+        ):
             for v, ctx in enumerate(self._contexts):
                 if ctx.halted and v not in self._halted_seen:
                     self._halted_seen.add(v)
@@ -244,6 +278,9 @@ class SyncNetwork:
                 self._tracer.on_send(message)
             for v in newly_halted:
                 self._tracer.on_halt(v, self._round)
+        if self._causal is not None:
+            for v in newly_halted:
+                self._causal.halt(v, self._round)
         edge_words: dict[tuple[int, int], int] = defaultdict(int)
         for message in self._outbox:
             self.stats.messages_sent += 1

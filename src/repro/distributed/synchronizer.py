@@ -48,6 +48,7 @@ from ..graphs.graph import Graph
 from ..rng import DEFAULT_SEED
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.causality import CausalLog
     from ..telemetry.rounds import RoundStream
     from .faults import FaultPlan
     from .node import NodeAlgorithm
@@ -117,6 +118,7 @@ def build_network(
     word_budget: "int | None" = None,
     tracer: "TraceRecorder | None" = None,
     rounds: "RoundStream | None" = None,
+    causal: "CausalLog | None" = None,
     backend: str = "sync",
     delivery: str = "fifo",
     faults: "str | FaultPlan | None" = None,
@@ -138,13 +140,14 @@ def build_network(
 
         return SyncNetwork(
             graph, algorithms, seed=seed, word_budget=word_budget,
-            tracer=tracer, rounds=rounds,
+            tracer=tracer, rounds=rounds, causal=causal,
         )
     if backend == "async":
         from .async_net import AsyncNetwork
 
         return AsyncNetwork(
             graph, algorithms, seed=seed, word_budget=word_budget,
-            tracer=tracer, rounds=rounds, delivery=delivery, faults=faults,
+            tracer=tracer, rounds=rounds, causal=causal,
+            delivery=delivery, faults=faults,
         )
     raise ParameterError(f"backend must be 'sync' or 'async', got {backend!r}")

@@ -249,6 +249,8 @@ class ShiftedFlood:
         frontier: List[Tuple[int, int, int]] = []
         if not outgoing:
             return frontier if full else updated_set
+        if engine.causal is not None:
+            self._log_deliveries(outgoing)
         n = self._n
         indptr, indices = self._indptr, self._indices
         live = self.topology.live
@@ -307,6 +309,35 @@ class ShiftedFlood:
                         else:
                             row.append(origin)
         return frontier if full else updated_set
+
+    def _log_deliveries(self, outgoing: Sequence[Tuple[int, int, int]]) -> None:
+        """Causal parent edges for one delivered broadcast column.
+
+        Provenance is derived per sender from the columnar records: a
+        sender with ``c`` outgoing ``(sender, origin, distance)``
+        records put ``c`` messages on every live CSR neighbour last
+        round, so the edge log is ``(sender -> w, count=c)`` for each
+        live ``w`` — emitted sorted by ``(receiver, sender)``, exactly
+        the reference engine's ascending-receiver, sender-sorted-inbox
+        order.  Merge improvements are irrelevant: the reference engine
+        delivers (and logs) every inbox message whether or not it
+        updates the decision arrays.
+        """
+        per_sender: Dict[int, int] = {}
+        for sender, _origin, _distance in outgoing:
+            per_sender[sender] = per_sender.get(sender, 0) + 1
+        indptr, indices = self._indptr, self._indices
+        live = self.topology.live
+        counts: Dict[Tuple[int, int], int] = {}
+        for sender, count in per_sender.items():
+            for position in range(indptr[sender], indptr[sender + 1]):
+                w = indices[position]
+                if live[w]:
+                    counts[(w, sender)] = count
+        causal = self.engine.causal
+        recv_round = self.engine.round
+        for (w, sender) in sorted(counts):
+            causal.message(sender, recv_round - 1, w, recv_round, counts[(w, sender)])
 
     # ------------------------------------------------------------------
     # Forwarding
@@ -459,5 +490,22 @@ def announce_round(
         senders=senders,
     )
     engine.halt(joined_set)
+    causal = engine.causal
+    if causal is not None:
+        # The notices surviving to non-joined neighbours are delivered
+        # at the next phase's first round; the reference engine logs
+        # them there (ascending receiver, sender-sorted), after this
+        # round's halt records — same sequence here.  Notices to
+        # co-joiners never get logged: the reference drops them at
+        # flush because the receiver has halted.
+        announce_round_number = engine.round
+        pairs = []
+        for v in sorted(joined_set):
+            for position in range(indptr[v], indptr[v + 1]):
+                w = indices[position]
+                if live[w] and w not in joined_set:
+                    pairs.append((w, v))
+        for w, v in sorted(pairs):
+            causal.message(v, announce_round_number, w, announce_round_number + 1)
     topology.remove(joined_set)
     return carried_over

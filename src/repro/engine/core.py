@@ -29,6 +29,7 @@ from ..errors import CongestViolation
 from ..graphs.graph import Graph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.causality import CausalLog
     from ..telemetry.rounds import RoundStream
 
 __all__ = ["BatchEngine"]
@@ -53,6 +54,13 @@ class BatchEngine:
         identically to the reference engine's.  Rounds are flushed
         lazily at the next ``begin_round`` — callers must finish with
         :meth:`finish_rounds` to emit the last one.
+    causal:
+        Optional :class:`~repro.telemetry.causality.CausalLog`; when
+        attached, protocols derive per-message parent edges from their
+        broadcast columns (:meth:`ShiftedFlood._deliver` scans each
+        sender's live CSR row) and the engine emits halt records —
+        row-identical to the reference engine's causal log on seeded
+        runs.
     """
 
     def __init__(
@@ -61,11 +69,13 @@ class BatchEngine:
         word_budget: int | None = None,
         tracer: TraceRecorder | None = None,
         rounds: "RoundStream | None" = None,
+        causal: "CausalLog | None" = None,
     ) -> None:
         self.graph = graph
         self.word_budget = word_budget
         self.tracer = tracer
         self.rounds = rounds
+        self.causal = causal
         self.stats = NetworkStats()
         self.halted = bytearray(graph.num_vertices)
         self.num_live = graph.num_vertices
@@ -125,18 +135,26 @@ class BatchEngine:
     # ------------------------------------------------------------------
     def halt(self, vertices: Iterable[int]) -> None:
         """Mark ``vertices`` halted; emits trace events in ascending order."""
-        tracer, rounds = self.tracer, self.rounds
-        if tracer is None and rounds is None:
+        tracer, rounds, causal = self.tracer, self.rounds, self.causal
+        if tracer is None and rounds is None and causal is None:
             for v in vertices:
                 self.halted[v] = 1
             return
         newly = 0
-        for v in sorted(vertices) if tracer is not None else vertices:
-            if not self.halted[v]:
+        ordered = (
+            sorted(vertices)
+            if tracer is not None or causal is not None
+            else vertices
+        )
+        for v in ordered:
+            first = not self.halted[v]
+            if first:
                 newly += 1
             self.halted[v] = 1
             if tracer is not None:
                 tracer.on_halt(v, self.round)
+            if causal is not None and first:
+                causal.halt(v, self.round)
         if rounds is not None:
             self.num_live -= newly
             rounds.note_halts(newly)

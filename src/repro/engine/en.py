@@ -28,6 +28,7 @@ from .broadcast import LiveTopology, ShiftedFlood, announce_round
 from .core import BatchEngine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.causality import CausalLog
     from ..telemetry.rounds import RoundStream
 
 __all__ = ["BatchENPhases"]
@@ -42,8 +43,9 @@ class BatchENPhases:
         mode: str,
         word_budget: int | None = None,
         rounds: "RoundStream | None" = None,
+        causal: "CausalLog | None" = None,
     ) -> None:
-        self.engine = BatchEngine(graph, word_budget, rounds=rounds)
+        self.engine = BatchEngine(graph, word_budget, rounds=rounds, causal=causal)
         self.topology = LiveTopology(graph)
         self._policy = "full" if mode == "full" else 2
         self._carry = 0  # announce messages in flight into the next phase

@@ -24,6 +24,7 @@ from .broadcast import LiveTopology, ShiftedFlood, announce_round
 from .core import BatchEngine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.causality import CausalLog
     from ..telemetry.rounds import RoundStream
 
 __all__ = ["BatchLSPhases"]
@@ -37,8 +38,9 @@ class BatchLSPhases:
         graph: Graph,
         word_budget: int | None = None,
         rounds: "RoundStream | None" = None,
+        causal: "CausalLog | None" = None,
     ) -> None:
-        self.engine = BatchEngine(graph, word_budget, rounds=rounds)
+        self.engine = BatchEngine(graph, word_budget, rounds=rounds, causal=causal)
         self.topology = LiveTopology(graph)
         self._carry = 0
 

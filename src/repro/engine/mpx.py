@@ -22,6 +22,7 @@ from .broadcast import LiveTopology, ShiftedFlood
 from .core import BatchEngine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.causality import CausalLog
     from ..telemetry.rounds import RoundStream
 
 __all__ = ["run_mpx_batch"]
@@ -34,6 +35,7 @@ def run_mpx_batch(
     mode: str,
     word_budget: int | None = None,
     rounds: "RoundStream | None" = None,
+    causal: "CausalLog | None" = None,
 ) -> Tuple[Dict[int, int], NetworkStats]:
     """One-shot MPX competition; returns ``(center_of, stats)``.
 
@@ -42,7 +44,7 @@ def run_mpx_batch(
     Runs ``budget + 1`` rounds: ``budget`` broadcast rounds plus the
     decision round in which every vertex halts.
     """
-    engine = BatchEngine(graph, word_budget, rounds=rounds)
+    engine = BatchEngine(graph, word_budget, rounds=rounds, causal=causal)
     topology = LiveTopology(graph)
     caps = {v: math.floor(s) for v, s in shifts.items()}
     flood = ShiftedFlood(

@@ -32,7 +32,7 @@ from ..graphs import (
 )
 from ..oracle import build_oracle, estimates_checksum, validate_sample
 from ..rng import stream
-from ..telemetry import Telemetry
+from ..telemetry import Telemetry, critical_path
 from .spec import TrialSpec
 
 __all__ = ["ALGORITHMS", "Adapter", "algorithm_names", "run_trial"]
@@ -528,6 +528,15 @@ def _adapt_robustness(graph: Graph, trial: TrialSpec) -> Record:
     }
     for key in _ASYNC_COUNTER_KEYS:
         record[key] = attrs.get(key, 0)
+    # Critical-path figures off the run's causal log (the local
+    # telemetry records it alongside the counters): on fault-free FIFO
+    # legs the path length equals `rounds` and the drift is zero — the
+    # invariant the CI smoke pins — while adversarial legs report how
+    # much schedule inflation the binding dependency chain absorbed.
+    path = critical_path(tel.causal)
+    record["critical_path_rounds"] = path["rounds"]
+    record["critical_path_time"] = path["time"]
+    record["critical_path_drift"] = path["drift"]
     return record
 
 

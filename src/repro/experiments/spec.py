@@ -44,7 +44,7 @@ __all__ = [
 
 #: Bumped whenever trial semantics change in a way that invalidates cached
 #: records (new metrics, different seed plumbing).  Part of every cache key.
-CODE_VERSION = "en16.experiments.v1"
+CODE_VERSION = "en16.experiments.v2"
 
 ParamItems = Tuple[Tuple[str, Any], ...]
 

@@ -13,6 +13,11 @@ timings and the campaign runtime's per-trial accounting:
   frontier size, live nodes, messages, words, deliveries, halts — from
   *both* execution backends, so sync and batch runs stay
   cross-checkable row by row;
+* **causal logs** (:class:`~repro.telemetry.causality.CausalLog`):
+  per-message parent edges ``(send, send_round, recv, recv_round)``
+  recorded uniformly at all three delivery sites, feeding Lamport
+  clocks, critical-path extraction and slack analysis
+  (:mod:`repro.telemetry.critical`, ``repro trace critical-path``);
 * **sinks**: every record lands in the in-memory collector on the
   :class:`~repro.telemetry.core.Telemetry` object and, optionally, in a
   bounded append-only JSONL file
@@ -46,6 +51,12 @@ on the engine hot path is under 2 % (``benchmarks/bench_telemetry.py``
 gates this in CI).
 """
 
+from .causality import (
+    CausalLog,
+    causal_records,
+    causal_streams,
+    lamport_timestamps,
+)
 from .core import (
     Span,
     Telemetry,
@@ -57,6 +68,7 @@ from .core import (
     shutdown,
 )
 from .events import EventRecorder, TraceEvent
+from .critical import critical_path, lag_timeline, node_lag, slack_stats
 from .export import chrome_trace, validate_chrome_trace
 from .hist import HIST_SCHEMA, LogHistogram
 from .profile import (
@@ -71,6 +83,7 @@ from .rounds import ROUND_KEYS, RoundStream
 from .sink import TELEMETRY_VERSION, JsonlSink, read_trace
 
 __all__ = [
+    "CausalLog",
     "EventRecorder",
     "HIST_SCHEMA",
     "JsonlSink",
@@ -83,8 +96,15 @@ __all__ = [
     "TELEMETRY_VERSION",
     "Telemetry",
     "TraceEvent",
+    "causal_records",
+    "causal_streams",
     "chrome_trace",
     "configure",
+    "critical_path",
+    "lag_timeline",
+    "lamport_timestamps",
+    "node_lag",
+    "slack_stats",
     "configure_profile",
     "maybe_span",
     "measure_span",

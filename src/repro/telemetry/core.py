@@ -33,6 +33,7 @@ from time import perf_counter
 from typing import TYPE_CHECKING
 
 from ..errors import ParameterError
+from .causality import CausalLog
 from .hist import LogHistogram
 from .rounds import RoundStream
 from .sink import JsonlSink
@@ -155,6 +156,7 @@ class Telemetry:
         self.limit = limit
         self.spans: list[dict] = []  # closed-span records, close order
         self.rounds: list[dict] = []  # round records, emit order
+        self.causal: list[dict] = []  # causal edge/halt records, emit order
         self.events = 0  # mirrored EventRecorder events (count only)
         self.hists: dict[str, LogHistogram] = {}  # named, creation order
         self.truncated = False
@@ -218,6 +220,10 @@ class Telemetry:
         """A per-round metrics stream feeding this trace (see rounds.py)."""
         return RoundStream(self, stream, attrs)
 
+    def causal_log(self, stream: str) -> "CausalLog":
+        """A causal parent-edge log feeding this trace (see causality.py)."""
+        return CausalLog(self, stream)
+
     def histogram(self, name: str, **kwargs) -> LogHistogram:
         """The named mergeable histogram of this trace (first use creates).
 
@@ -276,6 +282,7 @@ class Telemetry:
         Aggregated per-path span rows plus collector totals and the
         sink path, so an artifact links to its trace file.
         """
+        from .causality import causal_streams
         from .report import summarize_spans
 
         return {
@@ -285,6 +292,16 @@ class Telemetry:
             "rounds": len(self.rounds),
             "events": self.events,
             "hists": {name: hist.summary() for name, hist in self.hists.items()},
+            "causal": {
+                "records": len(self.causal),
+                "streams": causal_streams(self.causal),
+                "edges": sum(
+                    1 for record in self.causal if record.get("edge") == "msg"
+                ),
+                "halts": sum(
+                    1 for record in self.causal if record.get("edge") == "halt"
+                ),
+            },
             "truncated": self.truncated
             or (self.sink.truncated if self.sink is not None else False),
         }
@@ -303,6 +320,9 @@ class Telemetry:
             # still mergeable — "hist" record ahead of the summary.
             for name, hist in self.hists.items():
                 self.sink.write({"kind": "hist", "name": name, **hist.to_dict()})
+            # Per-kind counts of every record *offered* to the sink
+            # (dropped-past-the-bound writes included), so a truncated
+            # trace is diagnosable from its own summary line.
             self.sink.write(
                 {
                     "kind": "summary",
@@ -310,6 +330,8 @@ class Telemetry:
                     "rounds": len(self.rounds),
                     "events": self.events,
                     "hists": len(self.hists),
+                    "causal": len(self.causal),
+                    "kinds": dict(sorted(self.sink.kind_counts.items())),
                 }
             )
             self.sink.close()

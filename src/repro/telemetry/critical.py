@@ -1,0 +1,371 @@
+"""Critical-path extraction over a causal log.
+
+Consumes the ``"causal"`` records of :mod:`repro.telemetry.causality`
+and answers the question the round counter cannot: *which chain of
+message dependencies forces a run to take the rounds (and the wall
+time) it takes* — and where an adversarial schedule actually injected
+its delay.
+
+The model: each node's participation in a round is one event.  An
+event's **time** is its α-synchronizer ready time when the log carries
+timing extras (adversarial async runs) and the round number otherwise,
+so sync/batch/fault-free-FIFO logs yield ``time == rounds`` exactly.
+The **critical path** of a run ends at the latest halt event and walks
+causal predecessors backwards: at each event the binding constraint is
+either the latest-arriving incoming message (the synchronizer literally
+waits for it) or the node's own previous event.  Each backward step is
+attributed:
+
+* ``transit``  — the one synchronous hop every delivered edge costs;
+* ``delay``    — extra time the delivery schedule added on top of the
+  hop (``arrive − send_time − 1``);
+* ``fault``    — rounds an edge spent buffered by a crash window
+  (redelivery edges);
+* ``compute``  — waiting on the node's own previous round (local
+  edges, e.g. the decide→halt step of EN's phase tail).
+
+**Slack** of an edge is ``recv_time − arrive``: how much later the
+message could have arrived without the receiver's ready time moving —
+the first-order answer to "could the adversary have delayed this
+message for free?".
+
+The headline invariant (pinned by tests and the CI robustness smoke):
+on fault-free FIFO runs the critical path's ``rounds`` equals the
+driver's reported round count for EN/LS/MPX on every backend, and its
+``drift`` (``time − rounds``) is zero; under adversarial schedules the
+drift is exactly the schedule's accumulated inflation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Mapping
+
+from .causality import causal_records, causal_streams
+
+__all__ = ["critical_path", "lag_timeline", "node_lag", "slack_stats"]
+
+
+def _num(value: float):
+    if value == int(value):
+        return int(value)
+    return round(value, 6)
+
+
+class _EventIndex:
+    """Receive/halt events of one stream, with ready-time lookups."""
+
+    def __init__(self, rows: list[dict]) -> None:
+        self.msg_rows = [row for row in rows if row["edge"] == "msg"]
+        self.extras = any("recv_time" in row for row in self.msg_rows)
+        #: (recv, recv_round) -> incoming edge rows
+        self.incoming: dict[tuple[int, int], list[dict]] = {}
+        #: node -> ascending receive rounds
+        self.recv_rounds: dict[int, list[int]] = {}
+        #: node -> prefix-max of (recv_time - round), parallel to recv_rounds
+        self._lag: dict[int, list[float]] = {}
+        #: node -> halt round
+        self.halt_round: dict[int, int] = {}
+        for row in rows:
+            if row["edge"] == "halt":
+                node, halt = row["node"], row["round"]
+                if halt > self.halt_round.get(node, -1):
+                    self.halt_round[node] = halt
+        by_node: dict[int, dict[int, float]] = {}
+        for row in self.msg_rows:
+            key = (row["recv"], row["recv_round"])
+            self.incoming.setdefault(key, []).append(row)
+            lags = by_node.setdefault(row["recv"], {})
+            lag = float(row.get("recv_time", row["recv_round"])) - row["recv_round"]
+            if lag > lags.get(row["recv_round"], -1.0):
+                lags[row["recv_round"]] = lag
+        for node, lags in by_node.items():
+            rounds = sorted(lags)
+            prefix: list[float] = []
+            running = 0.0
+            for round_number in rounds:
+                running = max(running, lags[round_number])
+                prefix.append(running)
+            self.recv_rounds[node] = rounds
+            self._lag[node] = prefix
+
+    def event_time(self, node: int, round_number: int) -> float:
+        """Ready time of ``node``'s round-``round_number`` event.
+
+        ``round_number`` plus the worst lag among the node's receives up
+        to that round — a node that once waited on a late message stays
+        late until rounds catch up (its virtual clock advances one per
+        pulse from the inflated point).
+        """
+        rounds = self.recv_rounds.get(node)
+        if not rounds:
+            return float(round_number)
+        index = bisect_right(rounds, round_number)
+        if not index:
+            return float(round_number)
+        return round_number + max(self._lag[node][index - 1], 0.0)
+
+    def previous_round(self, node: int, round_number: int) -> "int | None":
+        """The node's latest receive round strictly before ``round_number``."""
+        rounds = self.recv_rounds.get(node)
+        if not rounds:
+            return None
+        index = bisect_left(rounds, round_number)
+        return rounds[index - 1] if index else None
+
+    def latest_round(self, node: int, round_number: int) -> "int | None":
+        """The node's latest receive round at or before ``round_number``."""
+        rounds = self.recv_rounds.get(node)
+        if not rounds:
+            return None
+        index = bisect_right(rounds, round_number)
+        return rounds[index - 1] if index else None
+
+
+def _one_stream(records: Iterable[Mapping], stream: "str | None") -> tuple[str, list[dict]]:
+    rows = causal_records(records, stream)
+    if not rows:
+        raise ValueError(
+            "no causal records"
+            + (f" for stream {stream!r}" if stream is not None else "")
+            + " — was the run traced?"
+        )
+    streams = causal_streams(rows)
+    if len(streams) > 1:
+        raise ValueError(
+            f"causal log mixes streams {streams}; pass stream= to pick one"
+        )
+    return streams[0], rows
+
+
+def critical_path(
+    records: Iterable[Mapping],
+    stream: "str | None" = None,
+    node: "int | None" = None,
+) -> dict:
+    """The longest dependency chain ending at a halt (module docstring).
+
+    ``node`` pins the chain to that node's halt (default: the latest
+    halt in the log — ties broken toward the smallest node id).
+    Returns rounds/time/drift plus the attributed ``chain`` and the
+    stream-wide ``slack`` summary.
+    """
+    name, rows = _one_stream(records, stream)
+    index = _EventIndex(rows)
+    halted = True
+    if node is not None:
+        end_node = node
+        if node in index.halt_round:
+            end_round = index.halt_round[node]
+        else:
+            last = index.latest_round(node, 1 << 62)
+            if last is None:
+                raise ValueError(f"node {node} has no events in the causal log")
+            end_round, halted = last, False
+    elif index.halt_round:
+        end_node, end_round, _time = min(
+            (
+                (candidate, halt, index.event_time(candidate, halt))
+                for candidate, halt in index.halt_round.items()
+            ),
+            key=lambda item: (-item[2], -item[1], item[0]),
+        )
+    else:
+        # A log with no halts (e.g. an aborted run): end at the latest
+        # receive event instead, latest time first, smallest node on ties.
+        halted = False
+        end_node, end_round = min(
+            (
+                (candidate, rounds[-1])
+                for candidate, rounds in index.recv_rounds.items()
+            ),
+            key=lambda item: (
+                -index.event_time(item[0], item[1]),
+                -item[1],
+                item[0],
+            ),
+        )
+    end_time = index.event_time(end_node, end_round)
+
+    chain: list[dict] = []
+    attribution = {"transit": 0.0, "delay": 0.0, "fault": 0.0, "compute": 0.0}
+    current_node, current_round = end_node, end_round
+    while True:
+        incoming = index.incoming.get((current_node, current_round), ())
+        previous = index.previous_round(current_node, current_round)
+        binding = None
+        if incoming:
+            binding = max(
+                incoming,
+                key=lambda row: (
+                    row.get("arrive", row["send_round"] + 1),
+                    -row["send"],
+                ),
+            )
+            binding_time = float(binding.get("arrive", binding["send_round"] + 1))
+            if binding_time == 0.0:
+                # Redelivery sentinel: the edge was released *at* this
+                # pulse, so it binds like an on-time arrival.
+                binding_time = float(current_round)
+        if binding is not None and (
+            previous is None
+            or binding_time >= index.event_time(current_node, previous)
+        ):
+            fault = int(binding.get("fault", 0))
+            if fault:
+                delay = 0.0
+                fault_rounds = float(
+                    max(current_round - binding["send_round"] - 1, 0)
+                )
+            else:
+                fault_rounds = 0.0
+                delay = max(
+                    float(binding.get("arrive", binding["send_round"] + 1))
+                    - float(binding.get("send_time", binding["send_round"]))
+                    - 1.0,
+                    0.0,
+                )
+            chain.append(
+                {
+                    "edge": "msg",
+                    "send": binding["send"],
+                    "send_round": binding["send_round"],
+                    "recv": current_node,
+                    "recv_round": current_round,
+                    "transit": 1,
+                    "delay": _num(delay),
+                    "fault": _num(fault_rounds),
+                }
+            )
+            attribution["transit"] += 1.0
+            attribution["delay"] += delay
+            attribution["fault"] += fault_rounds
+            parent = index.latest_round(binding["send"], binding["send_round"])
+            if parent is None:
+                break  # the chain reached a protocol start
+            current_node, current_round = binding["send"], parent
+        elif previous is not None:
+            compute = index.event_time(current_node, current_round) - index.event_time(
+                current_node, previous
+            )
+            chain.append(
+                {
+                    "edge": "local",
+                    "node": current_node,
+                    "from_round": previous,
+                    "to_round": current_round,
+                    "compute": _num(compute),
+                }
+            )
+            attribution["compute"] += compute
+            current_round = previous
+        else:
+            break
+    chain.reverse()
+    return {
+        "stream": name,
+        "node": end_node,
+        "halted": halted,
+        "rounds": end_round,
+        "time": _num(end_time),
+        "drift": _num(end_time - end_round),
+        "halts": len(index.halt_round),
+        "edges": len(index.msg_rows),
+        "chain": chain,
+        "attribution": {key: _num(value) for key, value in attribution.items()},
+        "slack": slack_stats(rows),
+    }
+
+
+def slack_stats(records: Iterable[Mapping], stream: "str | None" = None) -> dict:
+    """Stream-wide slack summary: ``recv_time − arrive`` per edge.
+
+    An edge's slack is how much later it could have arrived without its
+    receiver's ready time moving.  Fault (redelivery) edges carry no
+    meaningful arrival and are excluded.  Logs without timing extras
+    (sync/batch/fault-free FIFO) are all-zero by construction.
+    """
+    rows = [
+        row
+        for row in causal_records(records, stream)
+        if row["edge"] == "msg" and not row.get("fault", 0)
+    ]
+    slacks = [
+        max(
+            float(row.get("recv_time", row["recv_round"]))
+            - float(row.get("arrive", row["recv_round"])),
+            0.0,
+        )
+        for row in rows
+    ]
+    if not slacks:
+        return {"edges": 0, "min": 0, "mean": 0, "max": 0}
+    return {
+        "edges": len(slacks),
+        "min": _num(min(slacks)),
+        "mean": _num(round(sum(slacks) / len(slacks), 6)),
+        "max": _num(max(slacks)),
+    }
+
+
+def lag_timeline(records: Iterable[Mapping], stream: "str | None" = None) -> list[dict]:
+    """Per-round lag/skew rows: where the adversary bent the timeline.
+
+    One row per delivery round — edges, delivered messages, halts, the
+    worst per-node lag (``recv_time − round``) and the within-round
+    skew (spread of ready times).  Without timing extras the lag and
+    skew columns are zero and the table reduces to a delivery census.
+    """
+    rows = causal_records(records, stream)
+    by_round: dict[int, dict] = {}
+    for row in rows:
+        if row["edge"] == "halt":
+            entry = by_round.setdefault(
+                row["round"], {"edges": 0, "messages": 0, "halts": 0, "times": []}
+            )
+            entry["halts"] += 1
+            continue
+        entry = by_round.setdefault(
+            row["recv_round"], {"edges": 0, "messages": 0, "halts": 0, "times": []}
+        )
+        entry["edges"] += 1
+        entry["messages"] += row.get("count", 1)
+        entry["times"].append(float(row.get("recv_time", row["recv_round"])))
+    timeline = []
+    for round_number in sorted(by_round):
+        entry = by_round[round_number]
+        times = entry["times"]
+        lag = max((time - round_number for time in times), default=0.0)
+        skew = (max(times) - min(times)) if times else 0.0
+        timeline.append(
+            {
+                "round": round_number,
+                "edges": entry["edges"],
+                "messages": entry["messages"],
+                "halts": entry["halts"],
+                "lag": _num(max(lag, 0.0)),
+                "skew": _num(skew),
+            }
+        )
+    return timeline
+
+
+def node_lag(records: Iterable[Mapping], stream: "str | None" = None) -> list[dict]:
+    """Per-node lag rows: events, halt round, worst ready-time lag."""
+    rows = causal_records(records, stream)
+    index = _EventIndex(rows)
+    nodes = sorted(set(index.recv_rounds) | set(index.halt_round))
+    table = []
+    for node in nodes:
+        rounds = index.recv_rounds.get(node, [])
+        worst = max(index._lag[node]) if node in index._lag else 0.0
+        table.append(
+            {
+                "node": node,
+                "events": len(rounds),
+                "last_round": rounds[-1] if rounds else index.halt_round.get(node, 0),
+                "halt_round": index.halt_round.get(node),
+                "max_lag": _num(max(worst, 0.0)),
+            }
+        )
+    return table

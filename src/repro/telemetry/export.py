@@ -22,6 +22,12 @@ is **lossless**: every input record lands in the output somewhere.
   as an instant event per stream.
 * **event** records (the per-message recorder) become instant
   (``"ph": "i"``) events on the ``events`` process at their round tick.
+* **causal** records (:mod:`~repro.telemetry.causality`) become flow
+  events on the ``rounds`` process: each message edge is one
+  ``"s"``/``"f"`` pair (flow start at the send round's tick, flow end —
+  with ``"bp": "e"`` — at the receive round's tick) sharing a unique
+  integer ``id``, so Perfetto draws the causal arrows over the round
+  counters; halt edges become instant events on the same track.
 * **hist**, **profile**, **summary**, **truncated** and **header**
   records are carried under ``otherData`` verbatim — histograms stay
   mergeable after export.
@@ -55,7 +61,7 @@ _PROCESS_NAMES = {_PID_SPANS: "spans", _PID_ROUNDS: "rounds", _PID_EVENTS: "even
 #: Round-record columns that chart as counter series.
 _NON_SERIES_ROUND_KEYS = frozenset(("kind", "stream", "round"))
 
-_VALID_PHASES = frozenset(("X", "C", "i", "M"))
+_VALID_PHASES = frozenset(("X", "C", "i", "M", "s", "f"))
 
 
 def _micros(seconds: float) -> int:
@@ -73,6 +79,14 @@ def chrome_trace(records: Iterable[dict]) -> dict:
     used_pids: set[int] = set()
     stream_tids: dict[str, int] = {}
     fallback_ts = 0  # pre-`start` traces: lay spans out end-to-end
+    flow_id = 0  # unique id shared by each causal "s"/"f" pair
+
+    def stream_tid(stream: str) -> int:
+        tid = stream_tids.get(stream)
+        if tid is None:
+            tid = stream_tids[stream] = len(stream_tids) + 1
+            events.append(_meta(_PID_ROUNDS, tid, "thread_name", {"name": stream}))
+        return tid
 
     for record in records:
         kind = record.get("kind")
@@ -174,6 +188,57 @@ def chrome_trace(records: Iterable[dict]) -> dict:
                     },
                 }
             )
+        elif kind == "causal":
+            used_pids.add(_PID_ROUNDS)
+            stream = str(record.get("stream", "causal"))
+            tid = stream_tid(stream)
+            if record.get("edge") == "halt":
+                events.append(
+                    {
+                        "name": "halt",
+                        "cat": "causal",
+                        "ph": "i",
+                        "s": "t",
+                        "ts": int(record.get("round", 0)) * ROUND_TICK_US,
+                        "pid": _PID_ROUNDS,
+                        "tid": tid,
+                        "args": {"node": record.get("node")},
+                    }
+                )
+            else:
+                flow_id += 1
+                args = {
+                    key: record[key]
+                    for key in (
+                        "send", "recv", "count", "send_time", "arrive",
+                        "recv_time", "fault",
+                    )
+                    if key in record
+                }
+                common = {
+                    "name": "msg",
+                    "cat": "causal",
+                    "id": flow_id,
+                    "pid": _PID_ROUNDS,
+                    "tid": tid,
+                }
+                events.append(
+                    {
+                        **common,
+                        "ph": "s",
+                        "ts": int(record.get("send_round", 0)) * ROUND_TICK_US,
+                        "args": args,
+                    }
+                )
+                events.append(
+                    {
+                        **common,
+                        "ph": "f",
+                        "bp": "e",
+                        "ts": int(record.get("recv_round", 0)) * ROUND_TICK_US,
+                        "args": args,
+                    }
+                )
         elif kind == "hist":
             payload = {k: v for k, v in record.items() if k not in ("kind", "name")}
             other.setdefault("hists", {})[str(record.get("name", "?"))] = payload
@@ -205,14 +270,19 @@ def validate_chrome_trace(payload: object) -> None:
 
     Checks the object format's envelope and, per event, the fields the
     trace-event schema requires for the phases this exporter emits
-    (``X``/``C``/``i``/``M``) — plus JSON-serializability, so a payload
-    that validates is guaranteed to load in Perfetto.
+    (``X``/``C``/``i``/``M``/``s``/``f``) — plus JSON-serializability, so
+    a payload that validates is guaranteed to load in Perfetto.  Flow
+    events must pair up: every flow start (``"s"``) needs a flow end
+    (``"f"``) with the same integer ``id`` and vice versa, and every
+    non-metadata event needs a non-negative integer timestamp.
     """
     if not isinstance(payload, dict):
         raise ValueError("trace payload must be a JSON object")
     events = payload.get("traceEvents")
     if not isinstance(events, list):
         raise ValueError("traceEvents must be a list")
+    flow_starts: set[int] = set()
+    flow_ends: set[int] = set()
     for position, event in enumerate(events):
         where = f"traceEvents[{position}]"
         if not isinstance(event, dict):
@@ -237,6 +307,17 @@ def validate_chrome_trace(payload: object) -> None:
             raise ValueError(f"{where} is a complete event without a valid dur")
         if phase == "i" and event.get("s") not in ("t", "p", "g"):
             raise ValueError(f"{where} is an instant event without a valid scope")
+        if phase in ("s", "f"):
+            flow = event.get("id")
+            if not isinstance(flow, int) or isinstance(flow, bool):
+                raise ValueError(f"{where} is a flow event without an integer id")
+            (flow_starts if phase == "s" else flow_ends).add(flow)
+    unpaired = flow_starts.symmetric_difference(flow_ends)
+    if unpaired:
+        raise ValueError(
+            "flow events are not paired: ids "
+            f"{sorted(unpaired)[:5]} lack a matching start/end"
+        )
     try:
         json.dumps(payload)
     except (TypeError, ValueError) as exc:

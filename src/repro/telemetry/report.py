@@ -12,7 +12,11 @@ Three views over a trace (a list of records from
   (or every) round stream, in emit order;
 * :func:`diff_summaries` — two span summaries aligned by path: call
   deltas are exact, time deltas are flagged against a relative
-  tolerance (wall clock is noisy; counters are not).
+  tolerance (wall clock is noisy; counters are not);
+* :func:`causality_table` — per-stream census of the causal message
+  log (:mod:`~repro.telemetry.causality`): edges, delivered messages,
+  halts, rounds, the maximum Lamport clock and the schedule-slack
+  summary.
 
 Everything here is a pure function of record lists — the CLI layer
 only parses arguments and formats these rows.
@@ -22,7 +26,12 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["diff_summaries", "round_timeline", "summarize_spans"]
+__all__ = [
+    "causality_table",
+    "diff_summaries",
+    "round_timeline",
+    "summarize_spans",
+]
 
 
 def _span_records(records: Iterable[dict]) -> list[dict]:
@@ -84,6 +93,48 @@ def round_timeline(
             continue
         rows.append({k: v for k, v in record.items() if k != "kind"})
     return rows
+
+
+def causality_table(
+    records: Iterable[dict], stream: str | None = None
+) -> list[dict]:
+    """One census row per causal stream (or only ``stream``).
+
+    ``rounds`` is the last round with any causal activity, ``lamport``
+    the maximum Lamport clock (the causal depth of the run — invariant
+    under delivery reordering), and the slack columns summarize how
+    much schedule-delay headroom the delivered edges had (all zero for
+    sync/batch/fault-free-FIFO logs).
+    """
+    from .causality import causal_records, causal_streams, lamport_timestamps
+    from .critical import slack_stats
+
+    rows = causal_records(records, stream)
+    table = []
+    for name in causal_streams(rows):
+        mine = [row for row in rows if row["stream"] == name]
+        edges = [row for row in mine if row["edge"] == "msg"]
+        halts = [row for row in mine if row["edge"] == "halt"]
+        last_round = max(
+            [row["recv_round"] for row in edges]
+            + [row["round"] for row in halts],
+            default=0,
+        )
+        clocks = lamport_timestamps(mine)
+        slack = slack_stats(mine)
+        table.append(
+            {
+                "stream": name,
+                "edges": len(edges),
+                "messages": sum(row.get("count", 1) for row in edges),
+                "halts": len(halts),
+                "rounds": last_round,
+                "lamport": max(clocks.values(), default=0),
+                "slack_mean": slack["mean"],
+                "slack_max": slack["max"],
+            }
+        )
+    return table
 
 
 def diff_summaries(

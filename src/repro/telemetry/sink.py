@@ -47,6 +47,9 @@ class JsonlSink:
         self.limit = limit
         self.written = 0
         self.dropped = 0
+        #: Records *offered* per kind — dropped writes included, so a
+        #: truncated trace's summary still says what the run produced.
+        self.kind_counts: dict[str, int] = {}
         self._handle: IO[str] | None = None
 
     def _file(self) -> IO[str]:
@@ -69,6 +72,8 @@ class JsonlSink:
 
     def write(self, record: dict) -> None:
         """Append one record, or silently drop it past the bound."""
+        kind = str(record.get("kind", "unknown"))
+        self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
         if self.written >= self.limit:
             self.dropped += 1
             return

@@ -1,0 +1,272 @@
+"""Causal provenance and critical-path analysis (docs/telemetry.md).
+
+The contracts under test:
+
+* **row identity** — for one ``(graph, seed)`` the causal logs of the
+  sync reference, the columnar batch engine and the fault-free FIFO
+  async engine are *row-identical* (same dicts, same order) for
+  EN/LS/MPX;
+* **the headline invariant** — on fault-free FIFO runs the critical
+  path's round count equals the driver's reported total and its drift
+  is zero, on every backend;
+* **adversarial attribution** — delay schedules inflate ``time`` (and
+  only ``time``); crash redeliveries show up as ``fault`` rounds;
+* **Lamport sanity** — clocks increase along every edge and are a pure
+  function of the dependency structure;
+* **bookkeeping** — collector/sink integration: the ``causal`` block
+  census, the summary record's per-kind counts, truncation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import distributed_ls, distributed_mpx
+from repro.core.distributed_en import decompose_distributed
+from repro.graphs import erdos_renyi
+from repro.telemetry import (
+    JsonlSink,
+    Telemetry,
+    causal_records,
+    causal_streams,
+    critical_path,
+    lag_timeline,
+    lamport_timestamps,
+    node_lag,
+    read_trace,
+    slack_stats,
+)
+from repro.telemetry.causality import CausalLog
+
+ALGOS = ("en", "ls", "mpx")
+BACKENDS = ("sync", "batch", "async")
+
+
+def _run(algo: str, graph, seed: int, **kwargs):
+    if algo == "en":
+        result = decompose_distributed(graph, k=3, seed=seed, **kwargs)
+        return result, result.total_rounds
+    if algo == "ls":
+        result = distributed_ls.decompose_distributed(
+            graph, k=3, seed=seed, **kwargs
+        )
+        return result, result.total_rounds
+    result = distributed_mpx.partition_distributed(
+        graph, beta=0.4, seed=seed, **kwargs
+    )
+    return result, result.rounds
+
+
+def _traced(algo: str, graph, seed: int, **kwargs):
+    telemetry = Telemetry()
+    _result, rounds = _run(algo, graph, seed, telemetry=telemetry, **kwargs)
+    return telemetry.causal, rounds
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(32, 0.15, seed=7)
+
+
+class TestRowIdentity:
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_causal_logs_row_identical_across_backends(self, algo, graph):
+        logs = {
+            backend: _traced(algo, graph, 11, backend=backend)[0]
+            for backend in BACKENDS
+        }
+        assert logs["sync"]  # provenance was recorded
+        assert logs["batch"] == logs["sync"]
+        assert logs["async"] == logs["sync"]
+
+    def test_fault_free_logs_carry_no_timing_extras(self, graph):
+        rows, _ = _traced("en", graph, 11, backend="async")
+        assert all("recv_time" not in row for row in rows)
+
+    def test_adversarial_logs_carry_timing_extras(self, graph):
+        rows, _ = _traced(
+            "en", graph, 11, backend="async", delivery="random:2"
+        )
+        msg = [r for r in rows if r["edge"] == "msg"]
+        assert msg and all(
+            {"send_time", "arrive", "recv_time", "fault"} <= set(row) for row in msg
+        )
+
+
+class TestCriticalPathInvariant:
+    @pytest.mark.parametrize("algo", ALGOS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fault_free_path_length_equals_driver_rounds(
+        self, algo, backend, graph
+    ):
+        rows, rounds = _traced(algo, graph, 11, backend=backend)
+        path = critical_path(rows)
+        assert path["rounds"] == rounds
+        assert path["time"] == rounds
+        assert path["drift"] == 0
+        assert path["halted"] is True
+        assert path["attribution"]["delay"] == 0
+        assert path["attribution"]["fault"] == 0
+
+    def test_chain_is_contiguous(self, graph):
+        rows, _ = _traced("en", graph, 11)
+        chain = critical_path(rows)["chain"]
+        assert chain
+        for earlier, later in zip(chain, chain[1:]):
+            head = (
+                earlier["recv"] if earlier["edge"] == "msg" else earlier["node"]
+            )
+            tail = later["send"] if later["edge"] == "msg" else later["node"]
+            assert head == tail
+
+    def test_node_pin_selects_that_nodes_halt(self, graph):
+        rows, _ = _traced("en", graph, 11)
+        halts = {r["node"]: r["round"] for r in rows if r["edge"] == "halt"}
+        node = min(halts)
+        path = critical_path(rows, node=node)
+        assert path["node"] == node
+        assert path["rounds"] == halts[node]
+        assert path["halted"] is True
+
+    def test_empty_and_mixed_logs_are_rejected(self, graph):
+        with pytest.raises(ValueError, match="no causal records"):
+            critical_path([])
+        en_rows, _ = _traced("en", graph, 11)
+        ls_rows, _ = _traced("ls", graph, 11)
+        with pytest.raises(ValueError, match="mixes streams"):
+            critical_path(en_rows + ls_rows)
+        # Pinning the stream disambiguates.
+        path = critical_path(en_rows + ls_rows, stream="ls.causal")
+        assert path["stream"] == "ls.causal"
+
+
+class TestAdversarialAttribution:
+    def test_delay_schedule_inflates_time_not_rounds(self, graph):
+        fifo_rows, rounds = _traced("en", graph, 11, backend="async")
+        rows, adv_rounds = _traced(
+            "en", graph, 11, backend="async", delivery="random:2"
+        )
+        assert adv_rounds == rounds  # logical structure is untouched
+        path = critical_path(rows)
+        assert path["rounds"] == rounds
+        assert path["drift"] > 0
+        assert path["time"] == pytest.approx(rounds + path["drift"])
+        assert path["attribution"]["delay"] > 0
+        assert critical_path(fifo_rows)["drift"] == 0
+
+    def test_crash_redeliveries_are_attributed_as_fault_rounds(self, graph):
+        rows, _ = _traced(
+            "en",
+            graph,
+            11,
+            backend="async",
+            delivery="random:2",
+            faults="crash:4@2-7;redeliver",
+        )
+        redelivered = [
+            r for r in rows if r["edge"] == "msg" and r.get("fault", 0) > 0
+        ]
+        assert redelivered  # the crash window actually buffered traffic
+        for row in redelivered:
+            assert row["fault"] == max(
+                row["recv_round"] - row["send_round"] - 1, 0
+            ) or row["fault"] > 0
+
+    def test_slack_is_zero_on_fifo_and_positive_under_delay(self, graph):
+        fifo_rows, _ = _traced("en", graph, 11, backend="async")
+        assert slack_stats(fifo_rows)["max"] == 0
+        rows, _ = _traced(
+            "en", graph, 11, backend="async", delivery="random:2"
+        )
+        stats = slack_stats(rows)
+        assert stats["edges"] > 0
+        assert stats["max"] > 0
+        assert 0 <= stats["min"] <= stats["mean"] <= stats["max"]
+
+    def test_lag_timeline_and_node_lag_shapes(self, graph):
+        rows, _ = _traced(
+            "en", graph, 11, backend="async", delivery="random:2"
+        )
+        timeline = lag_timeline(rows)
+        assert timeline == sorted(timeline, key=lambda row: row["round"])
+        assert sum(row["halts"] for row in timeline) == sum(
+            1 for r in rows if r["edge"] == "halt"
+        )
+        assert any(row["lag"] > 0 for row in timeline)
+        per_node = node_lag(rows)
+        assert {row["node"] for row in per_node} == {
+            r["node"] for r in rows if r["edge"] == "halt"
+        } | {r["recv"] for r in rows if r["edge"] == "msg"}
+        assert all(row["max_lag"] >= 0 for row in per_node)
+
+
+class TestLamport:
+    def test_clocks_increase_along_every_edge(self, graph):
+        rows, _ = _traced("en", graph, 11)
+        clocks = lamport_timestamps(rows)
+        for row in rows:
+            if row["edge"] != "msg":
+                continue
+            sender_events = [
+                clock
+                for (node, round_number), clock in clocks.items()
+                if node == row["send"] and round_number <= row["send_round"]
+            ]
+            send_clock = max(sender_events, default=0)
+            assert clocks[(row["recv"], row["recv_round"])] > send_clock
+
+    def test_clocks_are_monotone_per_node(self, graph):
+        rows, _ = _traced("ls", graph, 11)
+        by_node: dict[int, list[tuple[int, int]]] = {}
+        for (node, round_number), clock in lamport_timestamps(rows).items():
+            by_node.setdefault(node, []).append((round_number, clock))
+        for events in by_node.values():
+            events.sort()
+            for (_, earlier), (_, later) in zip(events, events[1:]):
+                assert later > earlier
+
+
+class TestCollectorIntegration:
+    def test_block_census_and_summary_kinds(self, graph, tmp_path):
+        path = tmp_path / "run.jsonl"
+        telemetry = Telemetry(sink=JsonlSink(path))
+        _run("en", graph, 11, telemetry=telemetry, backend="batch")
+        block = telemetry.block()
+        assert block["causal"]["streams"] == ["en.causal"]
+        assert block["causal"]["records"] == len(telemetry.causal)
+        assert block["causal"]["edges"] + block["causal"]["halts"] == len(
+            telemetry.causal
+        )
+        telemetry.close()
+        _header, records = read_trace(path)
+        summary = next(r for r in records if r["kind"] == "summary")
+        assert summary["causal"] == len(
+            [r for r in records if r["kind"] == "causal"]
+        )
+        assert summary["kinds"]["causal"] == summary["causal"]
+        assert summary["kinds"]["round"] == summary["rounds"]
+
+    def test_causal_filters(self, graph):
+        en_rows, _ = _traced("en", graph, 11)
+        ls_rows, _ = _traced("ls", graph, 11)
+        mixed = en_rows + ls_rows
+        assert causal_streams(mixed) == ["en.causal", "ls.causal"]
+        assert causal_records(mixed, "en.causal") == en_rows
+        assert causal_records(mixed, "ls.causal") == ls_rows
+
+    def test_collector_limit_truncates_but_counts(self):
+        telemetry = Telemetry(limit=4)
+        log = CausalLog(telemetry, "t.causal")
+        for i in range(8):
+            log.message(i, 1, i + 1, 2)
+        assert len(telemetry.causal) == 4
+        assert telemetry.truncated is True
+
+    def test_row_values_are_normalized_numbers(self, graph):
+        rows, _ = _traced(
+            "en", graph, 11, backend="async", delivery="random:2"
+        )
+        for row in rows:
+            for key, value in row.items():
+                if isinstance(value, float):
+                    assert value == round(value, 6), (key, value)

@@ -68,6 +68,14 @@ class TestTraceSummarize:
         assert "phase" in out
         assert "round record(s)" in out
 
+    def test_header_prints_per_kind_record_counts(self, trace_file, capsys):
+        assert main(["trace", "summarize", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        header = next(
+            line for line in out.splitlines() if line.startswith("records:")
+        )
+        assert "causal=" in header and "round=" in header and "span=" in header
+
     def test_json_artifact(self, trace_file, tmp_path, capsys):
         artifact = tmp_path / "summary.json"
         argv = ["trace", "summarize", str(trace_file), "--json", str(artifact)]
@@ -101,6 +109,70 @@ class TestTraceTimeline:
         rows = json.loads(artifact.read_text())["rows"]
         assert rows and all(row["stream"] == "en.rounds" for row in rows)
         assert sum(row["halts"] for row in rows) == 40
+
+
+class TestTraceCausality:
+    def test_census_table_and_lag_timeline(self, trace_file, capsys):
+        assert main(["trace", "causality", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "en.causal" in out
+        assert "lamport" in out
+        assert "lag timeline" in out
+
+    def test_json_artifact(self, trace_file, tmp_path, capsys):
+        artifact = tmp_path / "causality.json"
+        argv = ["trace", "causality", str(trace_file), "--json", str(artifact)]
+        assert main(argv) == 0
+        payload = json.loads(artifact.read_text())
+        assert payload["command"] == "trace causality"
+        assert payload["rows"][0]["stream"] == "en.causal"
+        assert payload["rows"][0]["edges"] > 0
+        assert payload["timeline"]
+
+    def test_unknown_stream_is_a_parameter_error(self, trace_file, capsys):
+        argv = ["trace", "causality", str(trace_file), "--stream", "nope"]
+        assert main(argv) == 2
+        assert "streams present" in capsys.readouterr().err
+
+
+class TestTraceCriticalPath:
+    def test_prints_headline_attribution_and_chain(self, trace_file, capsys):
+        assert main(["trace", "critical-path", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path of" in out
+        assert "attribution:" in out
+        assert "critical-path chain" in out
+
+    def test_json_artifact_carries_the_invariant(
+        self, trace_file, tmp_path, capsys
+    ):
+        artifact = tmp_path / "critical.json"
+        argv = [
+            "trace", "critical-path", str(trace_file), "--json", str(artifact)
+        ]
+        assert main(argv) == 0
+        payload = json.loads(artifact.read_text())
+        assert payload["command"] == "trace critical-path"
+        # The fixture run is fault-free batch: zero drift by contract.
+        assert payload["drift"] == 0
+        assert payload["halted"] is True
+        assert payload["chain"]
+
+    def test_node_pin(self, trace_file, capsys):
+        assert main(
+            ["trace", "critical-path", str(trace_file), "--node", "0"]
+        ) == 0
+        assert "node 0" in capsys.readouterr().out
+
+    def test_trace_without_causal_rows_is_a_parameter_error(
+        self, tmp_path, capsys
+    ):
+        spans_only = tmp_path / "spans.jsonl"
+        spans_only.write_text(
+            json.dumps({"kind": "span", "name": "x", "seconds": 0.1}) + "\n"
+        )
+        assert main(["trace", "critical-path", str(spans_only)]) == 2
+        assert "no causal records" in capsys.readouterr().err
 
 
 class TestTraceDiff:
@@ -209,7 +281,10 @@ class TestTraceExport:
         argv = ["trace", "export", str(trace_file), "--format", "jsonl"]
         assert main(argv) == 0
         lines = capsys.readouterr().out.strip().split("\n")
-        assert all(json.loads(line)["ph"] in "XCiM" for line in lines)
+        assert all(
+            json.loads(line)["ph"] in ("X", "C", "i", "M", "s", "f")
+            for line in lines
+        )
 
     def test_missing_file_is_a_parameter_error(self, tmp_path, capsys):
         assert main(["trace", "export", str(tmp_path / "absent.jsonl")]) == 2

@@ -125,6 +125,75 @@ class TestChromeTraceMapping:
         assert instant["args"] == {"node": 1, "peer": 4, "round": 2}
 
 
+class TestCausalFlows:
+    def test_causal_msg_rows_become_paired_flow_events(self, traced_run_records):
+        payload = chrome_trace(traced_run_records)
+        validate_chrome_trace(payload)
+        msg_rows = [
+            r for r in traced_run_records
+            if r["kind"] == "causal" and r["edge"] == "msg"
+        ]
+        assert msg_rows  # the traced run recorded provenance
+        starts = [e for e in payload["traceEvents"] if e["ph"] == "s"]
+        ends = [e for e in payload["traceEvents"] if e["ph"] == "f"]
+        assert len(starts) == len(msg_rows)
+        assert len(ends) == len(msg_rows)
+        assert {e["id"] for e in starts} == {e["id"] for e in ends}
+        assert all(e["bp"] == "e" for e in ends)
+
+    def test_flow_events_sit_on_the_round_clock(self):
+        payload = chrome_trace([
+            {"kind": "causal", "stream": "en.causal", "edge": "msg",
+             "send": 3, "send_round": 1, "recv": 7, "recv_round": 2, "count": 1},
+            {"kind": "causal", "stream": "en.causal", "edge": "halt",
+             "node": 7, "round": 4},
+        ])
+        validate_chrome_trace(payload)
+        start = next(e for e in payload["traceEvents"] if e["ph"] == "s")
+        end = next(e for e in payload["traceEvents"] if e["ph"] == "f")
+        assert start["ts"] == 1 * ROUND_TICK_US
+        assert end["ts"] == 2 * ROUND_TICK_US
+        assert start["id"] == end["id"]
+        assert start["args"] == {"send": 3, "recv": 7, "count": 1}
+        halt = next(
+            e for e in payload["traceEvents"]
+            if e["ph"] == "i" and e["name"] == "halt"
+        )
+        assert halt["ts"] == 4 * ROUND_TICK_US
+        assert halt["args"] == {"node": 7}
+
+    def test_unpaired_flow_events_are_rejected(self):
+        start = {"name": "msg", "ph": "s", "id": 1, "ts": 0, "pid": 2, "tid": 1}
+        end = {"name": "msg", "ph": "f", "bp": "e", "id": 1, "ts": 1000,
+               "pid": 2, "tid": 1}
+        validate_chrome_trace({"traceEvents": [start, end]})
+        with pytest.raises(ValueError, match="not paired"):
+            validate_chrome_trace({"traceEvents": [start]})
+        with pytest.raises(ValueError, match="not paired"):
+            validate_chrome_trace({"traceEvents": [end]})
+        with pytest.raises(ValueError, match="not paired"):
+            validate_chrome_trace(
+                {"traceEvents": [start, {**end, "id": 2}]}
+            )
+
+    def test_flow_events_need_integer_ids_and_timestamps(self):
+        start = {"name": "msg", "ph": "s", "id": 1, "ts": 0, "pid": 2, "tid": 1}
+        end = {"name": "msg", "ph": "f", "bp": "e", "id": 1, "ts": 1000,
+               "pid": 2, "tid": 1}
+        with pytest.raises(ValueError, match="integer id"):
+            validate_chrome_trace(
+                {"traceEvents": [{**start, "id": "one"}, end]}
+            )
+        with pytest.raises(ValueError, match="integer id"):
+            validate_chrome_trace(
+                {"traceEvents": [{**start, "id": True}, end]}
+            )
+        with pytest.raises(ValueError, match="non-negative integer ts"):
+            validate_chrome_trace(
+                {"traceEvents": [{**start, "ts": -1000}, end]}
+            )
+
+
 class TestValidation:
     def test_rejects_non_object_payloads(self):
         with pytest.raises(ValueError):
