@@ -1,0 +1,222 @@
+"""E19 — serving daemon latency/saturation: micro-batching vs batch-size 1.
+
+The serving daemon's claim (docs/serving.md) is that coalescing
+concurrent requests into one engine call buys real throughput without
+breaking the deterministic answer contract.  Every leg here first
+validates correctness — a seeded slab of served answers must be
+**row-identical** to calling ``oracle.distances`` directly — and only
+then times the closed-loop saturation race between ``max_batch=B`` and
+the degenerate ``max_batch=1`` daemon (the cache is disabled in both so
+the race measures the batch engine, not the LRU).
+
+An open-loop leg reports p50/p99 under a fixed offered rate with the
+latency measured from each request's *scheduled* send time (no
+coordinated omission); it is informational, never gated.
+
+Two modes:
+
+* ``pytest benchmarks/bench_serving.py -s`` — CI-sized (n ≈ 2·10³):
+  row identity asserted, finite percentiles, informational speedup, and
+  a ``BENCH_serving.json`` artifact at the repo root;
+* ``python benchmarks/bench_serving.py`` — the acceptance run: an
+  n = 10⁵ ``gnp_fast`` oracle behind the daemon, 8 closed-loop
+  connections × 16 pairs per request.  Gate: micro-batching sustains
+  ≥ 2x the pair throughput of the ``max_batch=1`` daemon, and a
+  4096-pair served batch is row-identical to the direct query engine.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import environment_block
+from repro.graphs import gnp_fast
+from repro.graphs._kernel import backend_name
+from repro.oracle import build_oracle
+from repro.serving import (
+    ServeClient,
+    ServerConfig,
+    ServerThread,
+    run_closed_loop,
+    run_open_loop,
+    sample_pairs,
+)
+
+from _common import emit, strip_private
+
+SEED = 20160217
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def _served_leg(
+    oracle,
+    label: str,
+    max_batch: int,
+    *,
+    clients: int,
+    requests_per_client: int,
+    pairs_per_request: int,
+    validate_pairs: int,
+    open_rate: float | None = None,
+) -> list[dict]:
+    """One daemon instance: validation slab, closed-loop race, open probe."""
+    n = oracle.graph.num_vertices
+    workload = sample_pairs(n, max(4096, validate_pairs), SEED, label=label)
+    config = ServerConfig(max_batch=max_batch, max_wait_us=500, cache_size=0)
+    rows = []
+    with ServerThread(oracle, config) as thread:
+        host, port = thread.address
+        with ServeClient(host, port, timeout=120.0) as client:
+            served = client.distances(workload[:validate_pairs])
+        direct = oracle.distances(workload[:validate_pairs])
+        assert served == direct, (
+            f"{label}: served answers diverged from direct oracle.query "
+            f"on a {validate_pairs}-pair batch"
+        )
+        closed = run_closed_loop(
+            host,
+            port,
+            workload,
+            clients=clients,
+            requests_per_client=requests_per_client,
+            pairs_per_request=pairs_per_request,
+            timeout=120.0,
+        )
+        open_report = None
+        if open_rate is not None:
+            open_report = run_open_loop(
+                host,
+                port,
+                workload,
+                rate=open_rate,
+                duration=1.0,
+                connections=clients,
+                pairs_per_request=pairs_per_request,
+                timeout=120.0,
+            )
+    for report in filter(None, (closed, open_report)):
+        p50, p99 = report.quantile_us(0.50), report.quantile_us(0.99)
+        assert report.errors == 0, f"{label}: {report.errors} failed requests"
+        assert p50 is not None and p99 is not None, f"{label}: empty histogram"
+        rows.append(
+            {
+                "workload": f"{label} {report.mode}",
+                "n": n,
+                "max_batch": max_batch,
+                "connections": report.connections,
+                "pairs/req": pairs_per_request,
+                "requests": report.requests,
+                "validated": validate_pairs,
+                "p50_us": round(p50, 1),
+                "p99_us": round(p99, 1),
+                "throughput q/s": round(report.throughput_pairs, 1),
+                "_report": report,
+            }
+        )
+    return rows
+
+
+def _race(oracle, label, *, clients, requests_per_client, pairs_per_request,
+          validate_pairs, max_batch, open_rate):
+    """The micro-batching race: max_batch=B vs the same daemon at 1."""
+    rows = _served_leg(
+        oracle,
+        f"{label}:batched",
+        max_batch,
+        clients=clients,
+        requests_per_client=requests_per_client,
+        pairs_per_request=pairs_per_request,
+        validate_pairs=validate_pairs,
+        open_rate=open_rate,
+    )
+    rows += _served_leg(
+        oracle,
+        f"{label}:batch1",
+        1,
+        clients=clients,
+        requests_per_client=requests_per_client,
+        pairs_per_request=pairs_per_request,
+        validate_pairs=validate_pairs,
+    )
+    batched = next(r for r in rows if r["workload"].endswith("batched closed"))
+    single = next(r for r in rows if r["workload"].endswith("batch1 closed"))
+    speedup = batched["throughput q/s"] / max(single["throughput q/s"], 1e-9)
+    batched["speedup"] = round(speedup, 2)
+    batched["_raw_speedup"] = speedup
+    return rows
+
+
+def _write_artifact(rows, scale: str) -> None:
+    payload = {
+        "benchmark": "serving",
+        "scale": scale,
+        "seed": SEED,
+        "rows": strip_private(rows),
+        "environment": environment_block(),
+    }
+    RESULT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf8",
+    )
+    print(f"wrote {RESULT_PATH}")
+
+
+def test_serving_bench():
+    """CI-sized race: row identity asserted, no wall-clock gate."""
+    oracle = build_oracle(gnp_fast(2048, 0.004, seed=2), seed=SEED)
+    rows = _race(
+        oracle,
+        "gnp:2048",
+        clients=6,
+        requests_per_client=40,
+        pairs_per_request=8,
+        validate_pairs=1024,
+        max_batch=64,
+        open_rate=200.0,
+    )
+    table = emit(
+        f"E19: serving daemon micro-batching race "
+        f"(CI scale, backend={backend_name()})",
+        strip_private(rows),
+        "e19_serving_small.txt",
+    )
+    assert table
+    _write_artifact(rows, "ci")
+    batched = next(r for r in rows if "_raw_speedup" in r)
+    print(f"micro-batching speedup (informational): {batched['_raw_speedup']:.1f}x")
+
+
+def main() -> int:
+    n = 100_000
+    oracle = build_oracle(gnp_fast(n, 6.0 / n, seed=2), seed=SEED)
+    rows = _race(
+        oracle,
+        "gnp:1e5",
+        clients=12,
+        requests_per_client=100,
+        pairs_per_request=24,
+        validate_pairs=4096,
+        max_batch=512,
+        open_rate=500.0,
+    )
+    emit(
+        f"E19: serving daemon micro-batching race "
+        f"(full scale, backend={backend_name()})",
+        strip_private(rows),
+        "e19_serving_full.txt",
+    )
+    _write_artifact(rows, "full")
+    speedup = next(r["_raw_speedup"] for r in rows if "_raw_speedup" in r)
+    print(
+        f"micro-batching speedup at n=1e5: {speedup:.1f}x  [acceptance: >= 2x]"
+    )
+    return 0 if speedup >= 2.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,15 @@
-"""Module entry point: ``python -m repro``."""
+"""Module entry point: ``python -m repro``.
+
+``serve --workers N`` spawns worker processes via the multiprocessing
+``spawn`` context.  CPython's spawn bootstrap deliberately skips
+re-running ``*.__main__`` modules in children, so ``python -m repro``
+is spawn-safe either way — the ``__name__`` guard is kept as the
+conventional belt-and-braces for any other way this file gets imported.
+"""
 
 import sys
 
 from .cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

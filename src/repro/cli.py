@@ -13,6 +13,14 @@ Subcommands
     Build and measure the cluster spanner of a decomposition.
 ``theory``
     Print the §1.2 closed-form comparison table for a given ``n``.
+``serve``
+    Long-lived oracle daemon: newline-delimited JSON over TCP,
+    micro-batched queries, optional shared-memory worker pool, LRU
+    answer cache (see ``docs/serving.md``).
+``loadgen``
+    Closed-/open-loop load generator against a running ``serve``
+    daemon; reports p50/p99 latency and throughput, optionally
+    validates served answers against a locally built oracle.
 ``bench``
     Run a registered experiment scenario through the orchestration
     runtime: parallel trials (``--workers``), content-addressed result
@@ -49,6 +57,7 @@ import json
 import math
 import pathlib
 import sys
+import time
 from typing import Sequence
 
 from .analysis import comparison_rows, format_records, report
@@ -89,7 +98,17 @@ from .experiments import (
 )
 from .graphs import parse_graph_spec
 from .oracle import build_oracle, estimates_checksum, validate_sample
+from .oracle import load as load_tables
 from .rng import DEFAULT_SEED, stream
+from .serving import (
+    ServeClient,
+    ServerConfig,
+    default_workers,
+    run_closed_loop,
+    run_open_loop,
+    run_server,
+    sample_pairs,
+)
 from .telemetry import (
     SamplingProfiler,
     Telemetry,
@@ -490,21 +509,24 @@ def _cmd_campaign_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_oracle(args: argparse.Namespace) -> int:
-    graph = parse_graph_spec(args.graph, seed=args.seed)
     # Timing is measured exactly once, by the oracle's own spans: with
     # --trace / REPRO_TELEMETRY the ambient trace collects them, else a
     # local in-memory collector does.  Both feed the stderr lines and
     # the artifact's telemetry block below.
     tel = resolve(None)
     local = tel if tel is not None else Telemetry()
-    oracle = build_oracle(
-        graph,
+    # One shared loading path with the serve daemon: repeated loads of
+    # the same recipe in one process (build then query, tests, the
+    # loadgen validator) reuse the memoized tables.
+    oracle = load_tables(
+        args.graph,
+        seed=args.seed,
         k=args.k,
         c=args.c,
-        seed=args.seed,
         overlap_budget=args.budget,
         telemetry=local,
     )
+    graph = oracle.graph
     build_seconds = local.total_seconds("oracle.build")
     scale_rows = oracle.scale_rows()
     print(format_records(
@@ -583,6 +605,170 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
             encoding="utf8",
         )
     return exit_code
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    tel = resolve(None)
+    local = tel if tel is not None else Telemetry()
+    oracle = load_tables(
+        args.graph,
+        seed=args.seed,
+        k=args.k,
+        c=args.c,
+        overlap_budget=args.budget,
+        telemetry=local,
+    )
+    workers = args.workers if args.workers is not None else default_workers()
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        cache_size=args.cache_size,
+        workers=workers,
+    )
+
+    def on_ready(host: str, port: int) -> None:
+        print(
+            f"serving {args.graph} (n={oracle.graph.num_vertices}, "
+            f"stretch bound {oracle.stretch_bound:.2f}) on {host}:{port} "
+            f"[workers={workers}, max_batch={config.max_batch}, "
+            f"max_wait_us={config.max_wait_us}, cache={config.cache_size}]",
+            file=sys.stderr,
+        )
+        if args.ready_file:
+            path = pathlib.Path(args.ready_file)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(f"{host}:{port}\n", encoding="utf8")
+
+    try:
+        run_server(oracle, config, telemetry=local, ready_callback=on_ready)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    return 0
+
+
+def _loadgen_address(args: argparse.Namespace) -> tuple[str, int]:
+    """The daemon address: ``--addr-file`` (polled) or ``--host``/``--port``."""
+    if args.addr_file:
+        deadline = time.monotonic() + args.connect_timeout
+        path = pathlib.Path(args.addr_file)
+        while True:
+            try:
+                text = path.read_text(encoding="utf8").strip()
+            except OSError:
+                text = ""
+            if text:
+                host, _, port = text.rpartition(":")
+                return host, int(port)
+            if time.monotonic() >= deadline:
+                raise ParameterError(
+                    f"address file {args.addr_file!r} did not appear within "
+                    f"{args.connect_timeout:g}s — is the daemon running "
+                    "with --ready-file?"
+                )
+            time.sleep(0.05)
+    if args.port is None:
+        raise ParameterError("loadgen needs --port (or --addr-file)")
+    return args.host, args.port
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    host, port = _loadgen_address(args)
+    with ServeClient(host, port) as client:
+        stats = client.stats()
+    n = stats["n"]
+    pairs = sample_pairs(n, args.pairs, args.seed)
+    if args.mode == "closed":
+        report = run_closed_loop(
+            host,
+            port,
+            pairs,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            op=args.op,
+            pairs_per_request=args.pairs_per_request,
+        )
+    else:
+        report = run_open_loop(
+            host,
+            port,
+            pairs,
+            rate=args.rate,
+            duration=args.duration,
+            connections=args.clients,
+            op=args.op,
+            pairs_per_request=args.pairs_per_request,
+        )
+    row = report.row()
+    print(format_records(
+        [row],
+        title=f"{report.mode}-loop loadgen against {host}:{port} "
+        f"(n={n}, workers={stats['workers']}, "
+        f"max_batch={stats['max_batch']})",
+    ))
+
+    mismatches = 0
+    validated = 0
+    if args.validate:
+        if not args.graph:
+            raise ParameterError("--validate needs --graph to build the reference")
+        reference = load_tables(
+            args.graph,
+            seed=args.seed,
+            k=args.k,
+            c=args.c,
+            overlap_budget=args.budget,
+        )
+        if reference.graph.num_vertices != n:
+            raise ParameterError(
+                f"--graph {args.graph!r} has n={reference.graph.num_vertices} "
+                f"but the daemon serves n={n} — not the same tables"
+            )
+        sample = pairs[: args.validate]
+        with ServeClient(host, port) as client:
+            served_d = client.distances(sample)
+            served_r = client.routes(sample)
+        mismatches += sum(
+            1 for a, b in zip(served_d, reference.distances(sample)) if a != b
+        )
+        mismatches += sum(
+            1 for a, b in zip(served_r, reference.routes(sample)) if a != b
+        )
+        validated = len(sample)
+        verdict = "row-identical" if mismatches == 0 else f"{mismatches} MISMATCHES"
+        print(
+            f"validated {validated} served distance+route answers against "
+            f"direct oracle.query: {verdict}"
+        )
+
+    final_stats = None
+    if args.shutdown or args.json:
+        with ServeClient(host, port) as client:
+            final_stats = client.stats()
+            if args.shutdown:
+                client.shutdown()
+
+    if args.json:
+        payload = {
+            "command": "loadgen",
+            "benchmark": "serving",
+            "host": host,
+            "port": port,
+            "seed": args.seed,
+            "rows": [{"scenario": "serving", **row}],
+            "validated": validated,
+            "mismatches": mismatches,
+            "server": final_stats,
+            "environment": environment_block(),
+        }
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+            encoding="utf8",
+        )
+    return 1 if (report.errors or mismatches) else 0
 
 
 def _load_trace(path: str) -> list[dict]:
@@ -946,6 +1132,113 @@ def build_parser() -> argparse.ArgumentParser:
             help="also write the tables/summary as JSON to PATH (CI artifact)",
         )
         op.set_defaults(func=_cmd_oracle)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve the oracle over TCP (newline-delimited JSON protocol)",
+    )
+    p.add_argument("graph", help="graph spec, e.g. gnp_fast:100000:0.00006")
+    p.add_argument("-k", type=float, default=None, help="level-0 k (default ceil(ln n))")
+    p.add_argument("-c", type=float, default=4.0)
+    p.add_argument(
+        "--budget",
+        type=float,
+        default=8.0,
+        help="overlap budget: max mean membership slots per vertex per scale",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 binds an ephemeral port; see --ready-file)",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=64,
+        help="micro-batch size that triggers an immediate flush",
+    )
+    p.add_argument(
+        "--max-wait-us", type=int, default=500,
+        help="max microseconds a pair may wait for batch-mates",
+    )
+    p.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="LRU answer-cache capacity in entries (0 disables)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes sharing the tables via shared memory "
+        "(default: REPRO_SERVE_WORKERS, else 0 = answer in-process)",
+    )
+    p.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write 'host:port' to PATH once the socket is bound",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive a running serve daemon and report latency/throughput",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument(
+        "--addr-file", default=None, metavar="PATH",
+        help="read 'host:port' from PATH (polled; pairs with serve --ready-file)",
+    )
+    p.add_argument(
+        "--connect-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="how long to wait for --addr-file to appear",
+    )
+    p.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed: one request in flight per client (saturation); "
+        "open: fixed-rate schedule, latency from scheduled send time",
+    )
+    p.add_argument("--clients", type=int, default=4, help="concurrent connections")
+    p.add_argument(
+        "--requests", type=int, default=100,
+        help="requests per client (closed mode)",
+    )
+    p.add_argument(
+        "--rate", type=float, default=1000.0,
+        help="offered requests/s across all clients (open mode)",
+    )
+    p.add_argument(
+        "--duration", type=float, default=2.0,
+        help="run length in seconds (open mode)",
+    )
+    p.add_argument("--op", choices=("distance", "route"), default="distance")
+    p.add_argument(
+        "--pairs", type=int, default=4096,
+        help="seeded workload pool size (requests cycle through it)",
+    )
+    p.add_argument(
+        "--pairs-per-request", type=int, default=1,
+        help="query pairs carried by each request",
+    )
+    p.add_argument(
+        "--graph", default=None,
+        help="graph spec for the --validate reference oracle",
+    )
+    p.add_argument(
+        "-k", type=float, default=None,
+        help="reference oracle k (match the daemon's)",
+    )
+    p.add_argument("-c", type=float, default=4.0)
+    p.add_argument("--budget", type=float, default=8.0)
+    p.add_argument(
+        "--validate", type=int, default=0, metavar="N",
+        help="check N served distance+route answers row-identical against "
+        "a locally built oracle (requires --graph; exit 1 on mismatch)",
+    )
+    p.add_argument(
+        "--shutdown", action="store_true",
+        help="stop the daemon after the run",
+    )
+    p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the compare-ready serving artifact to PATH",
+    )
+    p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser("bench", help="run a registered experiment scenario")
     p.add_argument(

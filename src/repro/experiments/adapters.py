@@ -540,6 +540,72 @@ def _adapt_robustness(graph: Graph, trial: TrialSpec) -> Record:
     return record
 
 
+def _adapt_serving(graph: Graph, trial: TrialSpec) -> Record:
+    """Serving-daemon loopback leg: one daemon, one sequential client.
+
+    Builds the oracle, hosts it in an in-process :class:`ServerThread`
+    (``workers=0`` — the deterministic in-loop answer path) and drives
+    it with a single sequential client, so every counter the record
+    carries is a pure function of the trial spec: ``queries`` pairs at
+    ``max_batch`` yield an exact batch count, the ``repeat`` replay hits
+    the cache (or misses it, capacity permitting) identically every
+    run, and the served answers are asserted row-identical to direct
+    ``oracle.query`` calls (``matches_direct`` / ``routes_match``).
+    Latency and saturation throughput live in
+    ``benchmarks/bench_serving.py``, never in cached records.
+    """
+    from ..serving import ServeClient, ServerConfig, ServerThread
+
+    params = trial.param_dict()
+    k = params.get("k")
+    c = params.get("c", 4.0)
+    budget = params.get("budget", 8.0)
+    queries = int(params.get("queries", 256))
+    max_batch = int(params.get("max_batch", 32))
+    cache = int(params.get("cache", 256))
+    repeat = int(params.get("repeat", min(64, queries)))
+    oracle = build_oracle(
+        graph, k=k, c=c, seed=trial.seed, overlap_budget=budget
+    )
+    n = graph.num_vertices
+    rng = stream(trial.seed, "serving", "queries")
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(queries)] if n else []
+    direct_d = oracle.distances(pairs)
+    direct_r = oracle.routes(pairs[:repeat])
+    config = ServerConfig(
+        max_batch=max_batch, max_wait_us=200, cache_size=cache, workers=0
+    )
+    with ServerThread(oracle, config) as server:
+        host, port = server.address
+        with ServeClient(host, port) as client:
+            served_d = client.distances(pairs)
+            replay_d = client.distances(pairs[:repeat])
+            served_r = client.routes(pairs[:repeat])
+            stats = client.stats()
+            client.shutdown()
+    return {
+        "n": n,
+        "m": graph.num_edges,
+        "scales": oracle.num_scales,
+        "stretch_bound": round(oracle.stretch_bound, 2),
+        "queries": len(pairs),
+        "max_batch": max_batch,
+        "cache": cache,
+        "matches_direct": served_d == direct_d,
+        "repeat_matches": replay_d == direct_d[:repeat],
+        "routes_match": served_r == direct_r,
+        "requests": stats["requests"],
+        "batches": stats["batches"],
+        "batched_pairs": stats["batched_pairs"],
+        "largest_batch": stats["largest_batch"],
+        "cache_hits": stats["cache"]["hits"],
+        "cache_misses": stats["cache"]["misses"],
+        "cache_evictions": stats["cache"]["evictions"],
+        "errors": stats["errors"],
+        "checksum": estimates_checksum(served_d),
+    }
+
+
 #: Algorithm name → adapter.  Registering here exposes the algorithm to
 #: every scenario and to ``python -m repro bench``.
 ALGORITHMS: Dict[str, Adapter] = {
@@ -555,6 +621,7 @@ ALGORITHMS: Dict[str, Adapter] = {
     "oracle": _adapt_oracle,
     "shootout": _adapt_shootout,
     "robustness": _adapt_robustness,
+    "serving": _adapt_serving,
 }
 
 

@@ -260,6 +260,26 @@ CAMPAIGNS: Dict[str, Campaign] = {
             ),
         ),
     ),
+    "serving": Campaign(
+        description="Oracle-serving sweep: the loopback scenario plus a "
+        "knob grid over micro-batch size and answer-cache capacity — the "
+        "deterministic counter/row-identity companion to the latency "
+        "numbers in benchmarks/bench_serving.py",
+        members=(
+            CampaignMember(name="loopback", scenario="serving"),
+            CampaignMember(
+                name="knobs",
+                algorithm="serving",
+                points=grid_points(
+                    ("gnp_fast:512:0.012",),
+                    queries=256,
+                    max_batch=(1, 16, 64),
+                    cache=(0, 512),
+                ),
+                trials=1,
+            ),
+        ),
+    ),
     "campaign-smoke": Campaign(
         description="Tiny end-to-end campaign (scenario member + shootout "
         "grid member) for CI and the checkpoint/resume tests",

@@ -73,8 +73,11 @@ _THROUGHPUT_MARKS = ("q/s", "qps", "per_sec", "throughput", "speedup")
 # Suffix/substring marks for wall-clock-like metrics (lower is better).
 # Suffix-only for the unit shorthands: a "ms"/"s" *substring* would
 # swallow deterministic names like "messages".
-_TIMING_SUFFIXES = ("_s", " s", "_ms", " ms", "_sec", "_secs", "seconds", "millis")
-_TIMING_MARKS = ("time", "second")
+_TIMING_SUFFIXES = (
+    "_s", " s", "_ms", " ms", "_us", " us",
+    "_sec", "_secs", "seconds", "millis", "micros",
+)
+_TIMING_MARKS = ("time", "second", "latency")
 
 
 @dataclass(frozen=True)

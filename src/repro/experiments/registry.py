@@ -259,6 +259,19 @@ SCENARIOS: Dict[str, Scenario] = {
         ),
         trials=3,
     ),
+    "serving": Scenario(
+        description="Oracle-as-a-service loopback: in-process serve daemon "
+        "answering micro-batched distance/route requests row-identical to "
+        "direct oracle.query, with deterministic batch and cache counters "
+        "(latency/saturation live in benchmarks/bench_serving.py)",
+        algorithm="serving",
+        points=(
+            _P("gnp_fast:256:0.03", queries=192, max_batch=32, cache=256),
+            _P("torus:24:24", queries=192, max_batch=32, cache=64),
+            _P("gnp_fast:1024:0.008", queries=256, max_batch=64, cache=0),
+        ),
+        trials=2,
+    ),
     "smoke": Scenario(
         description="Tiny end-to-end exercise of the runtime (CI smoke test)",
         algorithm="en",

@@ -92,6 +92,26 @@ class Graph:
         self._np_csr: tuple | None = None
         self._hash: int | None = None
 
+    @classmethod
+    def _from_csr(cls, num_vertices: int, indptr, indices, num_edges: int) -> "Graph":
+        """Wrap pre-built CSR buffers without copying or validating.
+
+        Internal constructor for :mod:`repro.serving.shm`, which maps the
+        buffers out of a shared-memory segment as read-only memoryviews.
+        The buffers must satisfy the construction invariants (sorted rows,
+        ``len(indptr) == n + 1``, ``len(indices) == 2m``) — the caller
+        vouches for that, typically because they were packed from an
+        already-constructed :class:`Graph`.
+        """
+        graph = cls.__new__(cls)
+        graph._n = num_vertices
+        graph._indptr = indptr
+        graph._indices = indices
+        graph._num_edges = num_edges
+        graph._np_csr = None
+        graph._hash = None
+        return graph
+
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------

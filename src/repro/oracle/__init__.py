@@ -19,7 +19,7 @@ True
 
 from .build import build_oracle, compact_scale
 from .query import query_details, query_distances, query_routes
-from .tables import DistanceOracle, ScaleTables, TRIVIAL_SCALE, UNREACHABLE
+from .tables import DistanceOracle, ScaleTables, TRIVIAL_SCALE, UNREACHABLE, load
 from .validate import estimates_checksum, validate_sample
 
 __all__ = [
@@ -30,6 +30,7 @@ __all__ = [
     "build_oracle",
     "compact_scale",
     "estimates_checksum",
+    "load",
     "query_details",
     "query_distances",
     "query_routes",

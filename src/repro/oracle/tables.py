@@ -29,6 +29,7 @@ and its estimate ``d(c, s) + d(c, t)`` is at most ``2 · max(ecc_i)``.
 from __future__ import annotations
 
 from array import array
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -39,6 +40,7 @@ __all__ = [
     "DistanceOracle",
     "UNREACHABLE",
     "TRIVIAL_SCALE",
+    "load",
 ]
 
 #: ``scale`` marker returned by the query engine for unreachable pairs.
@@ -214,3 +216,57 @@ class DistanceOracle:
                 }
             )
         return rows
+
+
+# ----------------------------------------------------------------------
+# Shared table loading (CLI + serving daemon)
+# ----------------------------------------------------------------------
+
+#: Most-recently-loaded oracles kept alive, keyed by full build recipe.
+_LOAD_CACHE: "OrderedDict[tuple, DistanceOracle]" = OrderedDict()
+_LOAD_CACHE_CAPACITY = 4
+
+
+def load(
+    graph_spec: str,
+    *,
+    seed: int,
+    k: float | None = None,
+    c: float = 4.0,
+    overlap_budget: float = 8.0,
+    telemetry=None,
+    use_cache: bool = True,
+) -> DistanceOracle:
+    """Build (or reuse) the oracle tables for a ``family:arg:arg`` spec.
+
+    This is the one table-loading path shared by ``repro oracle``, the
+    ``repro serve`` daemon and the loadgen validator: the full build
+    recipe ``(graph_spec, seed, k, c, overlap_budget)`` keys a small LRU
+    memo, so invoking a query after a build — or starting a daemon after
+    a dry-run build — reuses the tables instead of re-deriving them.
+    Builds are deterministic in the recipe, so a memo hit is
+    indistinguishable from a rebuild (modulo time).  ``use_cache=False``
+    bypasses the memo both ways (no lookup, no store) for callers that
+    need an isolated instance.
+    """
+    from ..graphs.builders import parse_graph_spec
+    from .build import build_oracle
+
+    key = (graph_spec, seed, k, c, overlap_budget)
+    if use_cache and key in _LOAD_CACHE:
+        _LOAD_CACHE.move_to_end(key)
+        return _LOAD_CACHE[key]
+    graph = parse_graph_spec(graph_spec, seed=seed)
+    oracle = build_oracle(
+        graph,
+        k=k,
+        c=c,
+        seed=seed,
+        overlap_budget=overlap_budget,
+        telemetry=telemetry,
+    )
+    if use_cache:
+        _LOAD_CACHE[key] = oracle
+        while len(_LOAD_CACHE) > _LOAD_CACHE_CAPACITY:
+            _LOAD_CACHE.popitem(last=False)
+    return oracle

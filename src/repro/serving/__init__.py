@@ -1,0 +1,58 @@
+"""Oracle-as-a-service: the `repro serve` daemon and its load tooling.
+
+The serving layer turns the batch-built distance/routing oracle
+(:mod:`repro.oracle`) into a long-lived network service — the ROADMAP's
+"heavy traffic from millions of users" shape — without leaving the
+standard library:
+
+* :mod:`~repro.serving.protocol` — newline-delimited JSON over TCP;
+* :mod:`~repro.serving.batcher` — micro-batching (size/deadline flush)
+  into the existing batched query engine;
+* :mod:`~repro.serving.cache` — seeded, size-bounded LRU answer cache;
+* :mod:`~repro.serving.shm` — one shared-memory segment exposing the
+  CSR tables zero-copy to every worker process;
+* :mod:`~repro.serving.daemon` — the asyncio server tying it together;
+* :mod:`~repro.serving.client` / :mod:`~repro.serving.loadgen` — the
+  blocking client and the open/closed-loop load generators.
+
+``docs/serving.md`` is the subsystem handbook (wire protocol, flush
+rules, shared-memory lifecycle, determinism caveats, worked example).
+"""
+
+from .batcher import MicroBatcher
+from .cache import MISS, AnswerCache
+from .client import ServeClient
+from .daemon import (
+    OracleServer,
+    ServerConfig,
+    ServerThread,
+    default_workers,
+    run_server,
+)
+from .loadgen import LoadReport, run_closed_loop, run_open_loop, sample_pairs
+from .protocol import OPS, ProtocolError, decode_line, encode_message, parse_pairs
+from .shm import SHM_SCHEMA, ShmOracleTables, live_tables
+
+__all__ = [
+    "AnswerCache",
+    "LoadReport",
+    "MISS",
+    "MicroBatcher",
+    "OPS",
+    "OracleServer",
+    "ProtocolError",
+    "SHM_SCHEMA",
+    "ServeClient",
+    "ServerConfig",
+    "ServerThread",
+    "ShmOracleTables",
+    "decode_line",
+    "default_workers",
+    "encode_message",
+    "live_tables",
+    "parse_pairs",
+    "run_closed_loop",
+    "run_open_loop",
+    "run_server",
+    "sample_pairs",
+]

@@ -1,0 +1,84 @@
+"""Micro-batcher: accumulate requests, flush on size or deadline.
+
+The serving daemon's throughput comes from feeding the batched query
+engine (:mod:`repro.oracle.query`) batches much larger than one pair —
+but a request must never wait unboundedly for peers to share a batch
+with.  The two flush rules (documented in ``docs/serving.md``):
+
+* **size** — the batch reaches ``max_batch`` items: flush immediately;
+* **deadline** — ``max_wait_us`` microseconds elapsed since the *first*
+  item of the current batch was enqueued: flush whatever accumulated.
+
+The deadline is anchored at the first enqueue (not refreshed per item),
+so a steady trickle cannot starve the oldest request.  Items carry a
+``weight`` (the daemon enqueues one item per request *chunk*, weighted
+by its pair count, so ``max_batch`` bounds pairs per engine call while
+a 16-pair request costs one future, not 16).  The class is pure
+bookkeeping over caller-supplied clock readings — no asyncio, no
+threads — which is what makes the flush semantics unit-testable without
+sockets; the daemon wires :meth:`add`'s return value to an immediate
+flush and :attr:`wait_seconds` to an event-loop timer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..errors import ParameterError
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Accumulates weighted items until a size or deadline flush is due."""
+
+    __slots__ = ("max_batch", "max_wait_us", "items", "size", "deadline")
+
+    def __init__(self, max_batch: int, max_wait_us: int) -> None:
+        if max_batch < 1:
+            raise ParameterError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_us < 0:
+            raise ParameterError(f"max_wait_us must be >= 0, got {max_wait_us}")
+        self.max_batch = int(max_batch)
+        self.max_wait_us = int(max_wait_us)
+        self.items: List[Any] = []
+        self.size = 0
+        self.deadline: float | None = None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def wait_seconds(self) -> float:
+        """The deadline window as seconds (for event-loop timers)."""
+        return self.max_wait_us / 1e6
+
+    def add(self, item: Any, now: float, weight: int = 1) -> bool:
+        """Enqueue ``item`` (counting for ``weight``) at clock reading ``now``.
+
+        Returns ``True`` when the batch just reached ``max_batch`` total
+        weight — the caller must flush immediately.  The first item of
+        an empty batch anchors the deadline at ``now + max_wait_us``.
+        """
+        if weight < 1:
+            raise ParameterError(f"item weight must be >= 1, got {weight}")
+        if not self.items:
+            self.deadline = now + self.wait_seconds
+        self.items.append(item)
+        self.size += weight
+        return self.size >= self.max_batch
+
+    def should_flush(self, now: float) -> bool:
+        """Whether either flush rule fires at clock reading ``now``."""
+        if not self.items:
+            return False
+        return self.size >= self.max_batch or (
+            self.deadline is not None and now >= self.deadline
+        )
+
+    def drain(self) -> List[Any]:
+        """Take the accumulated batch and reset for the next one."""
+        items, self.items = self.items, []
+        self.size = 0
+        self.deadline = None
+        return items

@@ -1,0 +1,93 @@
+"""Size-bounded LRU answer cache fronting the serving daemon.
+
+Served answers are pure functions of ``(op, s, t)`` for a fixed oracle:
+the tables are immutable after build, so a cached answer never goes
+stale and the cache needs no TTL.  Eviction is strict LRU over an
+:class:`collections.OrderedDict`, which makes the hit/miss/eviction
+counters — and therefore the serving scenario's cached records —
+deterministic for any fixed request sequence (see
+``docs/serving.md`` for the determinism caveats under concurrency).
+
+``capacity=0`` disables caching entirely (every lookup is a miss and
+nothing is stored), which is what the latency benchmarks use so the
+micro-batching gate measures the batch engine, not the cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from ..errors import ParameterError
+
+__all__ = ["AnswerCache", "MISS"]
+
+
+class _Miss:
+    """Sentinel distinct from every cacheable value (routes may be None)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<cache miss>"
+
+
+#: Returned by :meth:`AnswerCache.get` when the key is absent.
+MISS = _Miss()
+
+
+class AnswerCache:
+    """LRU map from ``(op, s, t)`` keys to served answers.
+
+    ``get`` refreshes recency; ``put`` inserts (or refreshes) and evicts
+    the least-recently-used entry once ``capacity`` is exceeded.  The
+    three counters are cumulative over the cache's lifetime and feed the
+    daemon's ``stats`` response and telemetry block.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ParameterError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> object:
+        """The cached value for ``key``, or :data:`MISS` (counts either way)."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return MISS
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert ``key -> value``; evict LRU entries beyond capacity."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        """Counters + occupancy as one JSON-safe dict (the ``stats`` op)."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,257 @@
+"""Load generation against a running daemon: closed- and open-loop.
+
+Two standard load models, both built on threaded :class:`ServeClient`
+connections and per-thread :class:`~repro.telemetry.hist.LogHistogram`
+latency recorders that merge exactly into one report:
+
+* **closed loop** (:func:`run_closed_loop`) — each of ``clients``
+  connections keeps exactly one request in flight, sending the next the
+  moment the previous answer lands.  Offered load adapts to the server,
+  so the measured rate *is* the saturation throughput at that
+  concurrency; latency under a closed loop is flattering by
+  construction.
+* **open loop** (:func:`run_open_loop`) — requests are launched on a
+  fixed wall-clock schedule at ``rate`` per second regardless of how
+  the server is doing, and each latency sample is measured from the
+  request's *scheduled* send time, not its actual one.  A server that
+  falls behind therefore shows the queueing delay in p99 instead of
+  silently shedding load — the standard coordinated-omission fix.
+
+Pair workloads are drawn from the library's seeded streams
+(:mod:`repro.rng`), so two runs against equivalent servers issue the
+identical request sequence.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter, sleep
+from typing import List, Sequence, Tuple
+
+from ..errors import ParameterError
+from ..rng import stream
+from ..telemetry.hist import LogHistogram, merge_all
+from .client import ServeClient
+
+__all__ = ["LoadReport", "sample_pairs", "run_closed_loop", "run_open_loop"]
+
+
+def sample_pairs(
+    n: int, count: int, seed: int, label: str = "loadgen"
+) -> List[Tuple[int, int]]:
+    """``count`` seeded uniform vertex pairs over ``range(n)``."""
+    if n < 1:
+        raise ParameterError(f"need n >= 1 to sample pairs, got {n}")
+    rng = stream(seed, "serving", label)
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+
+@dataclass
+class LoadReport:
+    """One load run: counts, wall time, and the merged latency histogram."""
+
+    mode: str
+    op: str
+    connections: int
+    requests: int
+    pairs: int
+    errors: int
+    elapsed_seconds: float
+    offered_rate: float | None = None
+    hist: LogHistogram | None = None
+    answers: list = field(default_factory=list, repr=False)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of wall time."""
+        return self.requests / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    @property
+    def throughput_pairs(self) -> float:
+        """Answered pairs per second of wall time (the saturation number)."""
+        return self.pairs / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    def quantile_us(self, q: float) -> float | None:
+        """Latency quantile in microseconds (``None`` when empty)."""
+        value = self.hist.quantile(q) if self.hist is not None else None
+        return None if value is None else value * 1e6
+
+    def row(self) -> dict:
+        """One compare-ready benchmark row (timing columns ``*_us``)."""
+        row = {
+            "mode": self.mode,
+            "op": self.op,
+            "connections": self.connections,
+            "requests": self.requests,
+            "pairs": self.pairs,
+            "errors": self.errors,
+            "p50_us": self.quantile_us(0.50),
+            "p99_us": self.quantile_us(0.99),
+            "throughput q/s": round(self.throughput_pairs, 1),
+        }
+        if self.offered_rate is not None:
+            row["offered q/s"] = round(self.offered_rate, 1)
+        return row
+
+
+def _chunk(
+    pairs: Sequence[Tuple[int, int]], start: int, size: int
+) -> List[Tuple[int, int]]:
+    """``size`` pairs starting at ``start``, wrapping around the workload."""
+    return [pairs[(start + j) % len(pairs)] for j in range(size)]
+
+
+def run_closed_loop(
+    host: str,
+    port: int,
+    pairs: Sequence[Tuple[int, int]],
+    *,
+    clients: int = 4,
+    requests_per_client: int = 100,
+    op: str = "distance",
+    pairs_per_request: int = 1,
+    keep_answers: bool = False,
+    timeout: float = 60.0,
+) -> LoadReport:
+    """Closed-loop run: ``clients`` connections, one request in flight each."""
+    if clients < 1:
+        raise ParameterError(f"clients must be >= 1, got {clients}")
+    if requests_per_client < 1:
+        raise ParameterError(
+            f"requests_per_client must be >= 1, got {requests_per_client}"
+        )
+    if pairs_per_request < 1:
+        raise ParameterError(
+            f"pairs_per_request must be >= 1, got {pairs_per_request}"
+        )
+    hists = [LogHistogram() for _ in range(clients)]
+    errors = [0] * clients
+    answers: list = [None] * clients
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(index: int) -> None:
+        collected = [] if keep_answers else None
+        with ServeClient(host, port, timeout=timeout) as client:
+            call = client.distances if op == "distance" else client.routes
+            barrier.wait()
+            offset = index * requests_per_client * pairs_per_request
+            for i in range(requests_per_client):
+                chunk = _chunk(
+                    pairs, offset + i * pairs_per_request, pairs_per_request
+                )
+                started = perf_counter()
+                try:
+                    answer = call(chunk)
+                except Exception:
+                    errors[index] += 1
+                    continue
+                hists[index].record(perf_counter() - started)
+                if collected is not None:
+                    collected.append((chunk, answer))
+        answers[index] = collected
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = perf_counter() - started
+    completed = sum(hist.count for hist in hists)
+    return LoadReport(
+        mode="closed",
+        op=op,
+        connections=clients,
+        requests=completed,
+        pairs=completed * pairs_per_request,
+        errors=sum(errors),
+        elapsed_seconds=elapsed,
+        hist=merge_all(hists),
+        answers=[entry for collected in answers if collected for entry in collected],
+    )
+
+
+def run_open_loop(
+    host: str,
+    port: int,
+    pairs: Sequence[Tuple[int, int]],
+    *,
+    rate: float,
+    duration: float,
+    connections: int = 4,
+    op: str = "distance",
+    pairs_per_request: int = 1,
+    timeout: float = 60.0,
+) -> LoadReport:
+    """Open-loop run: fixed ``rate`` requests/s for ``duration`` seconds.
+
+    Each connection owns every ``connections``-th slot of the global
+    schedule; a request's latency is measured from its *scheduled* time,
+    so server-side queueing shows up in the tail instead of vanishing
+    into a delayed send (no coordinated omission).
+    """
+    if rate <= 0:
+        raise ParameterError(f"rate must be > 0, got {rate}")
+    if duration <= 0:
+        raise ParameterError(f"duration must be > 0, got {duration}")
+    if connections < 1:
+        raise ParameterError(f"connections must be >= 1, got {connections}")
+    if pairs_per_request < 1:
+        raise ParameterError(
+            f"pairs_per_request must be >= 1, got {pairs_per_request}"
+        )
+    interval = 1.0 / rate
+    total_slots = max(1, int(rate * duration))
+    hists = [LogHistogram() for _ in range(connections)]
+    errors = [0] * connections
+    barrier = threading.Barrier(connections + 1)
+    epoch_holder = [0.0]
+
+    def worker(index: int) -> None:
+        with ServeClient(host, port, timeout=timeout) as client:
+            call = client.distances if op == "distance" else client.routes
+            barrier.wait()
+            epoch = epoch_holder[0]
+            for slot in range(index, total_slots, connections):
+                scheduled = epoch + slot * interval
+                delay = scheduled - perf_counter()
+                if delay > 0:
+                    sleep(delay)
+                chunk = _chunk(pairs, slot * pairs_per_request, pairs_per_request)
+                try:
+                    call(chunk)
+                except Exception:
+                    errors[index] += 1
+                    continue
+                hists[index].record(perf_counter() - scheduled)
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(connections)
+    ]
+    for thread in threads:
+        thread.start()
+    # Fix the schedule epoch only once every connection is ready to send.
+    epoch_holder[0] = perf_counter() + 0.05
+    barrier.wait()
+    started = perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = perf_counter() - started
+    completed = sum(hist.count for hist in hists)
+    return LoadReport(
+        mode="open",
+        op=op,
+        connections=connections,
+        requests=completed,
+        pairs=completed * pairs_per_request,
+        errors=sum(errors),
+        elapsed_seconds=elapsed,
+        offered_rate=rate * pairs_per_request,
+        hist=merge_all(hists),
+    )

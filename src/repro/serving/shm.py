@@ -1,0 +1,304 @@
+"""Shared-memory oracle tables: one segment, N zero-copy readers.
+
+The daemon's worker processes all answer queries from the *same* built
+oracle.  Pickling the tables to each worker would copy hundreds of
+megabytes per process at the ``n ≈ 10⁵`` scale; instead the parent packs
+every flat column — the graph's CSR buffers plus, per scale, the
+``centers`` / ``ecc`` / ``indptr`` / ``member_cluster`` /
+``member_dist`` / ``member_parent`` columns — back-to-back into one
+:class:`multiprocessing.shared_memory.SharedMemory` segment, and each
+worker re-materialises a :class:`~repro.oracle.tables.DistanceOracle`
+whose columns are **read-only memoryviews into the segment** (cast to
+the same ``'l'`` item type the :class:`array.array` originals use).
+Both query backends work unchanged on the views: the pure-Python path
+indexes them directly and the numpy path maps them with
+``np.frombuffer`` — zero copies either way.
+
+Segment layout (all offsets 8-aligned)::
+
+    [0:8)    little-endian int64: header length H
+    [8:8+H)  JSON header: schema tag, oracle parameters, per-scale
+             metadata, and the (name, length) list of every column
+    [...]    the columns, in header order, itemsize 8
+
+Lifecycle contract (tested by the leak guard in ``tests/serving``):
+the **creator** must ``close()`` *and* ``unlink()``; **attachers** must
+``close()``.  Worker processes are the one sanctioned exception — their
+mapping lives exactly as long as the process (see
+:mod:`repro.serving.workers`).  If the creating process dies without
+unlinking, the inherited stdlib ``resource_tracker`` unlinks the
+segment at shutdown, so crashed daemons do not leak ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import struct
+import weakref
+from array import array
+from multiprocessing import shared_memory
+from typing import List, Tuple
+
+from ..errors import ParameterError, ReproError
+from ..graphs.graph import Graph
+from ..oracle.tables import DistanceOracle, ScaleTables
+
+__all__ = ["ShmOracleTables", "SHM_SCHEMA", "live_tables"]
+
+#: Schema tag stamped into (and checked against) every segment header.
+SHM_SCHEMA = "en16.shm-tables.v1"
+
+_ITEMSIZE = array("l").itemsize
+
+#: Every live instance, for the tests' leak-guard fixture.
+_REGISTRY: "weakref.WeakSet[ShmOracleTables]" = weakref.WeakSet()
+
+
+def live_tables() -> List["ShmOracleTables"]:
+    """Instances created in this process that still hold the segment."""
+    return [tables for tables in _REGISTRY if not tables.closed]
+
+
+def _align(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+def _oracle_columns(oracle: DistanceOracle) -> List[Tuple[str, array]]:
+    """Every flat column of the oracle, in the canonical segment order."""
+    indptr, indices = oracle.graph.csr()
+    columns: List[Tuple[str, array]] = [
+        ("graph.indptr", indptr),
+        ("graph.indices", indices),
+    ]
+    for i, scale in enumerate(oracle.scales):
+        for name in (
+            "centers", "ecc", "indptr",
+            "member_cluster", "member_dist", "member_parent",
+        ):
+            columns.append((f"scale{i}.{name}", getattr(scale, name)))
+    return columns
+
+
+class ShmOracleTables:
+    """One shared-memory segment holding a packed oracle.
+
+    Use :meth:`create` in the owning process and :meth:`attach` in each
+    reader; both return an instance whose :attr:`oracle` serves queries.
+    The creator keeps answering from the original (the packing is a
+    write-through copy); attachers get the zero-copy view-backed oracle.
+    """
+
+    def __init__(self, shm, oracle: DistanceOracle, owner: bool, header: dict) -> None:
+        self._shm = shm
+        self._oracle: DistanceOracle | None = oracle
+        self._owner = owner
+        self._header = header
+        self._closed = False
+        self._unlinked = False
+        _REGISTRY.add(self)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, oracle: DistanceOracle, name: str | None = None) -> "ShmOracleTables":
+        """Pack ``oracle`` into a new segment (auto-named unless given)."""
+        columns = _oracle_columns(oracle)
+        for label, column in columns:
+            if column.itemsize != _ITEMSIZE:  # pragma: no cover - platform guard
+                raise ParameterError(
+                    f"column {label} has itemsize {column.itemsize}, "
+                    f"expected {_ITEMSIZE}"
+                )
+        header = {
+            "schema": SHM_SCHEMA,
+            "itemsize": _ITEMSIZE,
+            "n": oracle.graph.num_vertices,
+            "m": oracle.graph.num_edges,
+            "k": oracle.k,
+            "c": oracle.c,
+            "seed": oracle.seed,
+            "overlap_budget": oracle.overlap_budget,
+            "skipped_radii": list(oracle.skipped_radii),
+            "scales": [
+                {
+                    "radius": scale.radius,
+                    "min_distance": scale.min_distance,
+                    "is_components": scale.is_components,
+                }
+                for scale in oracle.scales
+            ],
+            "columns": [
+                {"name": label, "length": len(column)} for label, column in columns
+            ],
+        }
+        header_bytes = json.dumps(header, sort_keys=True).encode("utf8")
+        offset = _align(8 + len(header_bytes))
+        total = offset + sum(len(column) * _ITEMSIZE for _, column in columns)
+        shm = shared_memory.SharedMemory(create=True, size=max(total, 1), name=name)
+        buf = shm.buf
+        buf[0:8] = struct.pack("<q", len(header_bytes))
+        buf[8 : 8 + len(header_bytes)] = header_bytes
+        for _, column in columns:
+            nbytes = len(column) * _ITEMSIZE
+            buf[offset : offset + nbytes] = column.tobytes()
+            offset += nbytes
+        return cls(shm, oracle, owner=True, header=header)
+
+    @classmethod
+    def attach(cls, name: str, readonly: bool = True) -> "ShmOracleTables":
+        """Map an existing segment and rebuild the view-backed oracle."""
+        # Note on the stdlib resource tracker (Python < 3.13 registers
+        # attachers too): the daemon's spawn-context workers inherit the
+        # parent's tracker, whose name cache is a *set* — so attach-side
+        # registration is a no-op while the creator's entry exists, and
+        # the creator's unlink() balances the books exactly once.  Do
+        # NOT unregister here; that would evict the creator's entry and
+        # turn the eventual unlink into tracker KeyError noise.
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            (header_len,) = struct.unpack("<q", bytes(shm.buf[0:8]))
+            header = json.loads(bytes(shm.buf[8 : 8 + header_len]).decode("utf8"))
+            if header.get("schema") != SHM_SCHEMA:
+                raise ParameterError(
+                    f"segment {name!r} carries schema "
+                    f"{header.get('schema')!r}, expected {SHM_SCHEMA!r}"
+                )
+            if header.get("itemsize") != _ITEMSIZE:
+                raise ParameterError(
+                    f"segment {name!r} was packed with itemsize "
+                    f"{header.get('itemsize')}, this platform uses {_ITEMSIZE}"
+                )
+            oracle = cls._rebuild(shm, header, readonly=readonly)
+        except Exception:
+            shm.close()
+            raise
+        return cls(shm, oracle, owner=False, header=header)
+
+    @staticmethod
+    def _rebuild(shm, header: dict, readonly: bool) -> DistanceOracle:
+        offset = _align(8 + len(json.dumps(header, sort_keys=True).encode("utf8")))
+        views: dict[str, memoryview] = {}
+        for spec in header["columns"]:
+            nbytes = spec["length"] * _ITEMSIZE
+            view = shm.buf[offset : offset + nbytes]
+            if readonly:
+                view = view.toreadonly()
+            views[spec["name"]] = view.cast("l")
+            offset += nbytes
+        graph = Graph._from_csr(
+            header["n"],
+            views["graph.indptr"],
+            views["graph.indices"],
+            header["m"],
+        )
+        scales = [
+            ScaleTables(
+                radius=meta["radius"],
+                min_distance=meta["min_distance"],
+                is_components=meta["is_components"],
+                centers=views[f"scale{i}.centers"],
+                ecc=views[f"scale{i}.ecc"],
+                indptr=views[f"scale{i}.indptr"],
+                member_cluster=views[f"scale{i}.member_cluster"],
+                member_dist=views[f"scale{i}.member_dist"],
+                member_parent=views[f"scale{i}.member_parent"],
+            )
+            for i, meta in enumerate(header["scales"])
+        ]
+        return DistanceOracle(
+            graph=graph,
+            scales=scales,
+            k=header["k"],
+            c=header["c"],
+            seed=header["seed"],
+            overlap_budget=header["overlap_budget"],
+            skipped_radii=list(header["skipped_radii"]),
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def oracle(self) -> DistanceOracle:
+        """The servable oracle (views for attachers, original for the owner)."""
+        if self._oracle is None:
+            raise ReproError("shared-memory tables are closed")
+        return self._oracle
+
+    @property
+    def name(self) -> str:
+        """The segment name readers pass to :meth:`attach`."""
+        return self._shm.name
+
+    @property
+    def size(self) -> int:
+        """Mapped segment size in bytes."""
+        return self._shm.size
+
+    @property
+    def owner(self) -> bool:
+        return self._owner
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def leaked(self) -> bool:
+        """Still holding the mapping — or owning an un-unlinked segment."""
+        return not self._closed or (self._owner and not self._unlinked)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release this process's mapping (idempotent).
+
+        The view-backed oracle dies with the mapping: callers must drop
+        their references to :attr:`oracle` (and any numpy arrays derived
+        from it) first, or this raises ``BufferError`` naming the leak.
+        """
+        if self._closed:
+            return
+        oracle = self._oracle
+        self._oracle = None
+        if oracle is not None and not self._owner:
+            # Numpy views cached on the tables pin the buffers; drop them
+            # so the only remaining holders are the caller's own refs.
+            # (Indexed loop on purpose: a `for scale in ...` binding would
+            # itself pin a view-holding ScaleTables past the close below.)
+            oracle.graph._np_csr = None
+            for index in range(len(oracle.scales)):
+                oracle.scales[index]._np = None
+        oracle = None
+        gc.collect()
+        try:
+            self._shm.close()
+        except BufferError as exc:
+            raise BufferError(
+                f"cannot close shared-memory tables {self.name!r}: a "
+                "view-backed oracle (or a numpy array derived from it) is "
+                "still alive — drop those references first"
+            ) from exc
+        self._closed = True
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (owner only, idempotent)."""
+        if self._unlinked:
+            return
+        if not self._owner:
+            raise ReproError(
+                f"only the creator may unlink segment {self.name!r}"
+            )
+        self._shm.unlink()
+        self._unlinked = True
+
+    def __enter__(self) -> "ShmOracleTables":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()

@@ -1,0 +1,44 @@
+"""Worker-process side of the daemon: attach once, answer forever.
+
+Each worker of the serving pool runs :func:`worker_init` exactly once
+(as the :class:`~concurrent.futures.ProcessPoolExecutor` initializer),
+attaching the daemon's shared-memory segment and rebuilding the
+view-backed oracle into a module global.  After that, every
+:func:`worker_answer` call is a plain batched query against memory the
+parent already owns — no tables cross the process boundary, only the
+pair lists and the answers.
+
+Workers deliberately never ``close()`` their attachment: the mapping
+lives exactly as long as the worker process, and the parent — the
+segment's creator — is the one that unlinks it at shutdown.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import ReproError
+from .shm import ShmOracleTables
+
+__all__ = ["worker_init", "worker_answer"]
+
+#: The attached tables of this worker process (set by :func:`worker_init`).
+_TABLES: ShmOracleTables | None = None
+
+
+def worker_init(segment_name: str) -> None:
+    """Attach the daemon's segment (runs once per worker process)."""
+    global _TABLES
+    _TABLES = ShmOracleTables.attach(segment_name)
+
+
+def worker_answer(op: str, pairs: Sequence[Tuple[int, int]]) -> List:
+    """Answer one micro-batch in this worker (``distance`` or ``route``)."""
+    if _TABLES is None:
+        raise ReproError("worker_init was never run in this process")
+    oracle = _TABLES.oracle
+    if op == "distance":
+        return oracle.distances(pairs)
+    if op == "route":
+        return oracle.routes(pairs)
+    raise ReproError(f"unknown worker op {op!r}")

@@ -1,0 +1,45 @@
+"""Serving-suite fixtures: shared oracles and the shm leak guard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import erdos_renyi, gnp_fast, grid_graph
+from repro.oracle import build_oracle
+from repro.serving.shm import _REGISTRY
+
+
+@pytest.fixture(autouse=True)
+def _shm_leak_guard():
+    """Fail any test that abandons a shared-memory segment.
+
+    Mirrors the async-network leak guard in the top-level conftest: an
+    attacher that never ``close()``d, or an owner that closed without
+    ``unlink()``, leaves a mapping (or a ``/dev/shm`` entry) behind.
+    """
+    _REGISTRY.clear()
+    yield
+    leaked = [tables for tables in _REGISTRY if tables.leaked]
+    _REGISTRY.clear()
+    assert not leaked, (
+        f"{len(leaked)} ShmOracleTables leaked: attachers must close(), "
+        "owners must close() and unlink()"
+    )
+
+
+@pytest.fixture(scope="session")
+def grid_oracle():
+    """A small high-diameter oracle (grid 12x12, connected)."""
+    return build_oracle(grid_graph(12, 12), seed=7)
+
+
+@pytest.fixture(scope="session")
+def gnp_oracle():
+    """A sparse random oracle with a few hundred vertices."""
+    return build_oracle(gnp_fast(256, 0.03, seed=2), seed=7)
+
+
+@pytest.fixture(scope="session")
+def disconnected_oracle():
+    """An oracle over a disconnected graph (UNREACHABLE answers exist)."""
+    return build_oracle(erdos_renyi(90, 0.02, seed=12), seed=7)

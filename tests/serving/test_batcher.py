@@ -1,0 +1,88 @@
+"""MicroBatcher flush semantics — pure clock bookkeeping, no sockets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.serving import MicroBatcher
+
+
+class TestValidation:
+    def test_rejects_zero_max_batch(self):
+        with pytest.raises(ParameterError):
+            MicroBatcher(max_batch=0, max_wait_us=100)
+
+    def test_rejects_negative_wait(self):
+        with pytest.raises(ParameterError):
+            MicroBatcher(max_batch=4, max_wait_us=-1)
+
+    def test_wait_seconds_conversion(self):
+        assert MicroBatcher(4, 500).wait_seconds == pytest.approx(500e-6)
+        assert MicroBatcher(4, 0).wait_seconds == 0.0
+
+
+class TestSizeFlush:
+    def test_add_reports_full_exactly_at_max_batch(self):
+        batcher = MicroBatcher(max_batch=3, max_wait_us=10_000)
+        assert batcher.add("a", now=0.0) is False
+        assert batcher.add("b", now=0.0) is False
+        assert batcher.add("c", now=0.0) is True
+        assert len(batcher) == 3
+
+    def test_max_batch_one_flushes_every_item(self):
+        batcher = MicroBatcher(max_batch=1, max_wait_us=10_000)
+        assert batcher.add("a", now=0.0) is True
+
+    def test_weighted_items_count_their_pairs(self):
+        """A 16-pair chunk fills a max_batch=16 batch on its own."""
+        batcher = MicroBatcher(max_batch=16, max_wait_us=10_000)
+        assert batcher.add("req-a", now=0.0, weight=10) is False
+        assert batcher.add("req-b", now=0.0, weight=6) is True
+        assert len(batcher) == 2 and batcher.size == 16
+
+    def test_weight_must_be_positive(self):
+        batcher = MicroBatcher(max_batch=4, max_wait_us=0)
+        with pytest.raises(ParameterError):
+            batcher.add("a", now=0.0, weight=0)
+
+
+class TestDeadlineFlush:
+    def test_first_item_anchors_deadline(self):
+        batcher = MicroBatcher(max_batch=100, max_wait_us=500)
+        batcher.add("a", now=1.0)
+        assert batcher.deadline == pytest.approx(1.0005)
+        assert not batcher.should_flush(now=1.0)
+        assert not batcher.should_flush(now=1.0004)
+        assert batcher.should_flush(now=1.0005)
+
+    def test_later_items_do_not_refresh_the_anchor(self):
+        """A steady trickle cannot starve the oldest request."""
+        batcher = MicroBatcher(max_batch=100, max_wait_us=500)
+        batcher.add("a", now=1.0)
+        batcher.add("b", now=1.0004)  # just before the deadline
+        assert batcher.deadline == pytest.approx(1.0005)
+        assert batcher.should_flush(now=1.0005)
+
+    def test_empty_batcher_never_flushes(self):
+        batcher = MicroBatcher(max_batch=100, max_wait_us=500)
+        assert not batcher.should_flush(now=1e9)
+
+
+class TestDrain:
+    def test_drain_returns_items_in_order_and_resets(self):
+        batcher = MicroBatcher(max_batch=100, max_wait_us=500)
+        batcher.add("a", now=1.0)
+        batcher.add("b", now=1.1)
+        assert batcher.drain() == ["a", "b"]
+        assert len(batcher) == 0
+        assert batcher.size == 0
+        assert batcher.deadline is None
+        assert not batcher.should_flush(now=1e9)
+
+    def test_next_batch_reanchors_after_drain(self):
+        batcher = MicroBatcher(max_batch=100, max_wait_us=500)
+        batcher.add("a", now=1.0)
+        batcher.drain()
+        batcher.add("b", now=5.0)
+        assert batcher.deadline == pytest.approx(5.0005)

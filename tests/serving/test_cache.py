@@ -1,0 +1,82 @@
+"""AnswerCache: strict LRU, deterministic counters, MISS sentinel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.serving import MISS, AnswerCache
+
+
+class TestValidation:
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ParameterError):
+            AnswerCache(-1)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = AnswerCache(4)
+        key = ("distance", 0, 5)
+        assert cache.get(key) is MISS
+        cache.put(key, 3)
+        assert cache.get(key) == 3
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_none_is_a_cacheable_value_distinct_from_miss(self):
+        """Routes may legitimately be None — MISS must not collide."""
+        cache = AnswerCache(4)
+        cache.put(("route", 0, 9), None)
+        assert cache.get(("route", 0, 9)) is None
+        assert cache.get(("route", 0, 9)) is not MISS
+
+    def test_contains_and_len(self):
+        cache = AnswerCache(4)
+        cache.put("a", 1)
+        assert "a" in cache and "b" not in cache
+        assert len(cache) == 1
+
+
+class TestEviction:
+    def test_evicts_least_recently_used_first(self):
+        cache = AnswerCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency_of_existing_key(self):
+        cache = AnswerCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh by overwrite; "b" becomes LRU
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_capacity_zero_disables_storage(self):
+        cache = AnswerCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is MISS
+        assert len(cache) == 0
+        assert cache.evictions == 0
+        assert cache.misses == 1
+
+
+class TestStats:
+    def test_stats_payload(self):
+        cache = AnswerCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.stats() == {
+            "capacity": 2,
+            "size": 2,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 1,
+        }

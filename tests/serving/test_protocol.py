@@ -1,0 +1,62 @@
+"""Wire-protocol shape: one JSON object per line, strict pair payloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import OPS, ProtocolError, decode_line, encode_message, parse_pairs
+
+
+class TestFraming:
+    def test_encode_round_trips_through_decode(self):
+        message = {"id": 7, "op": "distance", "pairs": [[0, 5], [3, 3]]}
+        wire = encode_message(message)
+        assert wire.endswith(b"\n")
+        assert decode_line(wire) == message
+
+    def test_encode_is_one_compact_line(self):
+        wire = encode_message({"id": 1, "op": "ping"})
+        assert wire.count(b"\n") == 1
+        assert b" " not in wire
+
+    def test_decode_accepts_str_and_bytes(self):
+        assert decode_line('{"op":"ping"}') == {"op": "ping"}
+        assert decode_line(b'{"op":"ping"}') == {"op": "ping"}
+
+    def test_decode_rejects_invalid_json(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"{nope")
+
+    def test_decode_rejects_non_object_lines(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1, 2, 3]")
+
+
+class TestParsePairs:
+    def test_accepts_lists_and_tuples(self):
+        assert parse_pairs({"pairs": [[0, 5], (3, 3)]}) == [(0, 5), (3, 3)]
+
+    def test_requires_a_pairs_list(self):
+        with pytest.raises(ProtocolError):
+            parse_pairs({"op": "distance"})
+        with pytest.raises(ProtocolError):
+            parse_pairs({"pairs": "0,5"})
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ProtocolError):
+            parse_pairs({"pairs": [[0, 1, 2]]})
+
+    def test_rejects_non_int_vertices(self):
+        with pytest.raises(ProtocolError):
+            parse_pairs({"pairs": [[0, "5"]]})
+        with pytest.raises(ProtocolError):
+            parse_pairs({"pairs": [[0, 1.5]]})
+
+    def test_rejects_bools(self):
+        """``True`` is an int subclass but not a vertex id."""
+        with pytest.raises(ProtocolError):
+            parse_pairs({"pairs": [[0, True]]})
+
+
+def test_ops_cover_the_protocol():
+    assert OPS == ("distance", "route", "stats", "ping", "shutdown")

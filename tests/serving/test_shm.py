@@ -1,0 +1,135 @@
+"""Shared-memory tables: zero-copy round trips and lifecycle discipline."""
+
+from __future__ import annotations
+
+import json
+import struct
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.errors import ParameterError, ReproError
+from repro.rng import stream
+from repro.serving import SHM_SCHEMA, ShmOracleTables, live_tables
+
+
+def _pairs(oracle, count=300, label="shm"):
+    n = oracle.graph.num_vertices
+    rng = stream(41, "test-shm", label)
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+    pairs[:2] = [(0, 0), (0, n - 1)]
+    return pairs
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "fixture", ["grid_oracle", "gnp_oracle", "disconnected_oracle"]
+    )
+    def test_attached_oracle_is_row_identical(self, fixture, request):
+        oracle = request.getfixturevalue(fixture)
+        pairs = _pairs(oracle)
+
+        def check(attached):
+            # A helper frame, so the view-backed oracle reference dies
+            # before close() — held views would (correctly) BufferError.
+            served = attached.oracle
+            assert served.graph.num_vertices == oracle.graph.num_vertices
+            assert served.graph.num_edges == oracle.graph.num_edges
+            assert served.num_scales == oracle.num_scales
+            assert served.stretch_bound == oracle.stretch_bound
+            assert served.distances(pairs) == oracle.distances(pairs)
+            assert served.routes(pairs) == oracle.routes(pairs)
+            assert served.distance_details(pairs) == oracle.distance_details(pairs)
+
+        with ShmOracleTables.create(oracle) as owner:
+            attached = ShmOracleTables.attach(owner.name)
+            try:
+                check(attached)
+            finally:
+                attached.close()
+
+    def test_owner_keeps_answering_from_the_original(self, grid_oracle):
+        with ShmOracleTables.create(grid_oracle) as owner:
+            assert owner.oracle is grid_oracle
+
+
+class TestHeaderValidation:
+    def _raw_segment(self, header: dict) -> shared_memory.SharedMemory:
+        blob = json.dumps(header, sort_keys=True).encode("utf8")
+        shm = shared_memory.SharedMemory(create=True, size=8 + len(blob) + 64)
+        shm.buf[0:8] = struct.pack("<q", len(blob))
+        shm.buf[8 : 8 + len(blob)] = blob
+        return shm
+
+    def test_rejects_foreign_schema(self):
+        shm = self._raw_segment({"schema": "something-else", "itemsize": 8})
+        try:
+            with pytest.raises(ParameterError, match="schema"):
+                ShmOracleTables.attach(shm.name)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_rejects_mismatched_itemsize(self):
+        shm = self._raw_segment({"schema": SHM_SCHEMA, "itemsize": 4})
+        try:
+            with pytest.raises(ParameterError, match="itemsize"):
+                ShmOracleTables.attach(shm.name)
+        finally:
+            shm.close()
+            shm.unlink()
+
+
+class TestLifecycle:
+    def test_close_and_unlink_transitions(self, grid_oracle):
+        owner = ShmOracleTables.create(grid_oracle)
+        assert owner.owner and not owner.closed and owner.leaked
+        assert owner in live_tables()
+        owner.close()
+        assert owner.closed and owner.leaked  # still owns the segment
+        owner.close()  # idempotent
+        owner.unlink()
+        assert not owner.leaked
+        owner.unlink()  # idempotent
+        assert owner not in live_tables()
+
+    def test_oracle_raises_after_close(self, grid_oracle):
+        with ShmOracleTables.create(grid_oracle) as owner:
+            attached = ShmOracleTables.attach(owner.name)
+            attached.close()
+            with pytest.raises(ReproError, match="closed"):
+                attached.oracle
+
+    def test_attacher_may_not_unlink(self, grid_oracle):
+        with ShmOracleTables.create(grid_oracle) as owner:
+            attached = ShmOracleTables.attach(owner.name)
+            try:
+                with pytest.raises(ReproError, match="creator"):
+                    attached.unlink()
+            finally:
+                attached.close()
+
+    def test_context_manager_closes_and_unlinks(self, grid_oracle):
+        with ShmOracleTables.create(grid_oracle) as owner:
+            name = owner.name
+        assert owner.closed and not owner.leaked
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_close_names_the_leak_when_a_view_oracle_is_held(self, grid_oracle):
+        with ShmOracleTables.create(grid_oracle) as owner:
+            attached = ShmOracleTables.attach(owner.name)
+            held = attached.oracle  # pins memoryviews into the segment
+            with pytest.raises(BufferError, match="view-backed oracle"):
+                attached.close()
+            del held
+            attached.close()  # succeeds once the reference is gone
+        assert not attached.leaked
+
+    def test_leak_guard_sees_an_abandoned_attacher(self, grid_oracle):
+        with ShmOracleTables.create(grid_oracle) as owner:
+            attached = ShmOracleTables.attach(owner.name)
+            assert attached.leaked
+            assert attached in live_tables()
+            attached.close()
+            assert not attached.leaked

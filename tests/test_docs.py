@@ -8,8 +8,11 @@ is caught by the tier-1 suite too.
 
 from __future__ import annotations
 
+import os
 import pathlib
 import re
+import subprocess
+import sys
 
 ROOT = pathlib.Path(__file__).parent.parent
 DOCS = ROOT / "docs"
@@ -57,9 +60,65 @@ def test_required_coverage():
     # every CLI subcommand documented
     for command in (
         "decompose", "compare", "apps", "spanner", "theory", "oracle", "bench",
-        "campaign",
+        "campaign", "serve", "loadgen",
     ):
         assert f"## `{command}`" in cli, f"cli.md missing section for {command}"
     assert "gnp_fast" in cli  # the er:-vs-gnp_fast distinction is documented
     bench = (DOCS / "benchmarks.md").read_text()
     assert "BENCH_WORKERS" in bench and "BENCH_CACHE" in bench
+    serving = (DOCS / "serving.md").read_text()
+    # The normative protocol/lifecycle sections must stay in place.
+    for needle in (
+        "flush rules", "shared-memory", "row-identical", "--validate",
+        "en16.shm-tables.v1",
+    ):
+        assert needle in serving, f"serving.md lost its {needle!r} coverage"
+
+
+def test_serving_quickstart_runs():
+    """The docs/serving.md quickstart works verbatim on a tiny graph.
+
+    The three-line walkthrough (serve in the background, loadgen with
+    validation + shutdown, trace summarize) is executed with `python`
+    swapped for this interpreter — so the handbook's first example can
+    never rot silently.
+    """
+    text = (DOCS / "serving.md").read_text()
+    block = re.search(r"```sh\n(.*?)```", text, re.S)
+    assert block, "serving.md lost its quickstart shell block"
+    lines = [line.strip() for line in block.group(1).splitlines() if line.strip()]
+    assert len(lines) == 3 and lines[0].endswith("&")
+
+    import tempfile
+
+    env = {**os.environ, "PYTHONPATH": str(ROOT / "src")}
+    with tempfile.TemporaryDirectory() as tmp:
+        def argv(line: str) -> list[str]:
+            assert line.startswith("python -m repro "), line
+            return [sys.executable, "-m", "repro"] + line.split()[3:]
+
+        daemon = subprocess.Popen(
+            argv(lines[0].rstrip(" &")),
+            cwd=tmp,
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            loadgen = subprocess.run(
+                argv(lines[1]), cwd=tmp, env=env, capture_output=True,
+                text=True, timeout=120,
+            )
+            assert loadgen.returncode == 0, loadgen.stderr
+            assert "row-identical" in loadgen.stdout
+            assert daemon.wait(timeout=30) == 0  # --shutdown stopped it
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+        summarize = subprocess.run(
+            argv(lines[2]), cwd=tmp, env=env, capture_output=True,
+            text=True, timeout=60,
+        )
+        assert summarize.returncode == 0, summarize.stderr
+        assert "serve.request" in summarize.stdout
